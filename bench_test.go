@@ -1,0 +1,111 @@
+package xmovie_test
+
+// One benchmark per table, figure and measured result of the paper, each
+// driving the corresponding experiment in internal/experiments. Absolute
+// numbers depend on the host; EXPERIMENTS.md records the expected shapes
+// (who wins, by roughly what factor, where crossovers fall).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single experiment with e.g. -bench=BenchmarkExp4.
+
+import (
+	"testing"
+
+	"xmovie/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, fn func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkTable1ControlVsStream regenerates Table 1: the requirement
+// matrix of the control protocol versus the CM-stream protocol, measured.
+func BenchmarkTable1ControlVsStream(b *testing.B) {
+	benchExperiment(b, experiments.Table1)
+}
+
+// BenchmarkFigure1ModelAssembly assembles the Fig. 1 functional model —
+// every agent (MCA, DUA, SUA, EUA, ECA, SPA, DSA) — and runs a smoke
+// operation through it.
+func BenchmarkFigure1ModelAssembly(b *testing.B) {
+	benchExperiment(b, experiments.Figure1)
+}
+
+// BenchmarkFigure2Configuration runs the Fig. 2 example configuration: two
+// clients with three control connections to one server, each playing a
+// movie over the CM-stream plane.
+func BenchmarkFigure2Configuration(b *testing.B) {
+	benchExperiment(b, experiments.Figure2)
+}
+
+// BenchmarkFigure3EstelleMapping parses the MCAM skeleton specification,
+// binds external (Go) bodies for DUA/SUA/EUA, and executes a control cycle
+// — Fig. 3's module mapping.
+func BenchmarkFigure3EstelleMapping(b *testing.B) {
+	benchExperiment(b, experiments.Figure3)
+}
+
+// BenchmarkExp1SeqVsParallel reproduces §5.1: sequential versus parallel
+// presentation+session kernel over a simulated transport pipe (paper:
+// speedup 1.4-2.0 with 2 connections).
+func BenchmarkExp1SeqVsParallel(b *testing.B) {
+	benchExperiment(b, experiments.Exp1SeqVsPar)
+}
+
+// BenchmarkExp2GroupingScheme reproduces §5.2's grouping result: one unit
+// per module versus one unit per processor when modules outnumber
+// processors.
+func BenchmarkExp2GroupingScheme(b *testing.B) {
+	benchExperiment(b, experiments.Exp2Grouping)
+}
+
+// BenchmarkExp3ModulePipeline reproduces §5.2's module-splitting advice: a
+// long-running computation split into a pipeline of modules.
+func BenchmarkExp3ModulePipeline(b *testing.B) {
+	benchExperiment(b, experiments.Exp3Pipeline)
+}
+
+// BenchmarkExp4TransitionDispatch reproduces §5.2's transition-mapping
+// comparison: hard-coded chains versus table-controlled dispatch (paper:
+// table wins above ~4 transitions).
+func BenchmarkExp4TransitionDispatch(b *testing.B) {
+	benchExperiment(b, experiments.Exp4Dispatch)
+}
+
+// BenchmarkExp5SchedulerShare reproduces §5.2's scheduler measurement:
+// centralized scheduling spends up to ~80% of the runtime selecting
+// transitions; the decentralized scheduler less.
+func BenchmarkExp5SchedulerShare(b *testing.B) {
+	benchExperiment(b, experiments.Exp5Scheduler)
+}
+
+// BenchmarkExp6GeneratedVsHandcoded reproduces §3's two-stack comparison:
+// MCAM over the Estelle-generated stack versus the hand-coded
+// ISODE-equivalent stack.
+func BenchmarkExp6GeneratedVsHandcoded(b *testing.B) {
+	benchExperiment(b, experiments.Exp6GenVsHand)
+}
+
+// BenchmarkExp7ParallelASN1 reproduces footnote 3 / ref [12]: parallel
+// ASN.1 encoding/decoding does not improve performance.
+func BenchmarkExp7ParallelASN1(b *testing.B) {
+	benchExperiment(b, experiments.Exp7ParallelASN1)
+}
+
+// BenchmarkExp8ConnectionVsLayer reproduces §3's mapping observation:
+// connection-per-processor beats layer-per-processor.
+func BenchmarkExp8ConnectionVsLayer(b *testing.B) {
+	benchExperiment(b, experiments.Exp8ConnVsLayer)
+}

@@ -1,0 +1,57 @@
+// Command estgen parses Estelle-subset specifications and generates Go
+// source targeting the estelle runtime — the code-generation step of the
+// paper's methodology (§4.2).
+//
+// Usage:
+//
+//	estgen -check spec.est            validate only
+//	estgen -pkg gen -o out.go spec.est
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmovie/internal/estelle/estgen"
+	"xmovie/internal/estelle/estparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "estgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	check := flag.Bool("check", false, "parse and validate only")
+	pkg := flag.String("pkg", "gen", "package name of the generated file")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: estgen [-check] [-pkg name] [-o file] spec.est")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec, err := estparse.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if *check {
+		fmt.Printf("specification %s: %d channels, %d modules, %d bodies, %d config statements\n",
+			spec.Name, len(spec.Channels), len(spec.Modules), len(spec.Bodies), len(spec.Config))
+		return nil
+	}
+	code, err := estgen.Generate(spec, estgen.Options{Package: *pkg})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}

@@ -1,0 +1,54 @@
+// Command mcambench regenerates the paper's tables, figures and measured
+// results and prints them in paper-style form. Without arguments it runs
+// everything; with arguments it runs the named experiments (t1, f1, f2,
+// f3, e1..e8).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"xmovie/internal/experiments"
+)
+
+var all = []struct {
+	id string
+	fn func() (*experiments.Result, error)
+}{
+	{"t1", experiments.Table1},
+	{"f1", experiments.Figure1},
+	{"f2", experiments.Figure2},
+	{"f3", experiments.Figure3},
+	{"e1", experiments.Exp1SeqVsPar},
+	{"e2", experiments.Exp2Grouping},
+	{"e3", experiments.Exp3Pipeline},
+	{"e4", experiments.Exp4Dispatch},
+	{"e5", experiments.Exp5Scheduler},
+	{"e6", experiments.Exp6GenVsHand},
+	{"e7", experiments.Exp7ParallelASN1},
+	{"e8", experiments.Exp8ConnVsLayer},
+}
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[strings.ToLower(a)] = true
+	}
+	failed := false
+	for _, exp := range all {
+		if len(want) > 0 && !want[exp.id] {
+			continue
+		}
+		r, err := exp.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcambench: %s: %v\n", exp.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(r)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,159 @@
+// Command mcamctl is the MCAM command-line client: movie access,
+// management and control against an mcamd server, with playback received
+// on a local UDP socket.
+//
+// Usage:
+//
+//	mcamctl -server 127.0.0.1:10240 list
+//	mcamctl -server ... create NAME [rate]
+//	mcamctl -server ... delete NAME
+//	mcamctl -server ... query NAME
+//	mcamctl -server ... set NAME key=value [key=value...]
+//	mcamctl -server ... record NAME DEVICE COUNT
+//	mcamctl -server ... play NAME
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/mtp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcamctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "127.0.0.1:10240", "mcamd control address")
+	stackName := flag.String("stack", "generated", "control stack: generated | handcoded")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("missing command (list|create|delete|query|set|record|play)")
+	}
+	stack := xmovie.StackGenerated
+	if *stackName == "handcoded" {
+		stack = xmovie.StackHandcoded
+	}
+	client, err := xmovie.Dial(*server, xmovie.ClientConfig{Stack: stack})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "list":
+		movies, err := client.List()
+		if err != nil {
+			return err
+		}
+		for _, m := range movies {
+			fmt.Println(m)
+		}
+		return nil
+	case "create":
+		if len(args) < 2 {
+			return fmt.Errorf("create NAME [rate]")
+		}
+		rate := 25
+		if len(args) > 2 {
+			if rate, err = strconv.Atoi(args[2]); err != nil {
+				return err
+			}
+		}
+		return client.Create(args[1], rate, nil)
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("delete NAME")
+		}
+		return client.Delete(args[1])
+	case "query":
+		if len(args) != 2 {
+			return fmt.Errorf("query NAME")
+		}
+		attrs, err := client.Query(args[1])
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s = %s\n", k, attrs[k])
+		}
+		return nil
+	case "set":
+		if len(args) < 3 {
+			return fmt.Errorf("set NAME key=value...")
+		}
+		updates := make(map[string]string)
+		for _, kv := range args[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad attribute %q", kv)
+			}
+			updates[k] = v
+		}
+		return client.Modify(args[1], updates)
+	case "record":
+		if len(args) != 4 {
+			return fmt.Errorf("record NAME DEVICE COUNT")
+		}
+		count, err := strconv.Atoi(args[3])
+		if err != nil {
+			return err
+		}
+		length, err := client.Record(args[1], args[2], int64(count))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded; movie is now %d frames\n", length)
+		return nil
+	case "play":
+		if len(args) != 2 {
+			return fmt.Errorf("play NAME")
+		}
+		return play(client, args[1])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func play(client *xmovie.Client, movie string) error {
+	lis, err := mtp.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	length, rate, err := client.Select(movie)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("playing %s: %d frames at %d fps -> %s\n", movie, length, rate, lis.Addr())
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(lis, mtp.ReceiverConfig{}, nil)
+		done <- st
+	}()
+	start := time.Now()
+	if _, err := client.Play(movie, lis.Addr()); err != nil {
+		return err
+	}
+	st := <-done
+	fmt.Printf("done: %d/%d frames (%.1f%%), jitter %d us, %v\n",
+		st.Delivered, length, st.DeliveryRatio()*100, st.JitterMicro,
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command mcamd runs an MCAM server entity: the "server machine" of the
+// paper's Fig. 2, serving movie control connections over the chosen stack
+// and streaming movies over UDP.
+//
+// Usage:
+//
+//	mcamd -addr 127.0.0.1:10240 -stack generated -movies 8 -frames 250
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"xmovie"
+	"xmovie/internal/equipment"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:10240", "control-plane listen address (TPKT/TCP)")
+	stackName := flag.String("stack", "generated", "control stack: generated | handcoded")
+	movies := flag.Int("movies", 8, "number of synthetic movies to seed")
+	frames := flag.Int("frames", 250, "frames per synthetic movie")
+	procs := flag.Int("procs", 0, "virtual processor limit for the generated stack (0 = unlimited)")
+	flag.Parse()
+
+	stack := xmovie.StackGenerated
+	switch *stackName {
+	case "generated":
+	case "handcoded":
+		stack = xmovie.StackHandcoded
+	default:
+		fmt.Fprintln(os.Stderr, "mcamd: unknown stack", *stackName)
+		os.Exit(2)
+	}
+
+	store := xmovie.NewMemStore()
+	for i := 0; i < *movies; i++ {
+		name := fmt.Sprintf("movie-%d", i)
+		if err := store.Create(xmovie.Synthesize(name, *frames, 25)); err != nil {
+			fmt.Fprintln(os.Stderr, "mcamd:", err)
+			os.Exit(1)
+		}
+	}
+	eca := equipment.NewECA("mcamd")
+	if err := eca.Register(equipment.NewCamera("cam1", 2048)); err != nil {
+		fmt.Fprintln(os.Stderr, "mcamd:", err)
+		os.Exit(1)
+	}
+
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr:  *addr,
+		Stack: stack,
+		Env: &xmovie.ServerEnv{
+			Store:  store,
+			Dialer: xmovie.UDPDialer(), // Play requests carry host:port UDP addresses
+			EUA:    equipment.NewEUA(eca, "mcamd"),
+		},
+		Processors: *procs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcamd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mcamd: serving %d movies on %s (%s stack); streams go to client UDP addresses\n",
+		*movies, srv.Addr(), *stackName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("mcamd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcamd:", err)
+		os.Exit(1)
+	}
+}

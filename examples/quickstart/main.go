@@ -1,0 +1,86 @@
+// Quickstart: start an MCAM server over a synthetic movie store, dial it,
+// and play a movie — control plane over the Estelle-generated OSI-style
+// stack on TCP loopback, frames over the simulated CM-stream network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+func main() {
+	// A movie store with one synthetic film (substituting the digitized
+	// material of the XMovie testbed).
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.Synthesize("casablanca", 100, 25)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The CM-stream plane: an in-process simulated network.
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr: "127.0.0.1:0",
+		Env:  &xmovie.ServerEnv{Store: store, Dialer: sim},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("MCAM server listening on", srv.Addr())
+
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	movies, err := client.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("movies:", movies)
+
+	length, rate, err := client.Select("casablanca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected casablanca: %d frames at %d fps\n", length, rate)
+
+	// Register a stream endpoint and play.
+	end, err := sim.Listen("quickstart/video", netsim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	delivered := 0
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, func(mtp.Frame) { delivered++ })
+		done <- st
+	}()
+
+	start := time.Now()
+	streamID, err := client.Play("casablanca", "quickstart/video")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("playing as stream", streamID)
+	stats := <-done
+	fmt.Printf("received %d frames (%.1f%% delivery, jitter %d us) in %v\n",
+		delivered, stats.DeliveryRatio()*100, stats.JitterMicro, time.Since(start).Round(time.Millisecond))
+
+	ev, err := client.AwaitEvent(10 * time.Second)
+	for err == nil && ev.Kind != xmovie.EventStreamCompleted {
+		ev, err = client.AwaitEvent(10 * time.Second)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server reported stream %d completed at frame %d\n", ev.StreamID, ev.Position)
+}

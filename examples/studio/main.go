@@ -1,0 +1,104 @@
+// Studio exercises the Equipment Control System and the movie directory:
+// reserve a camera through the EUA, record takes into a new movie, mirror
+// its attributes into the federated X.500-style directory, search for it,
+// and play the recording back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmovie"
+	"xmovie/internal/directory"
+	"xmovie/internal/equipment"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+func main() {
+	// A federated directory: a root DSA and the university's DSA.
+	root := directory.NewDSA("root", directory.MustParseDN("c=DE"))
+	uni := directory.NewDSA("uni", directory.MustParseDN("c=DE/o=uni-mannheim"))
+	if err := root.AddSubordinate(uni.Context(), uni); err != nil {
+		log.Fatal(err)
+	}
+	uni.SetSuperior(root)
+
+	// The studio site's equipment.
+	eca := equipment.NewECA("studio-a")
+	cam := equipment.NewCamera("cam1", 2048)
+	mic := equipment.NewMicrophone("mic1", 256)
+	for _, d := range []equipment.Device{cam, mic, equipment.NewDisplay("disp1")} {
+		if err := eca.Register(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	store := xmovie.NewMemStore()
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr: "127.0.0.1:0",
+		Env: &xmovie.ServerEnv{
+			Store:   store,
+			Dialer:  sim,
+			DUA:     directory.NewDUA(uni),
+			DirBase: uni.Context(),
+			EUA:     equipment.NewEUA(eca, "mcam-server"),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Create the production and record two takes from the camera.
+	if err := client.Create("studio-take", 25, map[string]string{
+		"director": "R. Keller", "year": "1994",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for take := 1; take <= 2; take++ {
+		length, err := client.Record("studio-take", "cam1", 25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("take %d recorded: movie now %d frames\n", take, length)
+	}
+
+	// The directory learned about the movie via the server's DUA; search
+	// the whole federation from the root.
+	hits, err := directory.NewDUA(root).Search(
+		directory.MustParseDN("c=DE"),
+		directory.ScopeSubtree,
+		directory.Eq("director", "R. Keller"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range hits {
+		fmt.Println("directory hit:", e.DN, "year", e.Get("year"))
+	}
+
+	// Play the recording back.
+	end, err := sim.Listen("studio/monitor", netsim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+		done <- st
+	}()
+	if _, err := client.Play("studio-take", "studio/monitor"); err != nil {
+		log.Fatal(err)
+	}
+	st := <-done
+	fmt.Printf("played back %d recorded frames (%.0f%% delivery)\n",
+		st.Delivered, st.DeliveryRatio()*100)
+}

@@ -1,0 +1,96 @@
+// Videoserver reproduces the paper's Fig. 2 example configuration: one
+// server machine serving several clients simultaneously — client #1 holds
+// two control connections, client #2 one (on the hand-coded stack, showing
+// the heterogeneity the paper targets) — with every connection playing its
+// own movie over the CM-stream plane in parallel.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+func main() {
+	store := xmovie.NewMemStore()
+	titles := []string{"metropolis", "nosferatu", "golem"}
+	for _, t := range titles {
+		if err := store.Create(xmovie.Synthesize(t, 150, 50)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr: "127.0.0.1:0",
+		Env:  &xmovie.ServerEnv{Store: store, Dialer: sim},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("server machine up at", srv.Addr(), "— serving", titles)
+
+	type conn struct {
+		label string
+		stack xmovie.StackKind
+		movie string
+	}
+	conns := []conn{
+		{"client1/a", xmovie.StackGenerated, "metropolis"},
+		{"client1/b", xmovie.StackGenerated, "nosferatu"},
+		{"client2", xmovie.StackHandcoded, "golem"},
+	}
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c conn) {
+			defer wg.Done()
+			client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{Stack: c.stack})
+			if err != nil {
+				log.Printf("%s: dial: %v", c.label, err)
+				return
+			}
+			defer client.Close()
+			length, rate, err := client.Select(c.movie)
+			if err != nil {
+				log.Printf("%s: select: %v", c.label, err)
+				return
+			}
+			addr := "stream/" + c.label
+			// Each client's path has its own shaping: client2 sits behind
+			// a slightly lossy link.
+			cfg := netsim.Config{}
+			if c.stack == xmovie.StackHandcoded {
+				cfg = netsim.Config{LossProb: 0.01, Seed: 7}
+			}
+			end, err := sim.Listen(addr, cfg)
+			if err != nil {
+				log.Printf("%s: listen: %v", c.label, err)
+				return
+			}
+			done := make(chan mtp.RecvStats, 1)
+			go func() {
+				st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+				done <- st
+			}()
+			start := time.Now()
+			if _, err := client.Play(c.movie, addr); err != nil {
+				log.Printf("%s: play: %v", c.label, err)
+				return
+			}
+			st := <-done
+			fmt.Printf("%-10s %-10s %-12s %3d/%d frames (%.1f%%) in %v\n",
+				c.label, c.stack, c.movie, st.Delivered, length,
+				st.DeliveryRatio()*100, time.Since(start).Round(time.Millisecond))
+			_ = rate
+		}(c)
+	}
+	wg.Wait()
+	fmt.Println("all streams completed")
+}

@@ -1,0 +1,348 @@
+// Package asn1ber implements the ASN.1 subset and BER transfer syntax used by
+// the MCAM protocol suite.
+//
+// The 1994 paper generated C++ encode/decode routines from ASN.1 definitions
+// (refs [9], [16]) and measured a parallel encoder variant (ref [12]). This
+// package is the Go analogue: low-level BER TLV primitives, a descriptor
+// ("compiled schema") layer driving generic encode/decode, a parser for ASN.1
+// module text, and a parallel encoder used to reproduce the paper's negative
+// result on parallel encoding (experiment E7).
+//
+// Only definite-length BER is produced; both definite-length primitive and
+// constructed encodings are accepted. This is sufficient for every PDU in the
+// MCAM, session and presentation layers of this repository.
+package asn1ber
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class is a BER tag class.
+type Class uint8
+
+// Tag classes. Values match the two class bits of the identifier octet.
+const (
+	ClassUniversal       Class = 0
+	ClassApplication     Class = 1
+	ClassContextSpecific Class = 2
+	ClassPrivate         Class = 3
+)
+
+// String returns the conventional ASN.1 name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassUniversal:
+		return "UNIVERSAL"
+	case ClassApplication:
+		return "APPLICATION"
+	case ClassContextSpecific:
+		return "CONTEXT"
+	case ClassPrivate:
+		return "PRIVATE"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Universal tag numbers used by this subset.
+const (
+	TagBoolean     uint32 = 1
+	TagInteger     uint32 = 2
+	TagBitString   uint32 = 3
+	TagOctetString uint32 = 4
+	TagNull        uint32 = 5
+	TagOID         uint32 = 6
+	TagEnumerated  uint32 = 10
+	TagUTF8String  uint32 = 12
+	TagSequence    uint32 = 16
+	TagSet         uint32 = 17
+	TagIA5String   uint32 = 22
+	TagGraphicStr  uint32 = 25
+)
+
+// Header is a decoded BER identifier + length.
+type Header struct {
+	Class       Class
+	Constructed bool
+	Tag         uint32
+	// Length of the content octets.
+	Length int
+	// HeaderLen is the number of octets the identifier and length occupied.
+	HeaderLen int
+}
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("asn1ber: truncated element")
+	ErrBadLength = errors.New("asn1ber: invalid length encoding")
+	ErrBadValue  = errors.New("asn1ber: invalid value encoding")
+)
+
+// AppendHeader appends a BER identifier and definite length for an element
+// whose content is length octets long.
+func AppendHeader(dst []byte, class Class, constructed bool, tag uint32, length int) []byte {
+	b := byte(class) << 6
+	if constructed {
+		b |= 0x20
+	}
+	if tag < 31 {
+		dst = append(dst, b|byte(tag))
+	} else {
+		dst = append(dst, b|0x1f)
+		// Base-128, big endian, high bit set on all but last.
+		var tmp [5]byte
+		i := len(tmp)
+		t := tag
+		for {
+			i--
+			tmp[i] = byte(t & 0x7f)
+			t >>= 7
+			if t == 0 {
+				break
+			}
+		}
+		for j := i; j < len(tmp)-1; j++ {
+			tmp[j] |= 0x80
+		}
+		dst = append(dst, tmp[i:]...)
+	}
+	return AppendLength(dst, length)
+}
+
+// AppendLength appends a BER definite length.
+func AppendLength(dst []byte, n int) []byte {
+	switch {
+	case n < 0:
+		panic("asn1ber: negative length")
+	case n < 0x80:
+		return append(dst, byte(n))
+	case n <= 0xff:
+		return append(dst, 0x81, byte(n))
+	case n <= 0xffff:
+		return append(dst, 0x82, byte(n>>8), byte(n))
+	case n <= 0xffffff:
+		return append(dst, 0x83, byte(n>>16), byte(n>>8), byte(n))
+	default:
+		return append(dst, 0x84, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+}
+
+// AppendTLV appends a complete element with the given content.
+func AppendTLV(dst []byte, class Class, constructed bool, tag uint32, content []byte) []byte {
+	dst = AppendHeader(dst, class, constructed, tag, len(content))
+	return append(dst, content...)
+}
+
+// intContentLen reports how many octets the two's-complement content of v
+// occupies.
+func intContentLen(v int64) int {
+	n := 1
+	for v > 0x7f || v < -0x80 {
+		n++
+		v >>= 8
+	}
+	return n
+}
+
+// AppendIntegerContent appends only the two's-complement content octets of v.
+func AppendIntegerContent(dst []byte, v int64) []byte {
+	n := intContentLen(v)
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}
+
+// AppendInteger appends an INTEGER (or with tag overridden, ENUMERATED or an
+// implicitly tagged integer) element.
+func AppendInteger(dst []byte, class Class, tag uint32, v int64) []byte {
+	dst = AppendHeader(dst, class, false, tag, intContentLen(v))
+	return AppendIntegerContent(dst, v)
+}
+
+// AppendBool appends a BOOLEAN element.
+func AppendBool(dst []byte, class Class, tag uint32, v bool) []byte {
+	dst = AppendHeader(dst, class, false, tag, 1)
+	if v {
+		return append(dst, 0xff)
+	}
+	return append(dst, 0x00)
+}
+
+// AppendString appends a character-string element (UTF8String, IA5String, …)
+// with the supplied tag.
+func AppendString(dst []byte, class Class, tag uint32, s string) []byte {
+	dst = AppendHeader(dst, class, false, tag, len(s))
+	return append(dst, s...)
+}
+
+// AppendBytes appends an OCTET STRING (or implicitly retagged) element.
+func AppendBytes(dst []byte, class Class, tag uint32, b []byte) []byte {
+	dst = AppendHeader(dst, class, false, tag, len(b))
+	return append(dst, b...)
+}
+
+// AppendNull appends a NULL element.
+func AppendNull(dst []byte, class Class, tag uint32) []byte {
+	return AppendHeader(dst, class, false, tag, 0)
+}
+
+// ParseHeader decodes the identifier and length at the start of data.
+func ParseHeader(data []byte) (Header, error) {
+	var h Header
+	if len(data) < 2 {
+		return h, ErrTruncated
+	}
+	b := data[0]
+	h.Class = Class(b >> 6)
+	h.Constructed = b&0x20 != 0
+	off := 1
+	if b&0x1f != 0x1f {
+		h.Tag = uint32(b & 0x1f)
+	} else {
+		var tag uint32
+		for {
+			if off >= len(data) {
+				return h, ErrTruncated
+			}
+			c := data[off]
+			off++
+			if tag > 1<<24 {
+				return h, fmt.Errorf("%w: tag overflow", ErrBadValue)
+			}
+			tag = tag<<7 | uint32(c&0x7f)
+			if c&0x80 == 0 {
+				break
+			}
+		}
+		h.Tag = tag
+	}
+	if off >= len(data) {
+		return h, ErrTruncated
+	}
+	l := data[off]
+	off++
+	switch {
+	case l < 0x80:
+		h.Length = int(l)
+	case l == 0x80:
+		return h, fmt.Errorf("%w: indefinite length unsupported", ErrBadLength)
+	default:
+		n := int(l & 0x7f)
+		if n > 4 {
+			return h, fmt.Errorf("%w: length of %d octets", ErrBadLength, n)
+		}
+		if off+n > len(data) {
+			return h, ErrTruncated
+		}
+		v := 0
+		for i := 0; i < n; i++ {
+			v = v<<8 | int(data[off+i])
+		}
+		if v < 0 {
+			return h, ErrBadLength
+		}
+		h.Length = v
+		off += n
+	}
+	h.HeaderLen = off
+	if h.HeaderLen+h.Length > len(data) {
+		return h, ErrTruncated
+	}
+	return h, nil
+}
+
+// ParseIntegerContent decodes two's-complement content octets.
+func ParseIntegerContent(content []byte) (int64, error) {
+	if len(content) == 0 {
+		return 0, fmt.Errorf("%w: empty integer", ErrBadValue)
+	}
+	if len(content) > 8 {
+		return 0, fmt.Errorf("%w: integer too large", ErrBadValue)
+	}
+	v := int64(0)
+	if content[0]&0x80 != 0 {
+		v = -1
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+// ParseBoolContent decodes BOOLEAN content octets.
+func ParseBoolContent(content []byte) (bool, error) {
+	if len(content) != 1 {
+		return false, fmt.Errorf("%w: boolean of %d octets", ErrBadValue, len(content))
+	}
+	return content[0] != 0, nil
+}
+
+// Decoder walks a BER-encoded byte string element by element.
+type Decoder struct {
+	data []byte
+	off  int
+}
+
+// NewDecoder returns a Decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// More reports whether undecoded octets remain.
+func (d *Decoder) More() bool { return d.off < len(d.data) }
+
+// Offset returns the current decode position.
+func (d *Decoder) Offset() int { return d.off }
+
+// Rest returns the not-yet-consumed octets.
+func (d *Decoder) Rest() []byte { return d.data[d.off:] }
+
+// Peek decodes the header of the next element without consuming it.
+func (d *Decoder) Peek() (Header, error) {
+	return ParseHeader(d.data[d.off:])
+}
+
+// Next consumes the next element and returns its header and content octets.
+// The content slice aliases the decoder's underlying buffer.
+func (d *Decoder) Next() (Header, []byte, error) {
+	h, err := ParseHeader(d.data[d.off:])
+	if err != nil {
+		return h, nil, err
+	}
+	content := d.data[d.off+h.HeaderLen : d.off+h.HeaderLen+h.Length]
+	d.off += h.HeaderLen + h.Length
+	return h, content, nil
+}
+
+// Expect consumes the next element and checks its class/tag.
+func (d *Decoder) Expect(class Class, tag uint32) (Header, []byte, error) {
+	h, content, err := d.Next()
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Class != class || h.Tag != tag {
+		return h, nil, fmt.Errorf("%w: got %s %d, want %s %d",
+			ErrBadValue, h.Class, h.Tag, class, tag)
+	}
+	return h, content, nil
+}
+
+// ExpectInteger consumes an element with the given class/tag and decodes the
+// content as an integer.
+func (d *Decoder) ExpectInteger(class Class, tag uint32) (int64, error) {
+	_, content, err := d.Expect(class, tag)
+	if err != nil {
+		return 0, err
+	}
+	return ParseIntegerContent(content)
+}
+
+// ExpectString consumes an element with the given class/tag and returns the
+// content as a string.
+func (d *Decoder) ExpectString(class Class, tag uint32) (string, error) {
+	_, content, err := d.Expect(class, tag)
+	if err != nil {
+		return "", err
+	}
+	return string(content), nil
+}

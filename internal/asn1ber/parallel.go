@@ -1,0 +1,140 @@
+package asn1ber
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EncodeParallel encodes a SEQUENCE value by fanning the per-field encodings
+// out to one goroutine each and concatenating the results.
+//
+// The 1994 paper reports (footnote 3, citing Herbert's thesis [12]) that
+// parallelizing ASN.1 encoding/decoding does NOT improve performance: the
+// per-field work is far smaller than the synchronization cost. This function
+// exists to reproduce that negative result (experiment E7); production code
+// should call Type.Encode.
+func (t *Type) EncodeParallel(dst []byte, v any) ([]byte, error) {
+	if t.Kind != KindSequence {
+		return t.Encode(dst, v)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: want map[string]any, got %T", t.describe(), v)
+	}
+	parts := make([][]byte, len(t.Fields))
+	errs := make([]error, len(t.Fields))
+	var wg sync.WaitGroup
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		fv, present := m[f.Name]
+		if !present {
+			if f.Optional || f.Default != nil {
+				continue
+			}
+			return nil, fmt.Errorf("%s: missing mandatory field %q", t.describe(), f.Name)
+		}
+		if f.Default != nil && equalValue(fv, f.Default) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f *Field, fv any) {
+			defer wg.Done()
+			parts[i], errs[i] = f.Type.encode(nil, f.Tag, fv)
+		}(i, f, fv)
+	}
+	wg.Wait()
+	total := 0
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s: field %q: %w", t.describe(), t.Fields[i].Name, errs[i])
+		}
+		total += len(parts[i])
+	}
+	class, constructed, number, err := t.effectiveHeader(nil)
+	if err != nil {
+		return nil, err
+	}
+	dst = AppendHeader(dst, class, constructed, number, total)
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst, nil
+}
+
+// DecodeParallel decodes a SEQUENCE by first splitting the TLV stream
+// sequentially (unavoidable: BER lengths chain) and then decoding field
+// contents on separate goroutines. As the paper observed, the split step
+// serializes most of the work, so no speedup materializes.
+func (t *Type) DecodeParallel(data []byte) (any, []byte, error) {
+	if t.Kind != KindSequence {
+		return t.Decode(data)
+	}
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", t.describe(), err)
+	}
+	class, _, number, err := t.effectiveHeader(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.Class != class || h.Tag != number {
+		return nil, nil, fmt.Errorf("%s: %w: got %s %d", t.describe(), ErrBadValue, h.Class, h.Tag)
+	}
+	content := data[h.HeaderLen : h.HeaderLen+h.Length]
+	rest := data[h.HeaderLen+h.Length:]
+
+	// Sequential split pass.
+	type piece struct {
+		field *Field
+		data  []byte
+	}
+	var pieces []piece
+	cur := content
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if len(cur) == 0 {
+			if f.Optional || f.Default != nil {
+				continue
+			}
+			return nil, nil, fmt.Errorf("%s: missing mandatory field %q", t.describe(), f.Name)
+		}
+		fh, err := ParseHeader(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: field %q: %w", t.describe(), f.Name, err)
+		}
+		if !f.Type.matches(fh, f.Tag) {
+			if f.Optional || f.Default != nil {
+				continue
+			}
+			return nil, nil, fmt.Errorf("%s: field %q: %w", t.describe(), f.Name, ErrBadValue)
+		}
+		n := fh.HeaderLen + fh.Length
+		pieces = append(pieces, piece{field: f, data: cur[:n]})
+		cur = cur[n:]
+	}
+	if len(cur) != 0 {
+		return nil, nil, fmt.Errorf("%s: %w: trailing octets", t.describe(), ErrBadValue)
+	}
+
+	// Parallel decode pass.
+	vals := make([]any, len(pieces))
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	for i := range pieces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := pieces[i].field.Type.decode(pieces[i].data, pieces[i].field.Tag)
+			vals[i], errs[i] = v, err
+		}(i)
+	}
+	wg.Wait()
+	m := make(map[string]any, len(pieces))
+	for i := range pieces {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("%s: field %q: %w", t.describe(), pieces[i].field.Name, errs[i])
+		}
+		m[pieces[i].field.Name] = vals[i]
+	}
+	return m, rest, nil
+}

@@ -1,0 +1,485 @@
+package asn1ber
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Module is a parsed ASN.1 module: an ordered set of named, resolved types.
+type Module struct {
+	Name  string
+	Types map[string]*Type
+	// Order preserves definition order for deterministic code generation.
+	Order []string
+}
+
+// Lookup returns the named type or an error naming the module.
+func (m *Module) Lookup(name string) (*Type, error) {
+	t, ok := m.Types[name]
+	if !ok {
+		return nil, fmt.Errorf("asn1ber: module %s has no type %q", m.Name, name)
+	}
+	return t, nil
+}
+
+// MustLookup is Lookup for statically known names; it panics on a miss.
+func (m *Module) MustLookup(name string) *Type {
+	t, err := m.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseModule parses ASN.1 module text of the form
+//
+//	Name DEFINITIONS ::= BEGIN
+//	   TypeName ::= SEQUENCE { field [0] INTEGER OPTIONAL, ... }
+//	   Other ::= CHOICE { a [0] TypeName, b [1] NULL }
+//	   E ::= ENUMERATED { red(0), green(1) }
+//	END
+//
+// The supported subset covers BOOLEAN, INTEGER, ENUMERATED, OCTET STRING,
+// UTF8String, IA5String, NULL, SEQUENCE, SEQUENCE OF, CHOICE, context and
+// application tags (IMPLICIT by default, EXPLICIT keyword honoured),
+// OPTIONAL and DEFAULT. Comments run from "--" to end of line.
+func ParseModule(src string) (*Module, error) {
+	p := &moduleParser{lex: newAsnLexer(src)}
+	return p.parseModule()
+}
+
+type moduleParser struct {
+	lex *asnLexer
+	mod *Module
+	// refs are unresolved placeholder types discovered during parsing;
+	// each carries its target name in refName.
+	refs []*Type
+}
+
+func (p *moduleParser) parseModule() (*Module, error) {
+	name, err := p.lex.ident()
+	if err != nil {
+		return nil, fmt.Errorf("asn1ber: module name: %w", err)
+	}
+	for _, kw := range []string{"DEFINITIONS", "::=", "BEGIN"} {
+		if err := p.lex.expect(kw); err != nil {
+			return nil, fmt.Errorf("asn1ber: module %s: %w", name, err)
+		}
+	}
+	p.mod = &Module{Name: name, Types: make(map[string]*Type)}
+	for {
+		tok, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "END" {
+			break
+		}
+		if !isTypeRefName(tok) {
+			return nil, p.lex.errf("expected type name, got %q", tok)
+		}
+		if err := p.lex.expect("::="); err != nil {
+			return nil, fmt.Errorf("asn1ber: type %s: %w", tok, err)
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, fmt.Errorf("asn1ber: type %s: %w", tok, err)
+		}
+		if _, dup := p.mod.Types[tok]; dup {
+			return nil, fmt.Errorf("asn1ber: duplicate type %q", tok)
+		}
+		t.Name = tok
+		p.mod.Types[tok] = t
+		p.mod.Order = append(p.mod.Order, tok)
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	// Restore defined names (resolution copies the target's name over).
+	for _, defName := range p.mod.Order {
+		p.mod.Types[defName].Name = defName
+	}
+	return p.mod, nil
+}
+
+// resolve patches every placeholder produced for a named-type reference by
+// copying the target type's contents into the placeholder. Multiple passes
+// handle alias chains (A ::= B); lack of progress means an alias cycle.
+func (p *moduleParser) resolve() error {
+	pending := p.refs
+	for len(pending) > 0 {
+		var deferred []*Type
+		progress := false
+		for _, ph := range pending {
+			target, ok := p.mod.Types[ph.refName]
+			if !ok {
+				return fmt.Errorf("asn1ber: reference to undefined type %q", ph.refName)
+			}
+			if target.Kind == kindRef {
+				deferred = append(deferred, ph)
+				continue
+			}
+			name := ph.refName
+			*ph = *target
+			ph.Name = name
+			progress = true
+		}
+		if !progress && len(deferred) > 0 {
+			return fmt.Errorf("asn1ber: alias cycle involving %q", deferred[0].refName)
+		}
+		pending = deferred
+	}
+	return nil
+}
+
+// parseType parses a type expression (after any field tag has been consumed).
+func (p *moduleParser) parseType() (*Type, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok {
+	case "BOOLEAN":
+		return &Type{Kind: KindBoolean}, nil
+	case "INTEGER":
+		return &Type{Kind: KindInteger}, nil
+	case "NULL":
+		return &Type{Kind: KindNull}, nil
+	case "UTF8String":
+		return &Type{Kind: KindUTF8String}, nil
+	case "IA5String":
+		return &Type{Kind: KindIA5String}, nil
+	case "OCTET":
+		if err := p.lex.expect("STRING"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindOctetString}, nil
+	case "ENUMERATED":
+		return p.parseEnum()
+	case "SEQUENCE":
+		nxt, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nxt == "OF" {
+			p.lex.mustNext()
+			elem, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			return &Type{Kind: KindSequenceOf, Elem: elem}, nil
+		}
+		fields, err := p.parseFieldList("SEQUENCE")
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindSequence, Fields: fields}, nil
+	case "CHOICE":
+		alts, err := p.parseFieldList("CHOICE")
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KindChoice, Alts: alts}, nil
+	default:
+		if !isTypeRefName(tok) {
+			return nil, p.lex.errf("unexpected token %q in type", tok)
+		}
+		// Reference to a named type: emit a placeholder that resolve()
+		// patches in place once the whole module has parsed.
+		ph := &Type{Kind: kindRef, refName: tok}
+		p.refs = append(p.refs, ph)
+		return ph, nil
+	}
+}
+
+// kindRef marks an unresolved reference; it is replaced during resolve().
+const kindRef Kind = -1
+
+func (p *moduleParser) parseEnum() (*Type, error) {
+	if err := p.lex.expect("{"); err != nil {
+		return nil, err
+	}
+	enum := make(map[string]int64)
+	for {
+		name, err := p.lex.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.lex.expect("("); err != nil {
+			return nil, err
+		}
+		numTok, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(numTok, 10, 64)
+		if err != nil {
+			return nil, p.lex.errf("bad enum number %q", numTok)
+		}
+		if err := p.lex.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, dup := enum[name]; dup {
+			return nil, p.lex.errf("duplicate enum item %q", name)
+		}
+		enum[name] = n
+		tok, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "}" {
+			break
+		}
+		if tok != "," {
+			return nil, p.lex.errf("expected , or } in ENUMERATED, got %q", tok)
+		}
+	}
+	return &Type{Kind: KindEnumerated, Enum: enum}, nil
+}
+
+func (p *moduleParser) parseFieldList(what string) ([]Field, error) {
+	if err := p.lex.expect("{"); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	for {
+		name, err := p.lex.ident()
+		if err != nil {
+			return nil, err
+		}
+		var f Field
+		f.Name = name
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "[" {
+			p.lex.mustNext()
+			tag, err := p.parseTag()
+			if err != nil {
+				return nil, err
+			}
+			f.Tag = tag
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, fmt.Errorf("%s field %q: %w", what, name, err)
+		}
+		f.Type = ft
+		// OPTIONAL / DEFAULT.
+		tok, err = p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case "OPTIONAL":
+			p.lex.mustNext()
+			f.Optional = true
+		case "DEFAULT":
+			p.lex.mustNext()
+			dv, err := p.lex.next()
+			if err != nil {
+				return nil, err
+			}
+			switch dv {
+			case "TRUE":
+				f.Default = true
+			case "FALSE":
+				f.Default = false
+			default:
+				n, err := strconv.ParseInt(dv, 10, 64)
+				if err != nil {
+					return nil, p.lex.errf("unsupported DEFAULT %q", dv)
+				}
+				f.Default = n
+			}
+		}
+		fields = append(fields, f)
+		tok, err = p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "}" {
+			break
+		}
+		if tok != "," {
+			return nil, p.lex.errf("expected , or } in %s, got %q", what, tok)
+		}
+	}
+	return fields, nil
+}
+
+func (p *moduleParser) parseTag() (*Tag, error) {
+	tag := &Tag{Class: ClassContextSpecific}
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok {
+	case "APPLICATION":
+		tag.Class = ClassApplication
+		tok, err = p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+	case "PRIVATE":
+		tag.Class = ClassPrivate
+		tok, err = p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	n, err := strconv.ParseUint(tok, 10, 32)
+	if err != nil {
+		return nil, p.lex.errf("bad tag number %q", tok)
+	}
+	tag.Number = uint32(n)
+	if err := p.lex.expect("]"); err != nil {
+		return nil, err
+	}
+	nxt, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch nxt {
+	case "EXPLICIT":
+		p.lex.mustNext()
+		tag.Explicit = true
+	case "IMPLICIT":
+		p.lex.mustNext()
+	}
+	return tag, nil
+}
+
+func isTypeRefName(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := rune(s[0])
+	if !unicode.IsUpper(r) {
+		return false
+	}
+	for _, c := range s {
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// asnLexer tokenizes ASN.1 module text.
+type asnLexer struct {
+	src  string
+	pos  int
+	line int
+	// peeked holds a token returned by peek until next() consumes it.
+	peeked  string
+	hasPeek bool
+}
+
+func newAsnLexer(src string) *asnLexer { return &asnLexer{src: src, line: 1} }
+
+func (l *asnLexer) errf(format string, args ...any) error {
+	return fmt.Errorf("asn1ber: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *asnLexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *asnLexer) next() (string, error) {
+	if l.hasPeek {
+		l.hasPeek = false
+		return l.peeked, nil
+	}
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return "", fmt.Errorf("asn1ber: line %d: unexpected end of input", l.line)
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{', '}', '(', ')', '[', ']', ',', ';':
+		l.pos++
+		return string(c), nil
+	case ':':
+		if strings.HasPrefix(l.src[l.pos:], "::=") {
+			l.pos += 3
+			return "::=", nil
+		}
+		l.pos++
+		return ":", nil
+	}
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '-' || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos == start {
+		return "", l.errf("unexpected character %q", c)
+	}
+	return l.src[start:l.pos], nil
+}
+
+func (l *asnLexer) mustNext() string {
+	tok, err := l.next()
+	if err != nil {
+		panic(err)
+	}
+	return tok
+}
+
+func (l *asnLexer) peek() (string, error) {
+	if l.hasPeek {
+		return l.peeked, nil
+	}
+	tok, err := l.next()
+	if err != nil {
+		return "", err
+	}
+	l.peeked = tok
+	l.hasPeek = true
+	return tok, nil
+}
+
+func (l *asnLexer) expect(tok string) error {
+	got, err := l.next()
+	if err != nil {
+		return err
+	}
+	if got != tok {
+		return l.errf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (l *asnLexer) ident() (string, error) {
+	tok, err := l.next()
+	if err != nil {
+		return "", err
+	}
+	if tok == "" || !(unicode.IsLetter(rune(tok[0])) || tok[0] == '_') {
+		return "", l.errf("expected identifier, got %q", tok)
+	}
+	return tok, nil
+}

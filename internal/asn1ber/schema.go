@@ -1,0 +1,532 @@
+package asn1ber
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies an ASN.1 type constructor in the compiled schema.
+type Kind int
+
+// Supported kinds. (Enums start at 1 so the zero Kind is invalid.)
+const (
+	KindBoolean Kind = iota + 1
+	KindInteger
+	KindEnumerated
+	KindOctetString
+	KindUTF8String
+	KindIA5String
+	KindNull
+	KindSequence
+	KindSequenceOf
+	KindChoice
+)
+
+// String returns the ASN.1 spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBoolean:
+		return "BOOLEAN"
+	case KindInteger:
+		return "INTEGER"
+	case KindEnumerated:
+		return "ENUMERATED"
+	case KindOctetString:
+		return "OCTET STRING"
+	case KindUTF8String:
+		return "UTF8String"
+	case KindIA5String:
+		return "IA5String"
+	case KindNull:
+		return "NULL"
+	case KindSequence:
+		return "SEQUENCE"
+	case KindSequenceOf:
+		return "SEQUENCE OF"
+	case KindChoice:
+		return "CHOICE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tag is a context-specific (or application) tag applied to a type reference,
+// e.g. `[0] INTEGER` or `[APPLICATION 3] EXPLICIT Foo`.
+type Tag struct {
+	Class    Class
+	Number   uint32
+	Explicit bool
+}
+
+// Type is a compiled ASN.1 type. Types form a DAG; references produced by the
+// module parser are resolved before use.
+type Type struct {
+	// Name is the defined name, or "" for inline types.
+	Name string
+	Kind Kind
+	// Fields are the components of a SEQUENCE.
+	Fields []Field
+	// Elem is the element type of a SEQUENCE OF.
+	Elem *Type
+	// Alts are the alternatives of a CHOICE. Each alternative must be
+	// distinguishable by tag.
+	Alts []Field
+	// Enum maps ENUMERATED value names to their numbers.
+	Enum map[string]int64
+	// refName is set on unresolved placeholders produced by the module
+	// parser and cleared during resolution.
+	refName string
+}
+
+// Field is a SEQUENCE component or CHOICE alternative.
+type Field struct {
+	Name     string
+	Type     *Type
+	Tag      *Tag // context tag, if any
+	Optional bool
+	// Default, if non-nil, is the DEFAULT value (encode omits it, decode
+	// fills it in).
+	Default any
+}
+
+// Choice is the Go value of a CHOICE: the selected alternative name and its
+// value.
+type Choice struct {
+	Alt   string
+	Value any
+}
+
+// Values passed to Encode / produced by Decode:
+//
+//	BOOLEAN               bool
+//	INTEGER, ENUMERATED   int64
+//	OCTET STRING          []byte
+//	UTF8String, IA5String string
+//	NULL                  nil
+//	SEQUENCE              map[string]any keyed by field name
+//	SEQUENCE OF           []any
+//	CHOICE                Choice
+
+// universalTag returns the universal tag number for a kind.
+func (k Kind) universalTag() uint32 {
+	switch k {
+	case KindBoolean:
+		return TagBoolean
+	case KindInteger:
+		return TagInteger
+	case KindEnumerated:
+		return TagEnumerated
+	case KindOctetString:
+		return TagOctetString
+	case KindUTF8String:
+		return TagUTF8String
+	case KindIA5String:
+		return TagIA5String
+	case KindNull:
+		return TagNull
+	case KindSequence, KindSequenceOf:
+		return TagSequence
+	default:
+		return 0
+	}
+}
+
+// effectiveHeader returns the class/tag/constructed flag an encoding of t
+// carries when fld (possibly nil) supplies an implicit tag.
+func (t *Type) effectiveHeader(tag *Tag) (Class, bool, uint32, error) {
+	constructed := t.Kind == KindSequence || t.Kind == KindSequenceOf
+	if tag == nil {
+		if t.Kind == KindChoice {
+			return 0, false, 0, fmt.Errorf("asn1ber: untagged CHOICE %q has no header of its own", t.Name)
+		}
+		return ClassUniversal, constructed, t.Kind.universalTag(), nil
+	}
+	if tag.Explicit {
+		return tag.Class, true, tag.Number, nil
+	}
+	if t.Kind == KindChoice {
+		// An implicit tag on a CHOICE is treated as explicit (X.680 rule).
+		return tag.Class, true, tag.Number, nil
+	}
+	return tag.Class, constructed, tag.Number, nil
+}
+
+// Encode appends the BER encoding of v as type t to dst.
+func (t *Type) Encode(dst []byte, v any) ([]byte, error) {
+	return t.encode(dst, nil, v)
+}
+
+func (t *Type) encode(dst []byte, tag *Tag, v any) ([]byte, error) {
+	if t.Kind == KindChoice {
+		return t.encodeChoice(dst, tag, v)
+	}
+	class, constructed, number, err := t.effectiveHeader(tag)
+	if err != nil {
+		return nil, err
+	}
+	if tag != nil && tag.Explicit {
+		inner, err := t.encode(nil, nil, v)
+		if err != nil {
+			return nil, err
+		}
+		return AppendTLV(dst, class, true, number, inner), nil
+	}
+	content, err := t.encodeContent(v)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", t.describe(), err)
+	}
+	dst = AppendHeader(dst, class, constructed, number, len(content))
+	return append(dst, content...), nil
+}
+
+func (t *Type) describe() string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return t.Kind.String()
+}
+
+func (t *Type) encodeContent(v any) ([]byte, error) {
+	switch t.Kind {
+	case KindBoolean:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %T", v)
+		}
+		if b {
+			return []byte{0xff}, nil
+		}
+		return []byte{0x00}, nil
+	case KindInteger, KindEnumerated:
+		i, ok := toInt64(v)
+		if !ok {
+			return nil, fmt.Errorf("want integer, got %T", v)
+		}
+		return AppendIntegerContent(nil, i), nil
+	case KindOctetString:
+		b, ok := v.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("want []byte, got %T", v)
+		}
+		return b, nil
+	case KindUTF8String, KindIA5String:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %T", v)
+		}
+		return []byte(s), nil
+	case KindNull:
+		if v != nil {
+			return nil, fmt.Errorf("want nil, got %T", v)
+		}
+		return nil, nil
+	case KindSequence:
+		return t.encodeSequence(v)
+	case KindSequenceOf:
+		items, ok := v.([]any)
+		if !ok {
+			return nil, fmt.Errorf("want []any, got %T", v)
+		}
+		var content []byte
+		for i, item := range items {
+			var err error
+			content, err = t.Elem.encode(content, nil, item)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return content, nil
+	default:
+		return nil, fmt.Errorf("cannot encode kind %s", t.Kind)
+	}
+}
+
+func (t *Type) encodeSequence(v any) ([]byte, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("want map[string]any, got %T", v)
+	}
+	var content []byte
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		fv, present := m[f.Name]
+		if !present {
+			if f.Default != nil {
+				continue
+			}
+			if f.Optional {
+				continue
+			}
+			return nil, fmt.Errorf("missing mandatory field %q", f.Name)
+		}
+		if f.Default != nil && equalValue(fv, f.Default) {
+			continue
+		}
+		var err error
+		content, err = f.Type.encode(content, f.Tag, fv)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Name, err)
+		}
+	}
+	// Reject unknown keys to catch typos early.
+	if len(m) > len(t.Fields) {
+		known := make(map[string]bool, len(t.Fields))
+		for i := range t.Fields {
+			known[t.Fields[i].Name] = true
+		}
+		var extra []string
+		for k := range m {
+			if !known[k] {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		return nil, fmt.Errorf("unknown fields %v", extra)
+	}
+	return content, nil
+}
+
+func (t *Type) encodeChoice(dst []byte, tag *Tag, v any) ([]byte, error) {
+	c, ok := v.(Choice)
+	if !ok {
+		return nil, fmt.Errorf("%s: want Choice, got %T", t.describe(), v)
+	}
+	var alt *Field
+	for i := range t.Alts {
+		if t.Alts[i].Name == c.Alt {
+			alt = &t.Alts[i]
+			break
+		}
+	}
+	if alt == nil {
+		return nil, fmt.Errorf("%s: unknown alternative %q", t.describe(), c.Alt)
+	}
+	if tag != nil {
+		// Tagged CHOICE: wrap explicitly.
+		inner, err := alt.Type.encode(nil, alt.Tag, c.Value)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", t.describe(), c.Alt, err)
+		}
+		return AppendTLV(dst, tag.Class, true, tag.Number, inner), nil
+	}
+	out, err := alt.Type.encode(dst, alt.Tag, c.Value)
+	if err != nil {
+		return nil, fmt.Errorf("%s.%s: %w", t.describe(), c.Alt, err)
+	}
+	return out, nil
+}
+
+// Decode parses one element of type t from data, returning the value and any
+// trailing octets.
+func (t *Type) Decode(data []byte) (any, []byte, error) {
+	return t.decode(data, nil)
+}
+
+// DecodeAll parses one element and requires that no octets remain.
+func (t *Type) DecodeAll(data []byte) (any, error) {
+	v, rest, err := t.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("asn1ber: %d trailing octets after %s", len(rest), t.describe())
+	}
+	return v, nil
+}
+
+func (t *Type) decode(data []byte, tag *Tag) (any, []byte, error) {
+	if t.Kind == KindChoice {
+		return t.decodeChoice(data, tag)
+	}
+	class, constructed, number, err := t.effectiveHeader(tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", t.describe(), err)
+	}
+	if h.Class != class || h.Tag != number {
+		return nil, nil, fmt.Errorf("%s: %w: got %s %d, want %s %d",
+			t.describe(), ErrBadValue, h.Class, h.Tag, class, number)
+	}
+	_ = constructed // BER: accept either form of string types; we only check tags.
+	content := data[h.HeaderLen : h.HeaderLen+h.Length]
+	rest := data[h.HeaderLen+h.Length:]
+	if tag != nil && tag.Explicit {
+		v, inRest, err := t.decode(content, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(inRest) != 0 {
+			return nil, nil, fmt.Errorf("%s: trailing octets inside explicit tag", t.describe())
+		}
+		return v, rest, nil
+	}
+	v, err := t.decodeContent(content)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", t.describe(), err)
+	}
+	return v, rest, nil
+}
+
+func (t *Type) decodeContent(content []byte) (any, error) {
+	switch t.Kind {
+	case KindBoolean:
+		return ParseBoolContent(content)
+	case KindInteger, KindEnumerated:
+		return ParseIntegerContent(content)
+	case KindOctetString:
+		out := make([]byte, len(content))
+		copy(out, content)
+		return out, nil
+	case KindUTF8String, KindIA5String:
+		return string(content), nil
+	case KindNull:
+		if len(content) != 0 {
+			return nil, fmt.Errorf("%w: NULL with content", ErrBadValue)
+		}
+		return nil, nil
+	case KindSequence:
+		return t.decodeSequence(content)
+	case KindSequenceOf:
+		var items []any
+		rest := content
+		for len(rest) > 0 {
+			var v any
+			var err error
+			v, rest, err = t.Elem.decode(rest, nil)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", len(items), err)
+			}
+			items = append(items, v)
+		}
+		return items, nil
+	default:
+		return nil, fmt.Errorf("cannot decode kind %s", t.Kind)
+	}
+}
+
+// matches reports whether the header h is a valid start of type t under
+// field tag tag.
+func (t *Type) matches(h Header, tag *Tag) bool {
+	if t.Kind == KindChoice && tag == nil {
+		for i := range t.Alts {
+			if t.Alts[i].Type.matches(h, t.Alts[i].Tag) {
+				return true
+			}
+		}
+		return false
+	}
+	class, _, number, err := t.effectiveHeader(tag)
+	if err != nil {
+		return false
+	}
+	return h.Class == class && h.Tag == number
+}
+
+func (t *Type) decodeSequence(content []byte) (any, error) {
+	m := make(map[string]any, len(t.Fields))
+	rest := content
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if len(rest) == 0 {
+			if f.Optional {
+				continue
+			}
+			if f.Default != nil {
+				m[f.Name] = f.Default
+				continue
+			}
+			return nil, fmt.Errorf("missing mandatory field %q", f.Name)
+		}
+		h, err := ParseHeader(rest)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Name, err)
+		}
+		if !f.Type.matches(h, f.Tag) {
+			if f.Optional {
+				continue
+			}
+			if f.Default != nil {
+				m[f.Name] = f.Default
+				continue
+			}
+			return nil, fmt.Errorf("field %q: %w: unexpected %s %d",
+				f.Name, ErrBadValue, h.Class, h.Tag)
+		}
+		var v any
+		v, rest, err = f.Type.decode(rest, f.Tag)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Name, err)
+		}
+		m[f.Name] = v
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing octets in SEQUENCE", ErrBadValue, len(rest))
+	}
+	return m, nil
+}
+
+func (t *Type) decodeChoice(data []byte, tag *Tag) (any, []byte, error) {
+	if tag != nil {
+		h, err := ParseHeader(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", t.describe(), err)
+		}
+		if h.Class != tag.Class || h.Tag != tag.Number {
+			return nil, nil, fmt.Errorf("%s: %w: got %s %d, want %s %d",
+				t.describe(), ErrBadValue, h.Class, h.Tag, tag.Class, tag.Number)
+		}
+		content := data[h.HeaderLen : h.HeaderLen+h.Length]
+		rest := data[h.HeaderLen+h.Length:]
+		v, inRest, err := t.decodeChoice(content, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(inRest) != 0 {
+			return nil, nil, fmt.Errorf("%s: trailing octets inside tagged CHOICE", t.describe())
+		}
+		return v, rest, nil
+	}
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", t.describe(), err)
+	}
+	for i := range t.Alts {
+		alt := &t.Alts[i]
+		if alt.Type.matches(h, alt.Tag) {
+			v, rest, err := alt.Type.decode(data, alt.Tag)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s.%s: %w", t.describe(), alt.Name, err)
+			}
+			return Choice{Alt: alt.Name, Value: v}, rest, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%s: %w: no alternative matches %s %d",
+		t.describe(), ErrBadValue, h.Class, h.Tag)
+}
+
+func toInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	default:
+		return 0, false
+	}
+}
+
+func equalValue(a, b any) bool {
+	ai, aok := toInt64(a)
+	bi, bok := toInt64(b)
+	if aok && bok {
+		return ai == bi
+	}
+	return a == b
+}

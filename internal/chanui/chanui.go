@@ -1,0 +1,157 @@
+// Package chanui generates an interactive user interface from an Estelle
+// channel description — the stand-in for the paper's X-interface generator
+// (refs [10], [13]): "any message sent by the application can be invoked
+// via a button-click by the user; ... incoming messages are displayed at
+// the time of their arrival". The buttons become a command prompt; the
+// windows become lines on a writer; the generator input — the channel
+// definition between application and MCAM module — is the same.
+package chanui
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xmovie/internal/estelle"
+)
+
+// UI is one generated interface bound to a module's interaction point.
+type UI struct {
+	ip   *estelle.IP
+	out  io.Writer
+	mu   sync.Mutex
+	role string // the role the UI plays (the peer of the IP's owner)
+}
+
+// New builds a UI over the given interaction point. The UI plays the peer
+// role of the IP's owner: it may send every message that role declares and
+// displays every message the owner emits. The IP must be unconnected; the
+// UI installs itself as the sink.
+func New(ip *estelle.IP, out io.Writer) (*UI, error) {
+	ch := ip.Channel()
+	role, err := ch.Peer(ip.Role())
+	if err != nil {
+		return nil, err
+	}
+	ui := &UI{ip: ip, out: out, role: role}
+	ip.SetSink(func(in *estelle.Interaction) {
+		ui.mu.Lock()
+		defer ui.mu.Unlock()
+		fmt.Fprintf(out, "<- %s%s\n", in.Name, formatArgs(in.Args))
+	})
+	return ui, nil
+}
+
+func formatArgs(args []any) string {
+	if len(args) == 0 {
+		return ""
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			parts[i] = strconv.Quote(string(v))
+		case string:
+			parts[i] = strconv.Quote(v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Menu renders the generated "buttons": one line per sendable message with
+// its parameter signature.
+func (u *UI) Menu() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel %s, sending as role %q:\n", u.ip.Channel().Name, u.role)
+	msgs := append([]estelle.MsgDef(nil), u.ip.Channel().ByRole[u.role]...)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Name < msgs[j].Name })
+	for _, m := range msgs {
+		fmt.Fprintf(&b, "  %s", m.Name)
+		for _, p := range m.Params {
+			fmt.Fprintf(&b, " <%s:%s>", p.Name, p.Type)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("commands: <Message> [args...], help, quit\n")
+	return b.String()
+}
+
+// Send parses one command line ("Message arg1 arg2 ...") and injects the
+// interaction, converting arguments per the channel's parameter types.
+func (u *UI) Send(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	name := fields[0]
+	md, ok := u.ip.Channel().Msg(u.role, name)
+	if !ok {
+		return fmt.Errorf("chanui: role %q may not send %q on %s",
+			u.role, name, u.ip.Channel().Name)
+	}
+	raw := fields[1:]
+	if len(raw) != len(md.Params) {
+		return fmt.Errorf("chanui: %s takes %d argument(s), got %d",
+			name, len(md.Params), len(raw))
+	}
+	args := make([]any, len(raw))
+	for i, p := range md.Params {
+		switch p.Type {
+		case "integer":
+			v, err := strconv.ParseInt(raw[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("chanui: %s.%s: %w", name, p.Name, err)
+			}
+			args[i] = v
+		case "boolean":
+			v, err := strconv.ParseBool(raw[i])
+			if err != nil {
+				return fmt.Errorf("chanui: %s.%s: %w", name, p.Name, err)
+			}
+			args[i] = v
+		default:
+			args[i] = raw[i]
+		}
+	}
+	u.ip.Inject(name, args...)
+	u.mu.Lock()
+	fmt.Fprintf(u.out, "-> %s%s\n", name, formatArgs(args))
+	u.mu.Unlock()
+	return nil
+}
+
+// Run reads command lines from r until EOF or "quit", sending each.
+// Errors are reported to the output writer, not returned, so a typo does
+// not end the session.
+func (u *UI) Run(r io.Reader) error {
+	u.mu.Lock()
+	fmt.Fprint(u.out, u.Menu())
+	u.mu.Unlock()
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch line {
+		case "":
+			continue
+		case "quit", "exit":
+			return nil
+		case "help":
+			u.mu.Lock()
+			fmt.Fprint(u.out, u.Menu())
+			u.mu.Unlock()
+			continue
+		}
+		if err := u.Send(line); err != nil {
+			u.mu.Lock()
+			fmt.Fprintf(u.out, "error: %v\n", err)
+			u.mu.Unlock()
+		}
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,143 @@
+package chanui
+
+import (
+	"strings"
+	"testing"
+
+	"xmovie/internal/estelle"
+)
+
+var uiChannel = &estelle.ChannelDef{
+	Name:  "UserAccess",
+	RoleA: "user",
+	RoleB: "agent",
+	ByRole: map[string][]estelle.MsgDef{
+		"user": {
+			{Name: "Hello", Params: []estelle.ParamDef{
+				{Name: "n", Type: "integer"},
+				{Name: "greedy", Type: "boolean"},
+				{Name: "who", Type: "octetstring"},
+			}},
+			{Name: "Bye"},
+		},
+		"agent": {
+			{Name: "Reply", Params: []estelle.ParamDef{{Name: "text", Type: "octetstring"}}},
+		},
+	},
+}
+
+// echoAgent replies to Hello with Reply.
+func echoAgent() *estelle.ModuleDef {
+	return &estelle.ModuleDef{
+		Name: "Agent", Attr: estelle.SystemProcess,
+		IPs:    []estelle.IPDef{{Name: "U", Channel: uiChannel, Role: "agent"}},
+		States: []string{"S"},
+		Trans: []estelle.Trans{{
+			Name: "hello", When: estelle.On("U", "Hello"),
+			Action: func(ctx *estelle.Ctx) {
+				ctx.Output("U", "Reply", "hello "+ctx.Msg.Str(2))
+			},
+		}},
+	}
+}
+
+func TestMenuListsMessagesWithSignatures(t *testing.T) {
+	rt := estelle.NewRuntime()
+	inst, err := rt.AddSystem(echoAgent(), "agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ui, err := New(inst.IP("U"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	menu := ui.Menu()
+	for _, want := range []string{"Bye", "Hello <n:integer> <greedy:boolean> <who:octetstring>", `role "user"`} {
+		if !strings.Contains(menu, want) {
+			t.Errorf("menu lacks %q:\n%s", want, menu)
+		}
+	}
+}
+
+func TestSendParsesAndRoundTrips(t *testing.T) {
+	rt := estelle.NewRuntime()
+	inst, err := rt.AddSystem(echoAgent(), "agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ui, err := New(inst.IP("U"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ui.Send("Hello 42 true mannheim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := estelle.NewStepper(rt).RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `-> Hello(42, true, "mannheim")`) {
+		t.Errorf("missing echo of sent message:\n%s", got)
+	}
+	if !strings.Contains(got, `<- Reply("hello mannheim")`) {
+		t.Errorf("missing displayed reply:\n%s", got)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	rt := estelle.NewRuntime()
+	inst, err := rt.AddSystem(echoAgent(), "agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ui, err := New(inst.IP("U"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"Nonexistent",
+		"Hello 1 true",           // missing arg
+		"Hello x true mannheim",  // bad integer
+		"Hello 1 maybe mannheim", // bad boolean
+		"Reply cheating",         // wrong direction
+	} {
+		if err := ui.Send(bad); err == nil {
+			t.Errorf("Send(%q) succeeded", bad)
+		}
+	}
+	if err := ui.Send("   "); err != nil {
+		t.Errorf("blank line: %v", err)
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	rt := estelle.NewRuntime()
+	inst, err := rt.AddSystem(echoAgent(), "agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ui, err := New(inst.IP("U"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := estelle.NewScheduler(rt, estelle.MapPerSystem)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	session := strings.NewReader("help\nHello 1 false x\nBogus\nquit\nHello 2 false y\n")
+	if err := ui.Run(session); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "error: chanui") {
+		t.Errorf("typo not reported:\n%s", got)
+	}
+	if strings.Contains(got, "Hello(2") {
+		t.Errorf("input after quit was processed:\n%s", got)
+	}
+}

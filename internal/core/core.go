@@ -1,0 +1,361 @@
+// Package core assembles the MCAM system of the paper's Figs. 1-3: client
+// and server entities built from Estelle modules (MCA, presentation and
+// session protocol machines, transport interface modules), created
+// dynamically per connection exactly as §4.1 describes — "when a connection
+// request is received ... a client module will create an MCAM module and
+// either presentation and session modules or an ISODE interface module".
+//
+// Two stack variants are assembled, mirroring the paper's experimental
+// setup (§3):
+//
+//   - StackGenerated: MCAM over the Estelle session+presentation modules
+//     executed by the runtime's scheduler;
+//   - StackHandcoded: MCAM directly over the hand-coded ISODE-equivalent
+//     library, one goroutine per association.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xmovie/internal/estelle"
+	"xmovie/internal/mcam"
+	"xmovie/internal/presentation"
+	"xmovie/internal/session"
+	"xmovie/internal/transport"
+)
+
+// Client-side timeouts: the control plane is low-rate and reliable, so
+// generous bounds only guard against wedged associations.
+const (
+	dialTimeout = 30 * time.Second
+	callTimeout = 30 * time.Second
+)
+
+// StackKind selects the control-protocol stack implementation.
+type StackKind int
+
+// Stack variants of the paper's §3.
+const (
+	// StackGenerated runs MCAM over Estelle session+presentation modules.
+	StackGenerated StackKind = iota + 1
+	// StackHandcoded runs MCAM directly over the ISODE stand-in.
+	StackHandcoded
+)
+
+// String names the stack.
+func (k StackKind) String() string {
+	switch k {
+	case StackGenerated:
+		return "generated"
+	case StackHandcoded:
+		return "handcoded"
+	default:
+		return fmt.Sprintf("StackKind(%d)", int(k))
+	}
+}
+
+// ClientEntityDef builds the client entity of Fig. 3: a system module whose
+// children are the client MCA, presentation and session protocol machines,
+// and a transport interface module bound to conn. The entity's external
+// "U" interaction point is attached through to the MCA, so the application
+// talks to the entity. GroupRoot marks the subtree for connection-per-unit
+// mapping.
+func ClientEntityDef(conn transport.Conn, dispatch estelle.Dispatch) *estelle.ModuleDef {
+	return &estelle.ModuleDef{
+		Name:      "MCAMClientEntity",
+		Attr:      estelle.SystemProcess,
+		GroupRoot: true,
+		IPs: []estelle.IPDef{
+			{Name: "U", Channel: mcam.UserChannel, Role: "provider"},
+		},
+		Init: func(ctx *estelle.Ctx) {
+			mca := ctx.MustInit(mcam.ClientModuleDef(dispatch), "mca")
+			pres := ctx.MustInit(presentation.ProtocolMachineDef(dispatch), "pres")
+			sess := ctx.MustInit(session.ProtocolMachineDef(dispatch), "sess")
+			prov := ctx.MustInit(transport.ConnProviderDef(conn, false), "prov")
+			mustWire(ctx,
+				[2]*estelle.IP{mca.IP("P"), pres.IP("P")},
+				[2]*estelle.IP{pres.IP("S"), sess.IP("S")},
+				[2]*estelle.IP{sess.IP("T"), prov.IP("U")},
+			)
+			if err := ctx.Attach(ctx.Self().IP("U"), mca.IP("U")); err != nil {
+				panic(err)
+			}
+		},
+	}
+}
+
+// ServerConnDef builds the per-connection server entity: server MCA +
+// presentation + session + transport interface over an accepted conn.
+func ServerConnDef(env *mcam.ServerEnv, conn transport.Conn, dispatch estelle.Dispatch) *estelle.ModuleDef {
+	return &estelle.ModuleDef{
+		Name:      "MCAMServerConn",
+		Attr:      estelle.SystemProcess,
+		GroupRoot: true,
+		Init: func(ctx *estelle.Ctx) {
+			mca := ctx.MustInit(mcam.ServerModuleDef(env, dispatch), "mca")
+			pres := ctx.MustInit(presentation.ProtocolMachineDef(dispatch), "pres")
+			sess := ctx.MustInit(session.ProtocolMachineDef(dispatch), "sess")
+			prov := ctx.MustInit(transport.ConnProviderDef(conn, true), "prov")
+			mustWire(ctx,
+				[2]*estelle.IP{mca.IP("P"), pres.IP("P")},
+				[2]*estelle.IP{pres.IP("S"), sess.IP("S")},
+				[2]*estelle.IP{sess.IP("T"), prov.IP("U")},
+			)
+		},
+	}
+}
+
+func mustWire(ctx *estelle.Ctx, pairs ...[2]*estelle.IP) {
+	for _, p := range pairs {
+		if err := ctx.Connect(p[0], p[1]); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Addr is the TPKT listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Stack selects generated or hand-coded control plane (default
+	// generated).
+	Stack StackKind
+	// Env provides store, streams, directory and equipment.
+	Env *mcam.ServerEnv
+	// Dispatch selects the transition dispatch strategy of the generated
+	// stack (default table-controlled).
+	Dispatch estelle.Dispatch
+	// Mapping assigns generated-stack modules to scheduler units (default
+	// connection-per-unit, the paper's best configuration).
+	Mapping estelle.MappingFunc
+	// Processors limits the generated stack to P virtual processors
+	// (0 = unlimited).
+	Processors int
+}
+
+// Server is an MCAM server entity: it accepts control connections and
+// serves each over the configured stack, all sharing one ServerEnv — the
+// multiprocessor "server machine" of Fig. 2.
+type Server struct {
+	cfg ServerConfig
+	lis *transport.Listener
+
+	rt    *estelle.Runtime
+	sched *estelle.Scheduler
+
+	mu     sync.Mutex
+	conns  []*estelle.Instance
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates and starts a server listening on cfg.Addr.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("core: ServerConfig.Env is required")
+	}
+	if cfg.Stack == 0 {
+		cfg.Stack = StackGenerated
+	}
+	if cfg.Dispatch == 0 {
+		cfg.Dispatch = estelle.DispatchTable
+	}
+	if cfg.Mapping == nil {
+		cfg.Mapping = estelle.MapPerGroupRoot
+	}
+	lis, err := transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, lis: lis}
+	if cfg.Stack == StackGenerated {
+		s.rt = estelle.NewRuntime()
+		opts := []estelle.SchedOption{}
+		if cfg.Processors > 0 {
+			opts = append(opts, estelle.WithProcessors(cfg.Processors))
+		}
+		s.sched = estelle.NewScheduler(s.rt, cfg.Mapping, opts...)
+		if err := s.sched.Start(); err != nil {
+			lis.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr() }
+
+// Runtime exposes the generated stack's runtime (nil for handcoded), for
+// statistics.
+func (s *Server) Runtime() *estelle.Runtime { return s.rt }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for connID := 1; ; connID++ {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			conn.Close()
+			return
+		}
+		switch s.cfg.Stack {
+		case StackHandcoded:
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				_ = mcam.ServeIsode(conn, s.cfg.Env)
+			}()
+		default:
+			inst, err := s.rt.AddSystem(
+				ServerConnDef(s.cfg.Env, conn, s.cfg.Dispatch),
+				fmt.Sprintf("conn%d", connID))
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, inst)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close stops accepting and tears the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+	return err
+}
+
+// ErrBadStack reports an unsupported stack kind.
+var ErrBadStack = errors.New("core: unsupported stack kind")
+
+// Client is an MCAM client entity over either stack.
+type Client struct {
+	stack StackKind
+
+	// Generated-stack state.
+	rt    *estelle.Runtime
+	sched *estelle.Scheduler
+	app   *mcam.AppClient
+
+	// Hand-coded-stack state.
+	iso *mcam.IsodeClient
+
+	conn transport.Conn
+}
+
+// ClientConfig configures Dial.
+type ClientConfig struct {
+	// Stack selects the control stack (default generated).
+	Stack StackKind
+	// Dispatch for the generated stack (default table-controlled).
+	Dispatch estelle.Dispatch
+	// CalledSelector names the server entity (default "mcam-server").
+	CalledSelector string
+}
+
+// Dial connects to an MCAM server at the TPKT address addr.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientConn(conn, cfg)
+}
+
+// NewClientConn builds a client entity over an existing transport
+// connection (tests and in-process examples use pipes).
+func NewClientConn(conn transport.Conn, cfg ClientConfig) (*Client, error) {
+	if cfg.Stack == 0 {
+		cfg.Stack = StackGenerated
+	}
+	if cfg.Dispatch == 0 {
+		cfg.Dispatch = estelle.DispatchTable
+	}
+	if cfg.CalledSelector == "" {
+		cfg.CalledSelector = "mcam-server"
+	}
+	c := &Client{stack: cfg.Stack, conn: conn}
+	switch cfg.Stack {
+	case StackHandcoded:
+		iso, err := mcam.DialIsode(conn, cfg.CalledSelector)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.iso = iso
+	case StackGenerated:
+		c.rt = estelle.NewRuntime()
+		entity, err := c.rt.AddSystem(ClientEntityDef(conn, cfg.Dispatch), "client")
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.app = mcam.NewAppClient(entity.IP("U"))
+		c.sched = estelle.NewScheduler(c.rt, estelle.MapPerGroupRoot)
+		if err := c.sched.Start(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if err := c.app.Connect(cfg.CalledSelector, dialTimeout); err != nil {
+			c.sched.Stop()
+			conn.Close()
+			return nil, err
+		}
+	default:
+		conn.Close()
+		return nil, ErrBadStack
+	}
+	return c, nil
+}
+
+// App returns the generated-stack application interface (nil when
+// hand-coded).
+func (c *Client) App() *mcam.AppClient { return c.app }
+
+// Iso returns the hand-coded client (nil when generated).
+func (c *Client) Iso() *mcam.IsodeClient { return c.iso }
+
+// Call performs one MCAM operation over whichever stack is active.
+func (c *Client) Call(req *mcam.Request) (*mcam.Response, error) {
+	if c.iso != nil {
+		return c.iso.Call(req)
+	}
+	return c.app.Call(req, callTimeout)
+}
+
+// Close releases the association and tears the entity down.
+func (c *Client) Close() error {
+	var err error
+	if c.iso != nil {
+		err = c.iso.Close()
+	} else {
+		err = c.app.Release(callTimeout)
+		c.sched.Stop()
+	}
+	_ = c.conn.Close()
+	return err
+}

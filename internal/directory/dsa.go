@@ -1,0 +1,325 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by directory operations.
+var (
+	ErrNoSuchEntry   = errors.New("directory: no such entry")
+	ErrEntryExists   = errors.New("directory: entry exists")
+	ErrNoSuchContext = errors.New("directory: no DSA masters this name")
+	ErrLoopDetected  = errors.New("directory: chaining loop detected")
+)
+
+// Agent is the operational interface of a directory system agent; DUAs and
+// chaining DSAs both speak it. hops guards against referral loops.
+type Agent interface {
+	Read(dn DN, hops int) (*Entry, error)
+	Search(base DN, scope Scope, filter Filter, hops int) ([]*Entry, error)
+	Add(e *Entry, hops int) error
+	Remove(dn DN, hops int) error
+	Modify(dn DN, set map[string][]string, del []string, hops int) error
+}
+
+// MaxHops bounds chaining depth.
+const MaxHops = 8
+
+// DSA is one directory system agent mastering a naming context (a DN
+// prefix). Requests outside the context chain to the superior or to a
+// subordinate DSA whose context covers the name.
+type DSA struct {
+	name    string
+	context DN
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	// subordinates maps a context prefix (string form) to the DSA
+	// mastering it.
+	subordinates map[string]Agent
+	superior     Agent
+}
+
+var _ Agent = (*DSA)(nil)
+
+// NewDSA creates a DSA mastering the given naming context. The context
+// entry itself is created implicitly.
+func NewDSA(name string, context DN) *DSA {
+	d := &DSA{
+		name:         name,
+		context:      context,
+		entries:      make(map[string]*Entry),
+		subordinates: make(map[string]Agent),
+	}
+	d.entries[context.String()] = &Entry{DN: context, Attrs: map[string][]string{
+		"objectClass": {"namingContext"},
+		"masteredBy":  {name},
+	}}
+	return d
+}
+
+// Name returns the DSA's administrative name.
+func (d *DSA) Name() string { return d.name }
+
+// Context returns the mastered naming context.
+func (d *DSA) Context() DN { return d.context }
+
+// SetSuperior wires the chaining parent.
+func (d *DSA) SetSuperior(sup Agent) {
+	d.mu.Lock()
+	d.superior = sup
+	d.mu.Unlock()
+}
+
+// AddSubordinate registers a child DSA mastering context ctx (which must
+// extend this DSA's context).
+func (d *DSA) AddSubordinate(ctx DN, sub Agent) error {
+	if !ctx.HasPrefix(d.context) {
+		return fmt.Errorf("directory: %s is not under %s", ctx, d.context)
+	}
+	d.mu.Lock()
+	d.subordinates[ctx.String()] = sub
+	d.mu.Unlock()
+	return nil
+}
+
+// route finds the agent responsible for dn: this DSA, a subordinate, or the
+// superior. It returns nil when this DSA itself is responsible.
+func (d *DSA) route(dn DN) (Agent, error) {
+	if dn.HasPrefix(d.context) {
+		// Inside our context — but a subordinate may master a deeper
+		// prefix.
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		for ctxStr, sub := range d.subordinates {
+			subCtx := MustParseDN(ctxStr)
+			if dn.HasPrefix(subCtx) {
+				return sub, nil
+			}
+		}
+		return nil, nil
+	}
+	d.mu.RLock()
+	sup := d.superior
+	d.mu.RUnlock()
+	if sup == nil {
+		return nil, fmt.Errorf("%w: %s (context %s)", ErrNoSuchContext, dn, d.context)
+	}
+	return sup, nil
+}
+
+func checkHops(hops int) (int, error) {
+	if hops >= MaxHops {
+		return 0, ErrLoopDetected
+	}
+	return hops + 1, nil
+}
+
+// Read implements Agent.
+func (d *DSA) Read(dn DN, hops int) (*Entry, error) {
+	agent, err := d.route(dn)
+	if err != nil {
+		return nil, err
+	}
+	if agent != nil {
+		h, err := checkHops(hops)
+		if err != nil {
+			return nil, err
+		}
+		return agent.Read(dn, h)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[dn.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
+	}
+	return e.clone(), nil
+}
+
+// Search implements Agent. Subtree searches also chain into subordinate
+// contexts under the base.
+func (d *DSA) Search(base DN, scope Scope, filter Filter, hops int) ([]*Entry, error) {
+	agent, err := d.route(base)
+	if err != nil {
+		return nil, err
+	}
+	if agent != nil {
+		h, err := checkHops(hops)
+		if err != nil {
+			return nil, err
+		}
+		return agent.Search(base, scope, filter, h)
+	}
+	if filter == nil {
+		filter = All()
+	}
+	var out []*Entry
+	d.mu.RLock()
+	for _, e := range d.entries {
+		switch scope {
+		case ScopeBase:
+			if !e.DN.Equal(base) {
+				continue
+			}
+		case ScopeOneLevel:
+			if len(e.DN) != len(base)+1 || !e.DN.HasPrefix(base) {
+				continue
+			}
+		default: // ScopeSubtree
+			if !e.DN.HasPrefix(base) {
+				continue
+			}
+		}
+		if filter.Match(e) {
+			out = append(out, e.clone())
+		}
+	}
+	// Chain subtree searches into subordinate contexts under the base,
+	// clipping the base to each subordinate's context (as X.518 subrequest
+	// decomposition does) so the subordinate recognises it as its own.
+	type subSearch struct {
+		agent Agent
+		base  DN
+	}
+	var subs []subSearch
+	if scope == ScopeSubtree {
+		for ctxStr, sub := range d.subordinates {
+			subCtx := MustParseDN(ctxStr)
+			if subCtx.HasPrefix(base) {
+				subs = append(subs, subSearch{agent: sub, base: subCtx})
+			}
+		}
+	}
+	d.mu.RUnlock()
+	for _, s := range subs {
+		h, err := checkHops(hops)
+		if err != nil {
+			return nil, err
+		}
+		more, err := s.agent.Search(s.base, scope, filter, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, more...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DN.String() < out[j].DN.String() })
+	return out, nil
+}
+
+// Add implements Agent. The parent entry must exist.
+func (d *DSA) Add(e *Entry, hops int) error {
+	agent, err := d.route(e.DN)
+	if err != nil {
+		return err
+	}
+	if agent != nil {
+		h, err := checkHops(hops)
+		if err != nil {
+			return err
+		}
+		return agent.Add(e, h)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := e.DN.String()
+	if _, ok := d.entries[key]; ok {
+		return fmt.Errorf("%w: %s", ErrEntryExists, e.DN)
+	}
+	parent := e.DN.Parent()
+	if len(parent) >= len(d.context) {
+		if _, ok := d.entries[parent.String()]; !ok {
+			return fmt.Errorf("%w: parent %s", ErrNoSuchEntry, parent)
+		}
+	}
+	d.entries[key] = e.clone()
+	return nil
+}
+
+// Remove implements Agent. Entries with children cannot be removed.
+func (d *DSA) Remove(dn DN, hops int) error {
+	agent, err := d.route(dn)
+	if err != nil {
+		return err
+	}
+	if agent != nil {
+		h, err := checkHops(hops)
+		if err != nil {
+			return err
+		}
+		return agent.Remove(dn, h)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := dn.String()
+	if _, ok := d.entries[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
+	}
+	for _, e := range d.entries {
+		if len(e.DN) == len(dn)+1 && e.DN.HasPrefix(dn) {
+			return fmt.Errorf("directory: %s has children", dn)
+		}
+	}
+	delete(d.entries, key)
+	return nil
+}
+
+// Modify implements Agent: set replaces attribute values; del removes
+// attributes entirely.
+func (d *DSA) Modify(dn DN, set map[string][]string, del []string, hops int) error {
+	agent, err := d.route(dn)
+	if err != nil {
+		return err
+	}
+	if agent != nil {
+		h, err := checkHops(hops)
+		if err != nil {
+			return err
+		}
+		return agent.Modify(dn, set, del, h)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[dn.String()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
+	}
+	for k, v := range set {
+		e.Attrs[k] = append([]string(nil), v...)
+	}
+	for _, k := range del {
+		delete(e.Attrs, k)
+	}
+	return nil
+}
+
+// DUA is the directory user agent: the client-side convenience API bound to
+// some DSA (its "home DSA"), as the MCAM module's DUA submodule is.
+type DUA struct {
+	home Agent
+}
+
+// NewDUA binds a user agent to its home DSA.
+func NewDUA(home Agent) *DUA { return &DUA{home: home} }
+
+// Read fetches one entry.
+func (u *DUA) Read(dn DN) (*Entry, error) { return u.home.Read(dn, 0) }
+
+// Search queries entries under base.
+func (u *DUA) Search(base DN, scope Scope, filter Filter) ([]*Entry, error) {
+	return u.home.Search(base, scope, filter, 0)
+}
+
+// Add inserts an entry.
+func (u *DUA) Add(e *Entry) error { return u.home.Add(e, 0) }
+
+// Remove deletes an entry.
+func (u *DUA) Remove(dn DN) error { return u.home.Remove(dn, 0) }
+
+// Modify updates attributes.
+func (u *DUA) Modify(dn DN, set map[string][]string, del []string) error {
+	return u.home.Modify(dn, set, del, 0)
+}

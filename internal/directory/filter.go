@@ -1,0 +1,94 @@
+package directory
+
+import "strings"
+
+// Filter selects entries during Search.
+type Filter interface {
+	Match(e *Entry) bool
+}
+
+type eqFilter struct{ attr, value string }
+
+func (f eqFilter) Match(e *Entry) bool {
+	for _, v := range e.Attrs[f.attr] {
+		if v == f.value {
+			return true
+		}
+	}
+	return false
+}
+
+// Eq matches entries with attr equal to value (any of the values).
+func Eq(attr, value string) Filter { return eqFilter{attr, value} }
+
+type presentFilter struct{ attr string }
+
+func (f presentFilter) Match(e *Entry) bool { return len(e.Attrs[f.attr]) > 0 }
+
+// Present matches entries that have attr at all.
+func Present(attr string) Filter { return presentFilter{attr} }
+
+type substrFilter struct{ attr, sub string }
+
+func (f substrFilter) Match(e *Entry) bool {
+	for _, v := range e.Attrs[f.attr] {
+		if strings.Contains(v, f.sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains matches entries whose attr contains sub.
+func Contains(attr, sub string) Filter { return substrFilter{attr, sub} }
+
+type andFilter []Filter
+
+func (fs andFilter) Match(e *Entry) bool {
+	for _, f := range fs {
+		if !f.Match(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// And matches when every sub-filter matches.
+func And(fs ...Filter) Filter { return andFilter(fs) }
+
+type orFilter []Filter
+
+func (fs orFilter) Match(e *Entry) bool {
+	for _, f := range fs {
+		if f.Match(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or matches when any sub-filter matches.
+func Or(fs ...Filter) Filter { return orFilter(fs) }
+
+type notFilter struct{ f Filter }
+
+func (f notFilter) Match(e *Entry) bool { return !f.f.Match(e) }
+
+// Not inverts a filter.
+func Not(f Filter) Filter { return notFilter{f} }
+
+// All matches every entry.
+func All() Filter { return andFilter(nil) }
+
+// Scope bounds a Search.
+type Scope int
+
+// Search scopes, as in X.511.
+const (
+	// ScopeBase examines only the base entry.
+	ScopeBase Scope = iota + 1
+	// ScopeOneLevel examines direct children of the base.
+	ScopeOneLevel
+	// ScopeSubtree examines the base and all descendants.
+	ScopeSubtree
+)

@@ -1,0 +1,230 @@
+package equipment
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// baseDevice implements the attribute plumbing shared by all simulated
+// devices. The zero value is unusable; embedders call initBase.
+type baseDevice struct {
+	name string
+	typ  DeviceType
+
+	mu    sync.Mutex
+	attrs map[string]string
+}
+
+func (d *baseDevice) initBase(name string, typ DeviceType, attrs map[string]string) {
+	d.name = name
+	d.typ = typ
+	d.attrs = map[string]string{"power": "on"}
+	for k, v := range attrs {
+		d.attrs[k] = v
+	}
+}
+
+// Name implements Device.
+func (d *baseDevice) Name() string { return d.name }
+
+// Type implements Device.
+func (d *baseDevice) Type() DeviceType { return d.typ }
+
+// Get implements Device.
+func (d *baseDevice) Get(attr string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.attrs[attr]
+	if !ok {
+		return "", fmt.Errorf("%w: %s.%s", ErrNoSuchAttr, d.name, attr)
+	}
+	return v, nil
+}
+
+// Set implements Device. Unknown attributes are rejected so typos surface.
+func (d *baseDevice) Set(attr, value string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.attrs[attr]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchAttr, d.name, attr)
+	}
+	d.attrs[attr] = value
+	return nil
+}
+
+func (d *baseDevice) poweredOn() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.attrs["power"] == "on"
+}
+
+// Camera is a simulated video source producing deterministic frames.
+type Camera struct {
+	baseDevice
+	frameSize int
+	counter   uint64
+}
+
+var _ Source = (*Camera)(nil)
+
+// NewCamera creates a camera producing frameSize-byte frames. Attributes:
+// power, pan, tilt, zoom.
+func NewCamera(name string, frameSize int) *Camera {
+	c := &Camera{frameSize: frameSize}
+	c.initBase(name, TypeCamera, map[string]string{"pan": "0", "tilt": "0", "zoom": "1"})
+	return c
+}
+
+// Capture implements Source: frames are deterministic functions of the
+// camera name, frame counter and pan/tilt/zoom settings, so recordings are
+// reproducible and setting-sensitive.
+func (c *Camera) Capture(n int) ([][]byte, error) {
+	if !c.poweredOn() {
+		return nil, fmt.Errorf("%w: %s", ErrPoweredOff, c.name)
+	}
+	pan, _ := c.Get("pan")
+	frames := make([][]byte, n)
+	for i := range frames {
+		c.mu.Lock()
+		idx := c.counter
+		c.counter++
+		c.mu.Unlock()
+		f := make([]byte, c.frameSize)
+		seed := uint64(len(c.name))*0x9e3779b9 + idx
+		for _, ch := range c.name + pan {
+			seed = seed*131 + uint64(ch)
+		}
+		s := seed
+		for j := range f {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			f[j] = byte(s)
+		}
+		frames[i] = f
+	}
+	return frames, nil
+}
+
+// Microphone is a simulated audio source.
+type Microphone struct {
+	baseDevice
+	chunkSize int
+	counter   uint64
+}
+
+var _ Source = (*Microphone)(nil)
+
+// NewMicrophone creates a microphone producing chunkSize-byte audio chunks.
+// Attributes: power, gain.
+func NewMicrophone(name string, chunkSize int) *Microphone {
+	m := &Microphone{chunkSize: chunkSize}
+	m.initBase(name, TypeMicrophone, map[string]string{"gain": "5"})
+	return m
+}
+
+// Capture implements Source: a deterministic sawtooth scaled by gain.
+func (m *Microphone) Capture(n int) ([][]byte, error) {
+	if !m.poweredOn() {
+		return nil, fmt.Errorf("%w: %s", ErrPoweredOff, m.name)
+	}
+	gainStr, _ := m.Get("gain")
+	gain, err := strconv.Atoi(gainStr)
+	if err != nil || gain < 0 {
+		gain = 1
+	}
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		m.mu.Lock()
+		idx := m.counter
+		m.counter++
+		m.mu.Unlock()
+		c := make([]byte, m.chunkSize)
+		for j := range c {
+			c[j] = byte((int(idx) + j) * gain % 251)
+		}
+		chunks[i] = c
+	}
+	return chunks, nil
+}
+
+// Speaker is a simulated audio sink counting rendered frames.
+type Speaker struct {
+	baseDevice
+	rendered int
+	bytes    int64
+}
+
+var _ Sink = (*Speaker)(nil)
+
+// NewSpeaker creates a speaker. Attributes: power, volume.
+func NewSpeaker(name string) *Speaker {
+	s := &Speaker{}
+	s.initBase(name, TypeSpeaker, map[string]string{"volume": "7"})
+	return s
+}
+
+// Render implements Sink.
+func (s *Speaker) Render(frame []byte) error {
+	if !s.poweredOn() {
+		return fmt.Errorf("%w: %s", ErrPoweredOff, s.name)
+	}
+	s.mu.Lock()
+	s.rendered++
+	s.bytes += int64(len(frame))
+	s.mu.Unlock()
+	return nil
+}
+
+// Rendered reports how many frames the speaker consumed.
+func (s *Speaker) Rendered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rendered
+}
+
+// Display is a simulated video sink that checksums what it shows, so tests
+// can verify exactly which frames reached the screen.
+type Display struct {
+	baseDevice
+	rendered int
+	checksum uint64
+}
+
+var _ Sink = (*Display)(nil)
+
+// NewDisplay creates a display. Attributes: power, brightness.
+func NewDisplay(name string) *Display {
+	d := &Display{}
+	d.initBase(name, TypeDisplay, map[string]string{"brightness": "50"})
+	return d
+}
+
+// Render implements Sink.
+func (d *Display) Render(frame []byte) error {
+	if !d.poweredOn() {
+		return fmt.Errorf("%w: %s", ErrPoweredOff, d.name)
+	}
+	d.mu.Lock()
+	d.rendered++
+	for _, b := range frame {
+		d.checksum = d.checksum*1099511628211 + uint64(b)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Rendered reports how many frames the display consumed.
+func (d *Display) Rendered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rendered
+}
+
+// Checksum returns the rolling FNV-style checksum of everything rendered.
+func (d *Display) Checksum() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checksum
+}

@@ -1,0 +1,252 @@
+// Package equipment implements the MCAM Equipment Control System (ECS):
+// simulated continuous-media equipment attached to remote systems —
+// cameras, microphones, speakers, displays — plus the Equipment Control
+// Agent (ECA) that manages and reserves them and the Equipment User Agent
+// (EUA) clients use.
+//
+// The paper's §2: "The equipment control service enables the user to
+// control CM equipment attached to remote computer systems, e.g. speakers,
+// cameras, and microphones." Real device hardware is substituted by
+// deterministic simulations that produce/consume frames, so the record path
+// (camera -> movie database) and playback path (stream -> speaker/display)
+// can be exercised end to end.
+package equipment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceType classifies equipment.
+type DeviceType int
+
+// Device types from the paper's examples.
+const (
+	TypeCamera DeviceType = iota + 1
+	TypeMicrophone
+	TypeSpeaker
+	TypeDisplay
+)
+
+// String returns the type name.
+func (t DeviceType) String() string {
+	switch t {
+	case TypeCamera:
+		return "camera"
+	case TypeMicrophone:
+		return "microphone"
+	case TypeSpeaker:
+		return "speaker"
+	case TypeDisplay:
+		return "display"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", int(t))
+	}
+}
+
+// Device is one piece of controllable CM equipment.
+type Device interface {
+	// Name is unique within an ECA.
+	Name() string
+	Type() DeviceType
+	// Get reads a control attribute ("power", "volume", ...).
+	Get(attr string) (string, error)
+	// Set writes a control attribute.
+	Set(attr, value string) error
+}
+
+// Source devices produce media frames (cameras, microphones).
+type Source interface {
+	Device
+	// Capture produces the next n frames.
+	Capture(n int) ([][]byte, error)
+}
+
+// Sink devices consume media frames (speakers, displays).
+type Sink interface {
+	Device
+	// Render consumes one frame.
+	Render(frame []byte) error
+}
+
+// Errors returned by the ECA.
+var (
+	ErrNoSuchDevice = errors.New("equipment: no such device")
+	ErrReserved     = errors.New("equipment: device reserved by another user")
+	ErrNotReserved  = errors.New("equipment: device not reserved by caller")
+	ErrNoSuchAttr   = errors.New("equipment: no such attribute")
+	ErrPoweredOff   = errors.New("equipment: device is powered off")
+)
+
+// DeviceInfo describes a registered device for listings.
+type DeviceInfo struct {
+	Name       string
+	Type       DeviceType
+	ReservedBy string
+}
+
+// ECA is the Equipment Control Agent of one site: a registry of devices
+// with reservation-based access control.
+type ECA struct {
+	site string
+
+	mu       sync.Mutex
+	devices  map[string]Device
+	reserved map[string]string // device -> owner
+}
+
+// NewECA creates an agent for the named site.
+func NewECA(site string) *ECA {
+	return &ECA{
+		site:     site,
+		devices:  make(map[string]Device),
+		reserved: make(map[string]string),
+	}
+}
+
+// Site returns the site name.
+func (a *ECA) Site() string { return a.site }
+
+// Register adds a device to the registry.
+func (a *ECA) Register(d Device) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.devices[d.Name()]; ok {
+		return fmt.Errorf("equipment: device %q already registered", d.Name())
+	}
+	a.devices[d.Name()] = d
+	return nil
+}
+
+// List returns the registered devices, sorted by name.
+func (a *ECA) List() []DeviceInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]DeviceInfo, 0, len(a.devices))
+	for name, d := range a.devices {
+		out = append(out, DeviceInfo{Name: name, Type: d.Type(), ReservedBy: a.reserved[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reserve grants user exclusive control of the device.
+func (a *ECA) Reserve(device, user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.devices[device]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDevice, device)
+	}
+	if owner, ok := a.reserved[device]; ok && owner != user {
+		return fmt.Errorf("%w: %s held by %s", ErrReserved, device, owner)
+	}
+	a.reserved[device] = user
+	return nil
+}
+
+// Release gives the reservation up.
+func (a *ECA) Release(device, user string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if owner, ok := a.reserved[device]; !ok || owner != user {
+		return fmt.Errorf("%w: %s", ErrNotReserved, device)
+	}
+	delete(a.reserved, device)
+	return nil
+}
+
+// access returns the device if user may control it (reserved by user, or
+// unreserved).
+func (a *ECA) access(device, user string) (Device, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.devices[device]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDevice, device)
+	}
+	if owner, ok := a.reserved[device]; ok && owner != user {
+		return nil, fmt.Errorf("%w: %s held by %s", ErrReserved, device, owner)
+	}
+	return d, nil
+}
+
+// Get reads a device attribute on behalf of user.
+func (a *ECA) Get(device, user, attr string) (string, error) {
+	d, err := a.access(device, user)
+	if err != nil {
+		return "", err
+	}
+	return d.Get(attr)
+}
+
+// Set writes a device attribute on behalf of user.
+func (a *ECA) Set(device, user, attr, value string) error {
+	d, err := a.access(device, user)
+	if err != nil {
+		return err
+	}
+	return d.Set(attr, value)
+}
+
+// Capture records n frames from a source device on behalf of user.
+func (a *ECA) Capture(device, user string, n int) ([][]byte, error) {
+	d, err := a.access(device, user)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := d.(Source)
+	if !ok {
+		return nil, fmt.Errorf("equipment: %s (%s) is not a source", device, d.Type())
+	}
+	return src.Capture(n)
+}
+
+// Render plays one frame on a sink device on behalf of user.
+func (a *ECA) Render(device, user string, frame []byte) error {
+	d, err := a.access(device, user)
+	if err != nil {
+		return err
+	}
+	sink, ok := d.(Sink)
+	if !ok {
+		return fmt.Errorf("equipment: %s (%s) is not a sink", device, d.Type())
+	}
+	return sink.Render(frame)
+}
+
+// EUA is the Equipment User Agent: the client-side handle MCAM modules use,
+// carrying the user identity for reservations.
+type EUA struct {
+	eca  *ECA
+	user string
+}
+
+// NewEUA binds a user agent for the given user identity.
+func NewEUA(eca *ECA, user string) *EUA { return &EUA{eca: eca, user: user} }
+
+// List returns the site's devices.
+func (u *EUA) List() []DeviceInfo { return u.eca.List() }
+
+// Reserve takes the device for this user.
+func (u *EUA) Reserve(device string) error { return u.eca.Reserve(device, u.user) }
+
+// Release frees the device.
+func (u *EUA) Release(device string) error { return u.eca.Release(device, u.user) }
+
+// Get reads a device attribute.
+func (u *EUA) Get(device, attr string) (string, error) { return u.eca.Get(device, u.user, attr) }
+
+// Set writes a device attribute.
+func (u *EUA) Set(device, attr, value string) error { return u.eca.Set(device, u.user, attr, value) }
+
+// Capture records n frames from a source device.
+func (u *EUA) Capture(device string, n int) ([][]byte, error) {
+	return u.eca.Capture(device, u.user, n)
+}
+
+// Render plays a frame on a sink device.
+func (u *EUA) Render(device string, frame []byte) error {
+	return u.eca.Render(device, u.user, frame)
+}

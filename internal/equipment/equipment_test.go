@@ -1,0 +1,186 @@
+package equipment
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newSite(t *testing.T) *ECA {
+	t.Helper()
+	eca := NewECA("studio-a")
+	for _, d := range []Device{
+		NewCamera("cam1", 256),
+		NewMicrophone("mic1", 64),
+		NewSpeaker("spk1"),
+		NewDisplay("disp1"),
+	} {
+		if err := eca.Register(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eca
+}
+
+func TestRegistryAndList(t *testing.T) {
+	eca := newSite(t)
+	infos := eca.List()
+	if len(infos) != 4 {
+		t.Fatalf("listed %d devices", len(infos))
+	}
+	if infos[0].Name != "cam1" || infos[0].Type != TypeCamera {
+		t.Errorf("first = %+v", infos[0])
+	}
+	if err := eca.Register(NewSpeaker("spk1")); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestReservationProtocol(t *testing.T) {
+	eca := newSite(t)
+	alice := NewEUA(eca, "alice")
+	bob := NewEUA(eca, "bob")
+
+	if err := alice.Reserve("cam1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reserving by the same user is idempotent.
+	if err := alice.Reserve("cam1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Reserve("cam1"); !errors.Is(err, ErrReserved) {
+		t.Errorf("bob reserve = %v", err)
+	}
+	if _, err := bob.Capture("cam1", 1); !errors.Is(err, ErrReserved) {
+		t.Errorf("bob capture = %v", err)
+	}
+	if err := bob.Release("cam1"); !errors.Is(err, ErrNotReserved) {
+		t.Errorf("bob release = %v", err)
+	}
+	if err := alice.Release("cam1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Reserve("cam1"); err != nil {
+		t.Errorf("bob reserve after release = %v", err)
+	}
+	if err := alice.Reserve("nonesuch"); !errors.Is(err, ErrNoSuchDevice) {
+		t.Errorf("reserve missing = %v", err)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	eca := newSite(t)
+	u := NewEUA(eca, "alice")
+	if v, err := u.Get("spk1", "volume"); err != nil || v != "7" {
+		t.Errorf("volume = %q, %v", v, err)
+	}
+	if err := u.Set("spk1", "volume", "11"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := u.Get("spk1", "volume"); v != "11" {
+		t.Errorf("volume after set = %q", v)
+	}
+	if _, err := u.Get("spk1", "bogus"); !errors.Is(err, ErrNoSuchAttr) {
+		t.Errorf("get bogus = %v", err)
+	}
+	if err := u.Set("spk1", "bogus", "x"); !errors.Is(err, ErrNoSuchAttr) {
+		t.Errorf("set bogus = %v", err)
+	}
+}
+
+func TestCameraCaptureDeterministicAndSettingSensitive(t *testing.T) {
+	c1 := NewCamera("cam", 128)
+	c2 := NewCamera("cam", 128)
+	f1, err := c1.Capture(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c2.Capture(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if !bytes.Equal(f1[i], f2[i]) {
+			t.Fatalf("frame %d differs between identical cameras", i)
+		}
+	}
+	// Capture advances: next frames differ from the first ones.
+	f3, _ := c1.Capture(1)
+	if bytes.Equal(f3[0], f1[0]) {
+		t.Error("camera repeated a frame")
+	}
+	// Changing pan changes the picture.
+	if err := c2.Set("pan", "45"); err != nil {
+		t.Fatal(err)
+	}
+	f4, _ := c2.Capture(1)
+	if bytes.Equal(f4[0], f3[0]) {
+		t.Error("pan change did not affect frames")
+	}
+}
+
+func TestPowerOff(t *testing.T) {
+	eca := newSite(t)
+	u := NewEUA(eca, "alice")
+	if err := u.Set("cam1", "power", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Capture("cam1", 1); !errors.Is(err, ErrPoweredOff) {
+		t.Errorf("capture while off = %v", err)
+	}
+	if err := u.Set("disp1", "power", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Render("disp1", []byte{1}); !errors.Is(err, ErrPoweredOff) {
+		t.Errorf("render while off = %v", err)
+	}
+}
+
+func TestSourceSinkTypeChecks(t *testing.T) {
+	eca := newSite(t)
+	u := NewEUA(eca, "alice")
+	if _, err := u.Capture("spk1", 1); err == nil {
+		t.Error("captured from a speaker")
+	}
+	if err := u.Render("cam1", []byte{1}); err == nil {
+		t.Error("rendered to a camera")
+	}
+}
+
+func TestMicrophoneGainAffectsSignal(t *testing.T) {
+	m := NewMicrophone("mic", 32)
+	a, _ := m.Capture(1)
+	if err := m.Set("gain", "9"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Capture(1)
+	if bytes.Equal(a[0], b[0]) {
+		t.Error("gain change did not affect audio")
+	}
+}
+
+func TestCameraToDisplayPath(t *testing.T) {
+	// The record/playback round trip at equipment level: capture frames
+	// from a camera and render them on a display.
+	eca := newSite(t)
+	u := NewEUA(eca, "alice")
+	frames, err := u.Capture("cam1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := u.Render("disp1", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := eca.List()
+	_ = infos
+	disp, _ := eca.access("disp1", "alice")
+	d := disp.(*Display)
+	if d.Rendered() != 10 {
+		t.Errorf("display rendered %d frames", d.Rendered())
+	}
+	if d.Checksum() == 0 {
+		t.Error("display checksum is zero")
+	}
+}

@@ -1,0 +1,98 @@
+package estelle
+
+import "fmt"
+
+// ChannelDef describes an Estelle channel type: two roles, each with the set
+// of interactions that role may send.
+//
+//	channel UserAccess(user, provider);
+//	  by user:     ConnectRequest(addr: integer);
+//	  by provider: ConnectConfirm;
+type ChannelDef struct {
+	Name  string
+	RoleA string
+	RoleB string
+	// ByRole maps each role name to the interactions that role may emit.
+	ByRole map[string][]MsgDef
+}
+
+// MsgDef describes one interaction type carried by a channel.
+type MsgDef struct {
+	Name   string
+	Params []ParamDef
+}
+
+// ParamDef is a named, informally typed interaction parameter. The type name
+// is used by the interpreter and UI generator; native Go bodies carry values
+// as []any positionally.
+type ParamDef struct {
+	Name string
+	Type string
+}
+
+// Msg returns the MsgDef for name sent by role, if any.
+func (c *ChannelDef) Msg(role, name string) (MsgDef, bool) {
+	for _, m := range c.ByRole[role] {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MsgDef{}, false
+}
+
+// Peer returns the opposite role.
+func (c *ChannelDef) Peer(role string) (string, error) {
+	switch role {
+	case c.RoleA:
+		return c.RoleB, nil
+	case c.RoleB:
+		return c.RoleA, nil
+	default:
+		return "", fmt.Errorf("estelle: channel %s has no role %q", c.Name, role)
+	}
+}
+
+// Interaction is one message instance travelling through a channel.
+// Args are positional, matching the MsgDef parameter order.
+type Interaction struct {
+	Name string
+	Args []any
+}
+
+// Arg returns the i-th argument or nil if absent.
+func (in *Interaction) Arg(i int) any {
+	if i < 0 || i >= len(in.Args) {
+		return nil
+	}
+	return in.Args[i]
+}
+
+// Int returns the i-th argument as int64 (converting from int) or 0.
+func (in *Interaction) Int(i int) int64 {
+	switch v := in.Arg(i).(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		return 0
+	}
+}
+
+// Str returns the i-th argument as a string or "".
+func (in *Interaction) Str(i int) string {
+	s, _ := in.Arg(i).(string)
+	return s
+}
+
+// Bytes returns the i-th argument as []byte or nil.
+func (in *Interaction) Bytes(i int) []byte {
+	b, _ := in.Arg(i).([]byte)
+	return b
+}
+
+// Bool returns the i-th argument as bool or false.
+func (in *Interaction) Bool(i int) bool {
+	b, _ := in.Arg(i).(bool)
+	return b
+}

@@ -1,0 +1,29 @@
+// Package estelle implements an execution runtime for the Estelle formal
+// description technique (ISO 9074) — the substrate of the 1994 ICDCS paper
+// "Implementing Movie Control, Access and Management".
+//
+// An Estelle specification is a tree of modules, each an extended finite
+// state machine, communicating over bidirectional channels through
+// interaction points (IPs) with FIFO queues. The paper's methodology is:
+// specify the protocol in Estelle, generate parallel implementation code,
+// and map modules onto operating-system threads. This package provides:
+//
+//   - the module/channel/transition model (ModuleDef, ChannelDef, Trans);
+//   - Estelle's attribute semantics (systemprocess, systemactivity,
+//     process, activity) including parent-precedence and the
+//     mutual-exclusion rule for activity children;
+//   - dynamic module instantiation (init/release) and interaction-point
+//     wiring (connect/attach);
+//   - two transition-dispatch strategies — a linear scan over the
+//     transition list ("hard-coded" in the paper) and a state-indexed
+//     table ("table-controlled"), reproducing the paper's §5.2 comparison;
+//   - a unit-based scheduler that subsumes the paper's centralized
+//     (sequential) and decentralized (parallel) schedulers: modules are
+//     grouped into units by a mapping strategy and each unit runs on its
+//     own goroutine, optionally throttled to P virtual processors to model
+//     the KSR1's processor count.
+//
+// Module bodies are ordinary Go (the analogue of the paper's generated C++
+// plus hand-coded external bodies); the companion packages estparse and
+// estgen parse textual Estelle and generate bodies targeting this runtime.
+package estelle

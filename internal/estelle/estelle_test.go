@@ -1,0 +1,752 @@
+package estelle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// pingChannel is a two-role channel used across tests.
+var pingChannel = &ChannelDef{
+	Name:  "PingPong",
+	RoleA: "caller",
+	RoleB: "callee",
+	ByRole: map[string][]MsgDef{
+		"caller": {{Name: "Ping", Params: []ParamDef{{Name: "n", Type: "integer"}}}},
+		"callee": {{Name: "Pong", Params: []ParamDef{{Name: "n", Type: "integer"}}}},
+	},
+}
+
+type pingState struct {
+	sent     int
+	received int
+	rounds   int
+}
+
+// pingerDef returns a system module that sends `rounds` pings and counts
+// pongs.
+func pingerDef(rounds int, dispatch Dispatch) *ModuleDef {
+	return &ModuleDef{
+		Name:     "Pinger",
+		Attr:     SystemProcess,
+		Dispatch: dispatch,
+		IPs:      []IPDef{{Name: "P", Channel: pingChannel, Role: "caller"}},
+		States:   []string{"Start", "Running", "Done"},
+		Init: func(ctx *Ctx) {
+			ctx.SetBody(&pingState{rounds: rounds})
+		},
+		Trans: []Trans{
+			{
+				Name: "kickoff",
+				From: []string{"Start"},
+				To:   "Running",
+				Action: func(ctx *Ctx) {
+					st := ctx.Body().(*pingState)
+					ctx.Output("P", "Ping", 0)
+					st.sent++
+				},
+			},
+			{
+				Name: "more",
+				From: []string{"Running"},
+				When: On("P", "Pong"),
+				Provided: func(ctx *Ctx) bool {
+					return ctx.Body().(*pingState).received < rounds-1
+				},
+				Action: func(ctx *Ctx) {
+					st := ctx.Body().(*pingState)
+					st.received++
+					ctx.Output("P", "Ping", st.sent)
+					st.sent++
+				},
+			},
+			{
+				Name: "finish",
+				From: []string{"Running"},
+				When: On("P", "Pong"),
+				To:   "Done",
+				Action: func(ctx *Ctx) {
+					ctx.Body().(*pingState).received++
+				},
+			},
+		},
+	}
+}
+
+func pongerDef(dispatch Dispatch) *ModuleDef {
+	return &ModuleDef{
+		Name:     "Ponger",
+		Attr:     SystemProcess,
+		Dispatch: dispatch,
+		IPs:      []IPDef{{Name: "P", Channel: pingChannel, Role: "callee"}},
+		States:   []string{"Idle"},
+		Trans: []Trans{
+			{
+				Name: "reply",
+				When: On("P", "Ping"),
+				Action: func(ctx *Ctx) {
+					ctx.Output("P", "Pong", ctx.Msg.Int(0))
+				},
+			},
+		},
+	}
+}
+
+func buildPingPong(t *testing.T, rt *Runtime, rounds int, dispatch Dispatch) *Instance {
+	t.Helper()
+	pinger, err := rt.AddSystem(pingerDef(rounds, dispatch), "pinger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ponger, err := rt.AddSystem(pongerDef(dispatch), "ponger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(pinger.IP("P"), ponger.IP("P")); err != nil {
+		t.Fatal(err)
+	}
+	return pinger
+}
+
+func TestPingPongStepper(t *testing.T) {
+	rt := NewRuntime(WithStrict())
+	pinger := buildPingPong(t, rt, 5, DispatchTable)
+	fired, err := NewStepper(rt).RunUntilIdle(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pinger.Body().(*pingState)
+	if st.sent != 5 || st.received != 5 {
+		t.Errorf("sent=%d received=%d, want 5/5", st.sent, st.received)
+	}
+	if pinger.State() != "Done" {
+		t.Errorf("state = %q, want Done", pinger.State())
+	}
+	// kickoff + 5 pings consumed by ponger + 5 pongs consumed by pinger.
+	if fired != 11 {
+		t.Errorf("fired = %d, want 11", fired)
+	}
+	if got := rt.Stats().TransitionsFired.Load(); got != 11 {
+		t.Errorf("stats fired = %d", got)
+	}
+}
+
+func TestPingPongSchedulerMappings(t *testing.T) {
+	mappings := map[string]MappingFunc{
+		"single":      MapSingleUnit,
+		"perInstance": MapPerInstance,
+		"perSystem":   MapPerSystem,
+		"byName":      MapByModuleName,
+		"roundRobin3": MapRoundRobin(3),
+	}
+	for name, mapping := range mappings {
+		t.Run(name, func(t *testing.T) {
+			rt := NewRuntime(WithStrict())
+			pinger := buildPingPong(t, rt, 50, DispatchTable)
+			s := NewScheduler(rt, mapping)
+			if err := s.RunToQuiescence(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			st := pinger.Body().(*pingState)
+			if st.sent != 50 || st.received != 50 {
+				t.Errorf("sent=%d received=%d, want 50/50", st.sent, st.received)
+			}
+			if pinger.State() != "Done" {
+				t.Errorf("state = %q", pinger.State())
+			}
+		})
+	}
+}
+
+func TestSchedulerWithProcessorLimit(t *testing.T) {
+	rt := NewRuntime()
+	pinger := buildPingPong(t, rt, 30, DispatchTable)
+	s := NewScheduler(rt, MapPerInstance, WithProcessors(1), WithBatch(2))
+	if err := s.RunToQuiescence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := pinger.Body().(*pingState); st.received != 30 {
+		t.Errorf("received = %d, want 30", st.received)
+	}
+}
+
+func TestDispatchStrategiesEquivalent(t *testing.T) {
+	run := func(d Dispatch) int64 {
+		rt := NewRuntime(WithStrict())
+		buildPingPong(t, rt, 20, d)
+		if _, err := NewStepper(rt).RunUntilIdle(10000); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().TransitionsFired.Load()
+	}
+	if lin, tab := run(DispatchLinear), run(DispatchTable); lin != tab {
+		t.Errorf("linear fired %d, table fired %d", lin, tab)
+	}
+}
+
+func TestPriorityOrdersTransitions(t *testing.T) {
+	var order []string
+	def := &ModuleDef{
+		Name:   "Prio",
+		Attr:   SystemProcess,
+		States: []string{"S", "T"},
+		Trans: []Trans{
+			{Name: "low", From: []string{"S"}, Priority: 5, To: "T",
+				Action: func(*Ctx) { order = append(order, "low") }},
+			{Name: "high", From: []string{"S"}, Priority: 1, To: "T",
+				Action: func(*Ctx) { order = append(order, "high") }},
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(def, "prio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepper(rt).RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != "high" {
+		t.Errorf("order = %v, want [high]", order)
+	}
+}
+
+func TestDeclarationOrderBreaksTies(t *testing.T) {
+	var fired string
+	def := &ModuleDef{
+		Name:   "Tie",
+		Attr:   SystemProcess,
+		States: []string{"S", "T"},
+		Trans: []Trans{
+			{Name: "first", From: []string{"S"}, To: "T", Action: func(*Ctx) { fired = "first" }},
+			{Name: "second", From: []string{"S"}, To: "T", Action: func(*Ctx) { fired = "second" }},
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(def, "tie"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepper(rt).RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != "first" {
+		t.Errorf("fired = %q, want first", fired)
+	}
+}
+
+func TestDelayWithManualClock(t *testing.T) {
+	clk := NewManualClock()
+	var firedAt time.Time
+	def := &ModuleDef{
+		Name:   "Timer",
+		Attr:   SystemProcess,
+		States: []string{"Waiting", "Fired"},
+		Trans: []Trans{
+			{
+				Name:  "timeout",
+				From:  []string{"Waiting"},
+				To:    "Fired",
+				Delay: func(*Ctx) time.Duration { return 3 * time.Second },
+				Action: func(ctx *Ctx) {
+					firedAt = ctx.Now()
+				},
+			},
+		},
+	}
+	rt := NewRuntime(WithClock(clk))
+	inst, err := rt.AddSystem(def, "timer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clk.Now()
+	if _, err := NewStepper(rt).RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if inst.State() != "Fired" {
+		t.Fatalf("state = %q", inst.State())
+	}
+	if got := firedAt.Sub(start); got < 3*time.Second {
+		t.Errorf("fired after %v, want >= 3s", got)
+	}
+}
+
+func TestDelayResetsWhenDisabled(t *testing.T) {
+	// A delayed transition whose guard goes false must restart its clock.
+	clk := NewManualClock()
+	enabled := true
+	fired := 0
+	def := &ModuleDef{
+		Name:   "Flaky",
+		Attr:   SystemProcess,
+		States: []string{"S"},
+		Trans: []Trans{
+			{
+				Name:     "delayed",
+				Provided: func(*Ctx) bool { return enabled },
+				Delay:    func(*Ctx) time.Duration { return 10 * time.Second },
+				Action:   func(*Ctx) { fired++; enabled = false },
+			},
+		},
+	}
+	rt := NewRuntime(WithClock(clk))
+	if _, err := rt.AddSystem(def, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(rt)
+	st.Step() // arms the delay
+	clk.Advance(5 * time.Second)
+	enabled = false
+	st.Step() // disabled: clock must reset
+	enabled = true
+	clk.Advance(6 * time.Second) // 11s since arming, 6s since re-enable
+	st.Step()                    // re-arms
+	if fired != 0 {
+		t.Fatalf("fired too early")
+	}
+	clk.Advance(10 * time.Second)
+	st.Step()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestParentPrecedenceBlocksChild(t *testing.T) {
+	childFired := 0
+	parentFired := 0
+	childDef := &ModuleDef{
+		Name: "Child", Attr: Process, States: []string{"S"},
+		Trans: []Trans{{Name: "spin", Action: func(*Ctx) { childFired++ }}},
+	}
+	parentDef := &ModuleDef{
+		Name: "Parent", Attr: SystemProcess, States: []string{"Busy", "Quiet"},
+		Init: func(ctx *Ctx) { ctx.MustInit(childDef, "child") },
+		Trans: []Trans{
+			{Name: "work", From: []string{"Busy"}, Provided: func(*Ctx) bool { return parentFired < 3 },
+				Action: func(*Ctx) { parentFired++ }},
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(parentDef, "p"); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(rt)
+	for i := 0; i < 3; i++ {
+		fired, _ := st.Step()
+		if fired != 1 {
+			t.Fatalf("pass %d fired %d, want 1 (parent only)", i, fired)
+		}
+	}
+	if parentFired != 3 || childFired != 0 {
+		t.Fatalf("parent=%d child=%d after parent-busy passes", parentFired, childFired)
+	}
+	// Parent has nothing to do now: child may run.
+	st.Step()
+	if childFired != 1 {
+		t.Errorf("childFired = %d, want 1", childFired)
+	}
+}
+
+func TestActivityChildrenMutuallyExclusive(t *testing.T) {
+	var fired [2]int
+	mkChild := func(i int) *ModuleDef {
+		return &ModuleDef{
+			Name: fmt.Sprintf("A%d", i), Attr: Activity, States: []string{"S"},
+			Trans: []Trans{{Name: "spin", Action: func(*Ctx) { fired[i]++ }}},
+		}
+	}
+	parent := &ModuleDef{
+		Name: "Par", Attr: SystemActivity,
+		Init: func(ctx *Ctx) {
+			ctx.MustInit(mkChild(0), "a0")
+			ctx.MustInit(mkChild(1), "a1")
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(parent, "par"); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(rt)
+	for i := 0; i < 10; i++ {
+		if f, _ := st.Step(); f != 1 {
+			t.Fatalf("pass %d: fired %d children, want exactly 1", i, f)
+		}
+	}
+	if fired[0]+fired[1] != 10 {
+		t.Errorf("total fired = %d, want 10", fired[0]+fired[1])
+	}
+}
+
+func TestProcessChildrenRunInSamePass(t *testing.T) {
+	var fired [2]int
+	mkChild := func(i int) *ModuleDef {
+		return &ModuleDef{
+			Name: fmt.Sprintf("P%d", i), Attr: Process, States: []string{"S"},
+			Trans: []Trans{{Name: "spin", Action: func(*Ctx) { fired[i]++ }}},
+		}
+	}
+	parent := &ModuleDef{
+		Name: "Par", Attr: SystemProcess,
+		Init: func(ctx *Ctx) {
+			ctx.MustInit(mkChild(0), "p0")
+			ctx.MustInit(mkChild(1), "p1")
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(parent, "par"); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := NewStepper(rt).Step(); f != 2 {
+		t.Errorf("fired = %d, want both process children", f)
+	}
+}
+
+func TestAttributeNestingRules(t *testing.T) {
+	child := func(a Attr) *ModuleDef {
+		return &ModuleDef{Name: "c", Attr: a, States: []string{"S"}}
+	}
+	tests := []struct {
+		name    string
+		parent  Attr
+		childA  Attr
+		wantErr bool
+	}{
+		{"process in systemprocess", SystemProcess, Process, false},
+		{"activity in systemprocess", SystemProcess, Activity, false},
+		{"activity in systemactivity", SystemActivity, Activity, false},
+		{"process in systemactivity", SystemActivity, Process, true},
+		{"systemprocess in systemprocess", SystemProcess, SystemProcess, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var initErr error
+			parent := &ModuleDef{
+				Name: "p", Attr: tt.parent,
+				Init: func(ctx *Ctx) {
+					_, initErr = ctx.Init(child(tt.childA), "c")
+				},
+			}
+			rt := NewRuntime()
+			if _, err := rt.AddSystem(parent, "p"); err != nil {
+				t.Fatal(err)
+			}
+			if (initErr != nil) != tt.wantErr {
+				t.Errorf("init error = %v, wantErr %v", initErr, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAddSystemRejectsNonSystem(t *testing.T) {
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(&ModuleDef{Name: "x", Attr: Process}, "x"); err == nil {
+		t.Fatal("AddSystem accepted a process module")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	rt := NewRuntime()
+	a, _ := rt.AddSystem(pingerDef(1, DispatchTable), "a")
+	b, _ := rt.AddSystem(pingerDef(1, DispatchTable), "b")
+	c, _ := rt.AddSystem(pongerDef(DispatchTable), "c")
+	if err := rt.Connect(a.IP("P"), b.IP("P")); err == nil {
+		t.Error("same-role connect accepted")
+	}
+	if err := rt.Connect(a.IP("P"), c.IP("P")); err != nil {
+		t.Errorf("valid connect rejected: %v", err)
+	}
+	d, _ := rt.AddSystem(pongerDef(DispatchTable), "d")
+	if err := rt.Connect(a.IP("P"), d.IP("P")); err == nil {
+		t.Error("double connect accepted")
+	}
+}
+
+func TestAttachRoutesThroughParent(t *testing.T) {
+	// parent owns external IP "P"; traffic is handled by a dynamically
+	// created child, as in the paper's per-connection modules.
+	var got []int64
+	childDef := &ModuleDef{
+		Name: "Handler", Attr: Process,
+		IPs:    []IPDef{{Name: "H", Channel: pingChannel, Role: "callee"}},
+		States: []string{"S"},
+		Trans: []Trans{{
+			Name: "serve", When: On("H", "Ping"),
+			Action: func(ctx *Ctx) {
+				got = append(got, ctx.Msg.Int(0))
+				ctx.Output("H", "Pong", ctx.Msg.Int(0))
+			},
+		}},
+	}
+	parentDef := &ModuleDef{
+		Name: "Server", Attr: SystemProcess,
+		IPs: []IPDef{{Name: "P", Channel: pingChannel, Role: "callee"}},
+		Init: func(ctx *Ctx) {
+			child := ctx.MustInit(childDef, "h")
+			// The child plays the same role on the same channel.
+			if err := ctx.Attach(ctx.Self().IP("P"), child.IP("H")); err != nil {
+				panic(err)
+			}
+		},
+	}
+	rt := NewRuntime(WithStrict())
+	server, err := rt.AddSystem(parentDef, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pongs []int64
+	var mu sync.Mutex
+	server.IP("P").SetSink(func(in *Interaction) {
+		mu.Lock()
+		pongs = append(pongs, in.Int(0))
+		mu.Unlock()
+	})
+	server.IP("P").Inject("Ping", int64(7))
+	server.IP("P").Inject("Ping", int64(8))
+	if _, err := NewStepper(rt).RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Errorf("child got %v", got)
+	}
+	if len(pongs) != 2 || pongs[0] != 7 || pongs[1] != 8 {
+		t.Errorf("sink got %v", pongs)
+	}
+}
+
+func TestAttachMismatchRejected(t *testing.T) {
+	childDef := &ModuleDef{
+		Name: "C", Attr: Process,
+		IPs: []IPDef{{Name: "H", Channel: pingChannel, Role: "caller"}},
+	}
+	var attachErr error
+	parentDef := &ModuleDef{
+		Name: "P", Attr: SystemProcess,
+		IPs: []IPDef{{Name: "P", Channel: pingChannel, Role: "callee"}},
+		Init: func(ctx *Ctx) {
+			child := ctx.MustInit(childDef, "c")
+			attachErr = ctx.Attach(ctx.Self().IP("P"), child.IP("H"))
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(parentDef, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if attachErr == nil {
+		t.Fatal("role-mismatched attach accepted")
+	}
+}
+
+func TestReleaseSeversConnections(t *testing.T) {
+	rt := NewRuntime()
+	pinger := buildPingPong(t, rt, 1000, DispatchTable)
+	var release func()
+	// Release the ponger mid-run via a child-managing wrapper.
+	ponger := rt.Systems()[1]
+	release = func() { rt.Release(ponger) }
+	st := NewStepper(rt)
+	st.Step()
+	st.Step()
+	release()
+	// After release the pinger's outputs land on an unconnected IP and are
+	// recorded as errors, not delivered.
+	st.Step()
+	st.Step()
+	if got := pinger.Body().(*pingState).received; got >= 1000 {
+		t.Errorf("received = %d, want early stop", got)
+	}
+	foundDead := false
+	for _, m := range rt.Instances() {
+		if m == ponger {
+			foundDead = true
+		}
+	}
+	if foundDead {
+		t.Error("released instance still listed")
+	}
+}
+
+func TestExternalBody(t *testing.T) {
+	var served int
+	def := &ModuleDef{
+		Name: "Ext", Attr: SystemProcess,
+		IPs: []IPDef{{Name: "P", Channel: pingChannel, Role: "callee"}},
+		External: BodyFunc(func(ctx *Ctx) bool {
+			ip := ctx.Self().IP("P")
+			in := ip.popHead()
+			if in == nil {
+				return false
+			}
+			served++
+			ctx.Output("P", "Pong", in.Int(0))
+			return true
+		}),
+	}
+	rt := NewRuntime(WithStrict())
+	ext, err := rt.AddSystem(def, "ext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replies atomic.Int64
+	ext.IP("P").SetSink(func(*Interaction) { replies.Add(1) })
+	for i := 0; i < 5; i++ {
+		ext.IP("P").Inject("Ping", int64(i))
+	}
+	if _, err := NewStepper(rt).RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if served != 5 || replies.Load() != 5 {
+		t.Errorf("served=%d replies=%d", served, replies.Load())
+	}
+}
+
+func TestStrictModeRejectsForeignMessage(t *testing.T) {
+	def := &ModuleDef{
+		Name: "Bad", Attr: SystemProcess,
+		IPs:    []IPDef{{Name: "P", Channel: pingChannel, Role: "caller"}},
+		States: []string{"S"},
+		Init: func(ctx *Ctx) {
+			ctx.Output("P", "Pong", 1) // caller may not send Pong
+		},
+	}
+	rt := NewRuntime(WithStrict())
+	defer func() {
+		if recover() == nil {
+			t.Error("strict mode did not panic on foreign message")
+		}
+	}()
+	_, _ = rt.AddSystem(def, "bad")
+}
+
+func TestUnconnectedOutputRecordsError(t *testing.T) {
+	def := &ModuleDef{
+		Name: "Lonely", Attr: SystemProcess,
+		IPs: []IPDef{{Name: "P", Channel: pingChannel, Role: "caller"}},
+		Init: func(ctx *Ctx) {
+			ctx.Output("P", "Ping", 1)
+		},
+	}
+	rt := NewRuntime()
+	if _, err := rt.AddSystem(def, "l"); err != nil {
+		t.Fatal(err)
+	}
+	if errs := rt.Errors(); len(errs) != 1 {
+		t.Errorf("errors = %v, want 1", errs)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	var events []TraceEvent
+	rt := NewRuntime(WithTrace(func(e TraceEvent) { events = append(events, e) }))
+	buildPingPong(t, rt, 2, DispatchTable)
+	if _, err := NewStepper(rt).RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("traced %d events, want 5", len(events))
+	}
+	if events[0].Module != "Pinger" || events[0].Transition != "kickoff" {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if events[1].Module != "Ponger" || events[1].Msg != "Ping" {
+		t.Errorf("second event = %+v", events[1])
+	}
+}
+
+func TestMessageConservationQuick(t *testing.T) {
+	property := func(roundsSeed uint8) bool {
+		rounds := int(roundsSeed%40) + 1
+		rt := NewRuntime()
+		pinger, err := rt.AddSystem(pingerDef(rounds, DispatchTable), "pinger")
+		if err != nil {
+			return false
+		}
+		ponger, err := rt.AddSystem(pongerDef(DispatchTable), "ponger")
+		if err != nil {
+			return false
+		}
+		if err := rt.Connect(pinger.IP("P"), ponger.IP("P")); err != nil {
+			return false
+		}
+		if _, err := NewStepper(rt).RunUntilIdle(100000); err != nil {
+			return false
+		}
+		st := pinger.Body().(*pingState)
+		return st.sent == rounds && st.received == rounds &&
+			rt.Stats().TransitionsFired.Load() == int64(2*rounds+1)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicInitUnderScheduler(t *testing.T) {
+	// A parent spawns a child per request while the parallel scheduler is
+	// running; the child must be adopted and execute.
+	var handled atomic.Int64
+	childDef := &ModuleDef{
+		Name: "Worker", Attr: Process, States: []string{"S"},
+		Trans: []Trans{{
+			Name:     "work",
+			Provided: func(ctx *Ctx) bool { return !ctx.Var("done").(bool) },
+			Action: func(ctx *Ctx) {
+				handled.Add(1)
+				ctx.SetVar("done", true)
+			},
+		}},
+		Init: func(ctx *Ctx) { ctx.SetVar("done", false) },
+	}
+	spawnDef := &ModuleDef{
+		Name: "Spawner", Attr: SystemProcess,
+		IPs:    []IPDef{{Name: "P", Channel: pingChannel, Role: "callee"}},
+		States: []string{"S"},
+		Trans: []Trans{{
+			Name: "spawn", When: On("P", "Ping"),
+			Action: func(ctx *Ctx) {
+				ctx.MustInit(childDef, "w")
+			},
+		}},
+	}
+	rt := NewRuntime()
+	spawner, err := rt.AddSystem(spawnDef, "spawner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(rt, MapPerInstance)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for i := 0; i < 8; i++ {
+		spawner.IP("P").Inject("Ping", int64(i))
+	}
+	if err := s.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if handled.Load() != 8 {
+		t.Errorf("handled = %d, want 8", handled.Load())
+	}
+}
+
+func TestManualClockDelayUnderScheduler(t *testing.T) {
+	clk := NewManualClock()
+	var fired atomic.Int64
+	def := &ModuleDef{
+		Name: "T", Attr: SystemProcess, States: []string{"W", "F"},
+		Trans: []Trans{{
+			Name: "timeout", From: []string{"W"}, To: "F",
+			Delay:  func(*Ctx) time.Duration { return time.Minute },
+			Action: func(*Ctx) { fired.Add(1) },
+		}},
+	}
+	rt := NewRuntime(WithClock(clk))
+	if _, err := rt.AddSystem(def, "t"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(rt, MapSingleUnit)
+	if err := s.RunToQuiescence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 1 {
+		t.Errorf("fired = %d, want 1 (clock must auto-advance)", fired.Load())
+	}
+}

@@ -1,0 +1,186 @@
+// Package estparse parses the textual Estelle subset used by this
+// repository's formal specifications — the "specification in Estelle" step
+// of the paper's four-step methodology (§4). The companion package estgen
+// generates Go from the same AST; this package can also execute
+// specifications directly through an interpreter (Compile/Build), which is
+// the runtime analogue of Pet/Dingo's derived implementations.
+//
+// # Supported subset
+//
+// Channels with two roles and typed interactions; modules with the four
+// Estelle attributes and named interaction points; bodies with states,
+// integer/boolean/string variables, an initialize clause, and transitions
+// carrying from/to/when/provided/priority/delay clauses; statements:
+// assignment, output, if/else, while; a specification-level configuration
+// section (modvar/init/connect/attach). Omitted (not needed by the paper's
+// specs): arrays of interaction points, exported variables, any-types,
+// nested module declarations in bodies other than via init.
+package estparse
+
+// Spec is a parsed specification.
+type Spec struct {
+	Name     string
+	Channels []*Channel
+	Modules  []*Module
+	Bodies   []*Body
+	Config   []ConfigStmt
+	// ExternalBodies maps `body X for M; external;` declarations: body
+	// name to module name. Implementations are registered from Go.
+	ExternalBodies map[string]string
+}
+
+// Channel declares a channel type with two roles.
+type Channel struct {
+	Name   string
+	RoleA  string
+	RoleB  string
+	ByRole map[string][]Msg
+}
+
+// Msg is one interaction type.
+type Msg struct {
+	Name   string
+	Params []Param
+}
+
+// Param is a typed interaction parameter.
+type Param struct {
+	Name string
+	Type string // integer, boolean, octetstring
+}
+
+// Module is a module header: attribute and interaction points.
+type Module struct {
+	Name string
+	Attr string // systemprocess, systemactivity, process, activity
+	IPs  []IPDecl
+	// External marks `body ... external;` headers whose implementation is
+	// registered from Go (the paper's DUA/SUA/EUA pattern).
+	External bool
+}
+
+// IPDecl declares an interaction point.
+type IPDecl struct {
+	Name    string
+	Channel string
+	Role    string
+}
+
+// Body is a module body: states, variables, initialization, transitions.
+type Body struct {
+	Name      string
+	Module    string
+	States    []string
+	Vars      []Param
+	InitTo    string
+	InitBlock []Stmt
+	Trans     []*Trans
+}
+
+// Trans is one transition declaration.
+type Trans struct {
+	From     []string
+	To       string
+	WhenIP   string
+	WhenMsg  string
+	Provided Expr
+	Priority int
+	// DelayMillis is the delay clause expression (milliseconds).
+	Delay Expr
+	Block []Stmt
+	// Line records the source line for diagnostics.
+	Line int
+}
+
+// ConfigStmt is one specification-level configuration statement.
+type ConfigStmt interface{ configStmt() }
+
+// ModVar declares a module variable at specification level.
+type ModVar struct {
+	Name   string
+	Module string
+}
+
+// InitStmt instantiates a module variable with a body.
+type InitStmt struct {
+	Var  string
+	Body string
+}
+
+// ConnectStmt wires two interaction points.
+type ConnectStmt struct {
+	AVar, AIP string
+	BVar, BIP string
+}
+
+func (ModVar) configStmt()      {}
+func (InitStmt) configStmt()    {}
+func (ConnectStmt) configStmt() {}
+
+// Stmt is a statement in a block.
+type Stmt interface{ stmt() }
+
+// Assign is `name := expr`.
+type Assign struct {
+	Name string
+	Expr Expr
+}
+
+// OutputStmt is `output IP.Msg(args...)`.
+type OutputStmt struct {
+	IP   string
+	Msg  string
+	Args []Expr
+}
+
+// IfStmt is `if expr then begin..end [else begin..end]`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is `while expr do begin..end`.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (Assign) stmt()     {}
+func (OutputStmt) stmt() {}
+func (IfStmt) stmt()     {}
+func (WhileStmt) stmt()  {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// BoolLit is true/false.
+type BoolLit struct{ Value bool }
+
+// StrLit is a quoted string.
+type StrLit struct{ Value string }
+
+// Ident references a variable or when-message parameter.
+type Ident struct{ Name string }
+
+// Unary is a prefix operator: "-" or "not".
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator: arithmetic, comparison, and/or.
+type Binary struct {
+	Op   string // + - * div mod = <> < <= > >= and or
+	L, R Expr
+}
+
+func (IntLit) expr()  {}
+func (BoolLit) expr() {}
+func (StrLit) expr()  {}
+func (Ident) expr()   {}
+func (Unary) expr()   {}
+func (Binary) expr()  {}

@@ -1,0 +1,176 @@
+package estparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokPunct // ; : , . ( ) :=  and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// keywords of the Estelle subset; Estelle is case-insensitive for keywords,
+// and we follow that by lowering candidate identifiers.
+var keywords = map[string]bool{
+	"specification": true, "channel": true, "by": true, "module": true,
+	"body": true, "for": true, "external": true, "end": true, "ip": true,
+	"state": true, "var": true, "initialize": true, "to": true,
+	"trans": true, "from": true, "when": true, "provided": true,
+	"priority": true, "delay": true, "begin": true, "output": true,
+	"if": true, "then": true, "else": true, "while": true, "do": true,
+	"and": true, "or": true, "not": true, "div": true, "mod": true,
+	"true": true, "false": true,
+	"modvar": true, "init": true, "with": true, "connect": true,
+	"systemprocess": true, "systemactivity": true, "process": true, "activity": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	toks   []token
+	tokPos int
+}
+
+func newLexer(src string) (*lexer, error) {
+	l := &lexer{src: src, line: 1}
+	if err := l.scanAll(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *lexer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("estelle: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) scanAll() error {
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+			return nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) {
+				c := rune(l.src[l.pos])
+				if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+					l.pos++
+					continue
+				}
+				break
+			}
+			word := l.src[start:l.pos]
+			if keywords[strings.ToLower(word)] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: strings.ToLower(word), line: l.line})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, line: l.line})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokInt, text: l.src[start:l.pos], line: l.line})
+		case c == '"':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\n' {
+					return l.errf(l.line, "unterminated string")
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return l.errf(l.line, "unterminated string")
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.src[start:l.pos], line: l.line})
+			l.pos++
+		default:
+			if tok, n := l.punct(); n > 0 {
+				l.toks = append(l.toks, token{kind: tokPunct, text: tok, line: l.line})
+				l.pos += n
+			} else {
+				return l.errf(l.line, "unexpected character %q", c)
+			}
+		}
+	}
+}
+
+// punct recognizes multi-character operators first.
+func (l *lexer) punct() (string, int) {
+	rest := l.src[l.pos:]
+	for _, op := range []string{":=", "<=", ">=", "<>"} {
+		if strings.HasPrefix(rest, op) {
+			return op, len(op)
+		}
+	}
+	switch rest[0] {
+	case ';', ':', ',', '.', '(', ')', '=', '<', '>', '+', '-', '*':
+		return rest[:1], 1
+	}
+	return "", 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch {
+		case l.src[l.pos] == '\n':
+			l.line++
+			l.pos++
+		case l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "{"):
+			// Pascal-style comment block.
+			for l.pos < len(l.src) && l.src[l.pos] != '}' {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos < len(l.src) {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "(*"):
+			for l.pos+1 < len(l.src) && !strings.HasPrefix(l.src[l.pos:], "*)") {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) peek() token   { return l.toks[l.tokPos] }
+func (l *lexer) next() token   { t := l.toks[l.tokPos]; l.tokPos++; return t }
+func (l *lexer) backup()       { l.tokPos-- }
+func (l *lexer) atEOF() bool   { return l.peek().kind == tokEOF }
+func (l *lexer) curLine() int  { return l.peek().line }
+func (l *lexer) save() int     { return l.tokPos }
+func (l *lexer) restore(p int) { l.tokPos = p }

@@ -1,0 +1,946 @@
+package estparse
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses Estelle-subset source text into a Spec.
+func Parse(src string) (*Spec, error) {
+	lex, err := newLexer(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lex: lex}
+	return p.parseSpec()
+}
+
+type parser struct {
+	lex  *lexer
+	spec *Spec
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("estelle: line %d: %s", p.lex.curLine(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.lex.next()
+	if t.kind != tokKeyword || t.text != kw {
+		p.lex.backup()
+		return p.errf("expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.lex.next()
+	if t.kind != tokPunct || t.text != s {
+		p.lex.backup()
+		return p.errf("expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		p.lex.backup()
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+// acceptPunct consumes s if present.
+func (p *parser) acceptPunct(s string) bool {
+	t := p.lex.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.lex.next()
+		return true
+	}
+	return false
+}
+
+// acceptKeyword consumes kw if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.lex.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.lex.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSpec() (*Spec, error) {
+	if err := p.expectKeyword("specification"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	p.spec = &Spec{Name: name}
+	for {
+		t := p.lex.peek()
+		if t.kind == tokEOF {
+			return nil, p.errf("missing 'end.'")
+		}
+		if t.kind != tokKeyword {
+			return nil, p.errf("unexpected %q at top level", t.text)
+		}
+		switch t.text {
+		case "channel":
+			ch, err := p.parseChannel()
+			if err != nil {
+				return nil, err
+			}
+			p.spec.Channels = append(p.spec.Channels, ch)
+		case "module":
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			p.spec.Modules = append(p.spec.Modules, m)
+		case "body":
+			b, err := p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				p.spec.Bodies = append(p.spec.Bodies, b)
+			}
+		case "modvar", "init", "connect":
+			cs, err := p.parseConfigStmt()
+			if err != nil {
+				return nil, err
+			}
+			p.spec.Config = append(p.spec.Config, cs...)
+		case "end":
+			p.lex.next()
+			if err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			if err := p.validate(); err != nil {
+				return nil, err
+			}
+			return p.spec, nil
+		default:
+			return nil, p.errf("unexpected keyword %q at top level", t.text)
+		}
+	}
+}
+
+func (p *parser) parseChannel() (*Channel, error) {
+	p.lex.next() // channel
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	roleA, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	roleB, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	ch := &Channel{Name: name, RoleA: roleA, RoleB: roleB, ByRole: make(map[string][]Msg)}
+	for p.acceptKeyword("by") {
+		role, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if role != roleA && role != roleB {
+			return nil, p.errf("channel %s has no role %q", name, role)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		// One or more message declarations, each terminated by ";".
+		for {
+			msg, err := p.parseMsgDecl()
+			if err != nil {
+				return nil, err
+			}
+			ch.ByRole[role] = append(ch.ByRole[role], msg)
+			// Another message follows if the next token is an identifier.
+			if p.lex.peek().kind != tokIdent {
+				break
+			}
+		}
+	}
+	return ch, nil
+}
+
+func (p *parser) parseMsgDecl() (Msg, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Msg{}, err
+	}
+	msg := Msg{Name: name}
+	if p.acceptPunct("(") {
+		for {
+			pname, err := p.ident()
+			if err != nil {
+				return Msg{}, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return Msg{}, err
+			}
+			ptype, err := p.typeName()
+			if err != nil {
+				return Msg{}, err
+			}
+			msg.Params = append(msg.Params, Param{Name: pname, Type: ptype})
+			if p.acceptPunct(")") {
+				break
+			}
+			if err := p.expectPunct(","); err != nil {
+				return Msg{}, err
+			}
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return Msg{}, err
+	}
+	return msg, nil
+}
+
+func (p *parser) typeName() (string, error) {
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		p.lex.backup()
+		return "", p.errf("expected type name, got %q", t.text)
+	}
+	switch t.text {
+	case "integer", "boolean", "octetstring":
+		return t.text, nil
+	default:
+		return "", p.errf("unsupported type %q (integer, boolean, octetstring)", t.text)
+	}
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	p.lex.next() // module
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := p.lex.next()
+	if t.kind != tokKeyword {
+		p.lex.backup()
+		return nil, p.errf("expected module attribute, got %q", t.text)
+	}
+	switch t.text {
+	case "systemprocess", "systemactivity", "process", "activity":
+	default:
+		return nil, p.errf("bad attribute %q", t.text)
+	}
+	m := &Module{Name: name, Attr: t.text}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("ip") {
+		// ip NAME: Channel(role); [more in same clause separated by ;]
+		for {
+			ipName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			chName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			role, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			m.IPs = append(m.IPs, IPDecl{Name: ipName, Channel: chName, Role: role})
+			if p.lex.peek().kind != tokIdent {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseBody handles `body Name for Module; ... end;` and the external form
+// `body Name for Module; external;` which marks the module for a Go body.
+func (p *parser) parseBody() (*Body, error) {
+	p.lex.next() // body
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	modName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("external") {
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		for _, m := range p.spec.Modules {
+			if m.Name == modName {
+				m.External = true
+			}
+		}
+		if p.spec.ExternalBodies == nil {
+			p.spec.ExternalBodies = make(map[string]string)
+		}
+		p.spec.ExternalBodies[name] = modName
+		return nil, nil
+	}
+	b := &Body{Name: name, Module: modName}
+	if p.acceptKeyword("state") {
+		for {
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			b.States = append(b.States, s)
+			if p.acceptPunct(";") {
+				break
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.acceptKeyword("var") {
+		for p.lex.peek().kind == tokIdent {
+			vname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			vtype, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			b.Vars = append(b.Vars, Param{Name: vname, Type: vtype})
+		}
+	}
+	if p.acceptKeyword("initialize") {
+		if p.acceptKeyword("to") {
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			b.InitTo = s
+		}
+		if p.lex.peek().kind == tokKeyword && p.lex.peek().text == "begin" {
+			stmts, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			b.InitBlock = stmts
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("trans") {
+		for {
+			t := p.lex.peek()
+			if t.kind == tokKeyword && t.text == "end" {
+				break
+			}
+			tr, err := p.parseTrans()
+			if err != nil {
+				return nil, err
+			}
+			b.Trans = append(b.Trans, tr)
+		}
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *parser) parseTrans() (*Trans, error) {
+	tr := &Trans{Line: p.lex.curLine()}
+	for {
+		t := p.lex.peek()
+		if t.kind != tokKeyword {
+			return nil, p.errf("expected transition clause, got %q", t.text)
+		}
+		switch t.text {
+		case "from":
+			p.lex.next()
+			for {
+				s, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				tr.From = append(tr.From, s)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		case "to":
+			p.lex.next()
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tr.To = s
+		case "when":
+			p.lex.next()
+			ip, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			msg, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tr.WhenIP, tr.WhenMsg = ip, msg
+		case "provided":
+			p.lex.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			tr.Provided = e
+		case "priority":
+			p.lex.next()
+			n := p.lex.next()
+			if n.kind != tokInt {
+				p.lex.backup()
+				return nil, p.errf("expected priority number, got %q", n.text)
+			}
+			v, _ := strconv.Atoi(n.text)
+			tr.Priority = v
+		case "delay":
+			p.lex.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			tr.Delay = e
+		case "begin":
+			stmts, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			tr.Block = stmts
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return tr, nil
+		default:
+			return nil, p.errf("unexpected %q in transition", t.text)
+		}
+	}
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expectKeyword("begin"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		t := p.lex.peek()
+		if t.kind == tokKeyword && t.text == "end" {
+			p.lex.next()
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		// Statements are ';'-separated; a trailing ';' before end is fine.
+		p.acceptPunct(";")
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.lex.peek()
+	switch {
+	case t.kind == tokKeyword && t.text == "output":
+		p.lex.next()
+		ip, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		msg, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out := &OutputStmt{IP: ip, Msg: msg}
+		if p.acceptPunct("(") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				out.Args = append(out.Args, e)
+				if p.acceptPunct(")") {
+					break
+				}
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	case t.kind == tokKeyword && t.text == "if":
+		p.lex.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		thenBlk, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: thenBlk}
+		if p.acceptKeyword("else") {
+			elseBlk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = elseBlk
+		}
+		return st, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.lex.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("do"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.kind == tokIdent:
+		name, _ := p.ident()
+		if err := p.expectPunct(":="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: name, Expr: e}, nil
+	default:
+		return nil, p.errf("unexpected %q in statement", t.text)
+	}
+}
+
+// Expression grammar with Pascal-ish precedence:
+//
+//	expr   := rel { ("and"|"or") rel }         (flat; no mixed precedence)
+//	rel    := sum [ ("="|"<>"|"<"|"<="|">"|">=") sum ]
+//	sum    := term { ("+"|"-") term }
+//	term   := factor { ("*"|"div"|"mod") factor }
+//	factor := INT | STRING | true | false | IDENT | "(" expr ")" |
+//	          "-" factor | "not" factor
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		if t.kind == tokKeyword && (t.text == "and" || t.text == "or") {
+			p.lex.next()
+			right, err := p.parseRel()
+			if err != nil {
+				return nil, err
+			}
+			left = Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	t := p.lex.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.lex.next()
+			right, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: t.text, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.lex.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		isMul := (t.kind == tokPunct && t.text == "*") ||
+			(t.kind == tokKeyword && (t.text == "div" || t.text == "mod"))
+		if isMul {
+			p.lex.next()
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.lex.next()
+	switch {
+	case t.kind == tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return IntLit{Value: v}, nil
+	case t.kind == tokString:
+		return StrLit{Value: t.text}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		return BoolLit{Value: true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		return BoolLit{Value: false}, nil
+	case t.kind == tokKeyword && t.text == "not":
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "not", X: x}, nil
+	case t.kind == tokPunct && t.text == "-":
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		return Ident{Name: t.text}, nil
+	default:
+		p.lex.backup()
+		return nil, p.errf("unexpected %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseConfigStmt() ([]ConfigStmt, error) {
+	t := p.lex.next()
+	switch t.text {
+	case "modvar":
+		var out []ConfigStmt
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			mod, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			out = append(out, ModVar{Name: name, Module: mod})
+			if p.lex.peek().kind != tokIdent {
+				return out, nil
+			}
+		}
+	case "init":
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("with"); err != nil {
+			return nil, err
+		}
+		b, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return []ConfigStmt{InitStmt{Var: v, Body: b}}, nil
+	case "connect":
+		av, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		aip, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("to"); err != nil {
+			return nil, err
+		}
+		bv, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		bip, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return []ConfigStmt{ConnectStmt{AVar: av, AIP: aip, BVar: bv, BIP: bip}}, nil
+	default:
+		return nil, p.errf("unexpected config statement %q", t.text)
+	}
+}
+
+// validate cross-checks name references in the parsed specification.
+func (p *parser) validate() error {
+	chans := make(map[string]*Channel)
+	for _, c := range p.spec.Channels {
+		if chans[c.Name] != nil {
+			return fmt.Errorf("estelle: duplicate channel %q", c.Name)
+		}
+		chans[c.Name] = c
+	}
+	mods := make(map[string]*Module)
+	for _, m := range p.spec.Modules {
+		if mods[m.Name] != nil {
+			return fmt.Errorf("estelle: duplicate module %q", m.Name)
+		}
+		mods[m.Name] = m
+		for _, ip := range m.IPs {
+			ch := chans[ip.Channel]
+			if ch == nil {
+				return fmt.Errorf("estelle: module %s: IP %s references unknown channel %q",
+					m.Name, ip.Name, ip.Channel)
+			}
+			if ip.Role != ch.RoleA && ip.Role != ch.RoleB {
+				return fmt.Errorf("estelle: module %s: IP %s: channel %s has no role %q",
+					m.Name, ip.Name, ip.Channel, ip.Role)
+			}
+		}
+	}
+	bodies := make(map[string]*Body)
+	for _, b := range p.spec.Bodies {
+		if bodies[b.Name] != nil {
+			return fmt.Errorf("estelle: duplicate body %q", b.Name)
+		}
+		bodies[b.Name] = b
+		mod := mods[b.Module]
+		if mod == nil {
+			return fmt.Errorf("estelle: body %s is for unknown module %q", b.Name, b.Module)
+		}
+		states := make(map[string]bool)
+		for _, s := range b.States {
+			states[s] = true
+		}
+		if b.InitTo != "" && !states[b.InitTo] {
+			return fmt.Errorf("estelle: body %s: initialize to unknown state %q", b.Name, b.InitTo)
+		}
+		ips := make(map[string]IPDecl)
+		for _, ip := range mod.IPs {
+			ips[ip.Name] = ip
+		}
+		for _, tr := range b.Trans {
+			for _, s := range tr.From {
+				if !states[s] {
+					return fmt.Errorf("estelle: body %s line %d: from unknown state %q", b.Name, tr.Line, s)
+				}
+			}
+			if tr.To != "" && !states[tr.To] {
+				return fmt.Errorf("estelle: body %s line %d: to unknown state %q", b.Name, tr.Line, tr.To)
+			}
+			if tr.WhenIP != "" {
+				ip, ok := ips[tr.WhenIP]
+				if !ok {
+					return fmt.Errorf("estelle: body %s line %d: when on unknown IP %q", b.Name, tr.Line, tr.WhenIP)
+				}
+				ch := chans[ip.Channel]
+				peer, _ := peerRole(ch, ip.Role)
+				if !msgInRole(ch, peer, tr.WhenMsg) {
+					return fmt.Errorf("estelle: body %s line %d: role %s never sends %q on %s",
+						b.Name, tr.Line, peer, tr.WhenMsg, ch.Name)
+				}
+			}
+		}
+	}
+	// Configuration references.
+	vars := make(map[string]*Module)
+	for _, cs := range p.spec.Config {
+		switch s := cs.(type) {
+		case ModVar:
+			mod := mods[s.Module]
+			if mod == nil {
+				return fmt.Errorf("estelle: modvar %s: unknown module %q", s.Name, s.Module)
+			}
+			vars[s.Name] = mod
+		case InitStmt:
+			if vars[s.Var] == nil {
+				return fmt.Errorf("estelle: init of undeclared modvar %q", s.Var)
+			}
+			bodyModule := ""
+			if b := bodies[s.Body]; b != nil {
+				bodyModule = b.Module
+			} else if m, ok := p.spec.ExternalBodies[s.Body]; ok {
+				bodyModule = m
+			} else {
+				return fmt.Errorf("estelle: init %s with unknown body %q", s.Var, s.Body)
+			}
+			if bodyModule != vars[s.Var].Name {
+				return fmt.Errorf("estelle: body %s is for module %s, not %s",
+					s.Body, bodyModule, vars[s.Var].Name)
+			}
+		case ConnectStmt:
+			for _, ref := range [][2]string{{s.AVar, s.AIP}, {s.BVar, s.BIP}} {
+				mod := vars[ref[0]]
+				if mod == nil {
+					return fmt.Errorf("estelle: connect references undeclared modvar %q", ref[0])
+				}
+				found := false
+				for _, ip := range mod.IPs {
+					if ip.Name == ref[1] {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("estelle: connect: module %s has no IP %q", mod.Name, ref[1])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func peerRole(ch *Channel, role string) (string, bool) {
+	switch role {
+	case ch.RoleA:
+		return ch.RoleB, true
+	case ch.RoleB:
+		return ch.RoleA, true
+	default:
+		return "", false
+	}
+}
+
+func msgInRole(ch *Channel, role, msg string) bool {
+	for _, m := range ch.ByRole[role] {
+		if m.Name == msg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,305 @@
+package estelle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IP is an interaction point of a module instance. Each IP owns an unbounded
+// FIFO queue (Estelle's default "individual queue" discipline). Any unit may
+// append; only the owning instance's unit pops.
+type IP struct {
+	def   IPDef
+	owner *Instance
+
+	mu    sync.Mutex
+	queue []*Interaction
+	head  int
+	// peer is the connected remote endpoint (set by Connect).
+	peer *IP
+	// fwd points at the child IP this endpoint was attached to (Estelle
+	// `attach`); inbound traffic is delivered to the end of the chain.
+	fwd *IP
+	// attachedFrom is the inverse of fwd.
+	attachedFrom *IP
+	// sink receives outbound interactions when the IP has no peer —
+	// the boundary to the environment (application, network driver).
+	sink func(*Interaction)
+}
+
+// Name returns the IP's declared name.
+func (ip *IP) Name() string { return ip.def.Name }
+
+// Owner returns the owning module instance.
+func (ip *IP) Owner() *Instance { return ip.owner }
+
+// Channel returns the channel type of the IP.
+func (ip *IP) Channel() *ChannelDef { return ip.def.Channel }
+
+// Role returns the role the owner plays on the channel.
+func (ip *IP) Role() string { return ip.def.Role }
+
+// SetSink registers an environment sink receiving interactions output on
+// this IP when it is not connected. The sink runs on the emitting unit's
+// goroutine and must not block.
+func (ip *IP) SetSink(fn func(*Interaction)) {
+	ip.mu.Lock()
+	ip.sink = fn
+	ip.mu.Unlock()
+}
+
+// QueueLen returns the number of pending inbound interactions.
+func (ip *IP) QueueLen() int {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return len(ip.queue) - ip.head
+}
+
+// PopInput consumes the next inbound interaction, or returns nil when the
+// queue is empty. It is intended for external module bodies (estelle.Body)
+// consuming their own IPs from the scheduler's goroutine; transition-based
+// modules must use when-clauses instead.
+func (ip *IP) PopInput() *Interaction { return ip.popHead() }
+
+// Inject delivers an interaction from the environment into this IP's inbound
+// queue (following any attach chain), as if the connected peer had sent it.
+func (ip *IP) Inject(name string, args ...any) {
+	target := ip.deliveryEnd()
+	target.enqueue(&Interaction{Name: name, Args: args})
+}
+
+// deliveryEnd follows the attach chain to the IP that actually consumes
+// inbound traffic.
+func (ip *IP) deliveryEnd() *IP {
+	cur := ip
+	for {
+		cur.mu.Lock()
+		next := cur.fwd
+		cur.mu.Unlock()
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// outboundTop follows attachedFrom links up to the externally visible
+// endpoint whose peer/sink applies to outbound traffic.
+func (ip *IP) outboundTop() *IP {
+	cur := ip
+	for {
+		cur.mu.Lock()
+		up := cur.attachedFrom
+		cur.mu.Unlock()
+		if up == nil {
+			return cur
+		}
+		cur = up
+	}
+}
+
+func (ip *IP) enqueue(in *Interaction) {
+	ip.mu.Lock()
+	ip.queue = append(ip.queue, in)
+	ip.mu.Unlock()
+	ip.owner.rt.stats.add(&ip.owner.rt.stats.MessagesSent, 1)
+	ip.owner.wake()
+}
+
+// peekHead returns the head of the queue without consuming it.
+func (ip *IP) peekHead() *Interaction {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if ip.head >= len(ip.queue) {
+		return nil
+	}
+	return ip.queue[ip.head]
+}
+
+// popHead consumes the head of the queue.
+func (ip *IP) popHead() *Interaction {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if ip.head >= len(ip.queue) {
+		return nil
+	}
+	in := ip.queue[ip.head]
+	ip.queue[ip.head] = nil
+	ip.head++
+	if ip.head == len(ip.queue) {
+		ip.queue = ip.queue[:0]
+		ip.head = 0
+	}
+	return in
+}
+
+// send routes an outbound interaction: up the attach chain, across the
+// connection, down the peer's attach chain — or to the sink / error counter.
+func (ip *IP) send(in *Interaction) {
+	top := ip.outboundTop()
+	top.mu.Lock()
+	peer := top.peer
+	sink := top.sink
+	top.mu.Unlock()
+	if peer != nil {
+		peer.deliveryEnd().enqueue(in)
+		return
+	}
+	if sink != nil {
+		ip.owner.rt.stats.add(&ip.owner.rt.stats.MessagesSent, 1)
+		sink(in)
+		return
+	}
+	ip.owner.rt.noteError(fmt.Errorf("estelle: %s.%s: output %q on unconnected IP",
+		ip.owner.Path(), ip.def.Name, in.Name))
+}
+
+// Instance is one runtime instantiation of a ModuleDef.
+type Instance struct {
+	id   int64
+	name string
+	def  *ModuleDef
+	cdef *compiledDef
+	rt   *Runtime
+
+	parent   *Instance
+	children []*Instance
+
+	ips map[string]*IP
+	// ipList holds the IPs in declaration order, aligned with def.IPs.
+	ipList []*IP
+	// headCache/headValid hold one consistent per-scan snapshot of queue
+	// heads so transition selection sees a single global situation.
+	// Touched only by the owning unit.
+	headCache []*Interaction
+	headValid []bool
+	state     int
+	// vars carries interpreter-managed variables; native bodies use body.
+	vars map[string]any
+	// body holds arbitrary state owned by native Go module bodies.
+	body any
+	// external, when non-nil, overrides def.External for this instance so
+	// dynamically created modules can own private external bodies.
+	external Body
+
+	// unitPtr holds the owning scheduler unit (nil when driven by a
+	// Stepper); read by message senders on other goroutines.
+	unitPtr atomic.Pointer[unit]
+	// dead marks released instances; read by scanners on other units.
+	dead atomic.Bool
+	// firedPass, childRanPass and enabledSince are touched only by the
+	// owning unit (or the single-threaded Stepper).
+	firedPass    uint64
+	childRanPass uint64
+	enabledSince map[int]time.Time
+}
+
+// Name returns the instance name (unique among siblings).
+func (m *Instance) Name() string { return m.name }
+
+// Def returns the module definition.
+func (m *Instance) Def() *ModuleDef { return m.def }
+
+// Parent returns the parent instance, nil for system modules.
+func (m *Instance) Parent() *Instance { return m.parent }
+
+// Children returns the live child instances.
+func (m *Instance) Children() []*Instance {
+	m.rt.mu.Lock()
+	kids := append([]*Instance(nil), m.children...)
+	m.rt.mu.Unlock()
+	var out []*Instance
+	for _, c := range kids {
+		if !c.dead.Load() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Path returns the slash-separated path from the system root.
+func (m *Instance) Path() string {
+	if m.parent == nil {
+		return m.name
+	}
+	return m.parent.Path() + "/" + m.name
+}
+
+// IP returns the named interaction point; it panics on unknown names, which
+// indicate a programming error in the module body.
+func (m *Instance) IP(name string) *IP {
+	ip, ok := m.ips[name]
+	if !ok {
+		panic(fmt.Sprintf("estelle: module %s has no IP %q", m.def.Name, name))
+	}
+	return ip
+}
+
+// State returns the current control state name.
+func (m *Instance) State() string {
+	if len(m.def.States) == 0 {
+		return ""
+	}
+	return m.def.States[m.state]
+}
+
+// Body returns the native body state stored by Init via Ctx.SetBody.
+func (m *Instance) Body() any { return m.body }
+
+// Var returns an interpreter-managed variable.
+func (m *Instance) Var(name string) any { return m.vars[name] }
+
+// SetVar sets an interpreter-managed variable.
+func (m *Instance) SetVar(name string, v any) {
+	if m.vars == nil {
+		m.vars = make(map[string]any)
+	}
+	m.vars[name] = v
+}
+
+// Notify wakes the instance's scheduler unit so its external body gets a
+// Step call soon. External bodies fed by goroutines outside the scheduler
+// (network readers, timers) call this after queueing work for Step.
+func (m *Instance) Notify() { m.wake() }
+
+// wake notifies the owning scheduler unit that new input arrived.
+func (m *Instance) wake() {
+	if u := m.unitPtr.Load(); u != nil {
+		u.wakeup()
+	} else {
+		m.rt.wakeIdle()
+	}
+}
+
+// groupRootAncestor returns the nearest ancestor (or self) whose def is a
+// GroupRoot, else the system root.
+func (m *Instance) groupRootAncestor() *Instance {
+	cur := m
+	for cur.parent != nil {
+		if cur.def.GroupRoot {
+			return cur
+		}
+		cur = cur.parent
+	}
+	return cur
+}
+
+// systemRoot returns the enclosing system module instance.
+func (m *Instance) systemRoot() *Instance {
+	cur := m
+	for cur.parent != nil {
+		cur = cur.parent
+	}
+	return cur
+}
+
+// depth returns the number of ancestors.
+func (m *Instance) depth() int {
+	d := 0
+	for cur := m.parent; cur != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}

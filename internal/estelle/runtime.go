@@ -1,0 +1,496 @@
+package estelle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for delay clauses so tests can run on virtual time.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock reads the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a settable clock for deterministic tests.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a manual clock starting at an arbitrary fixed epoch.
+func NewManualClock() *ManualClock {
+	return &ManualClock{t: time.Unix(1000, 0)}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t if t is later.
+func (c *ManualClock) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.t) {
+		c.t = t
+	}
+	c.mu.Unlock()
+}
+
+// Stats aggregates runtime counters used by the paper's experiments.
+// All fields are updated atomically.
+type Stats struct {
+	TransitionsFired atomic.Int64
+	MessagesSent     atomic.Int64
+	ScanPasses       atomic.Int64
+	// ScanNanos and ExecNanos split scheduler time into transition
+	// selection ("scheduler") and action execution, the quantities behind
+	// the paper's "scheduler runtime percentage of up to 80%" result.
+	// Only collected when the runtime was built WithTiming.
+	ScanNanos atomic.Int64
+	ExecNanos atomic.Int64
+	// SyncWaitNanos measures time units spent waiting for a virtual
+	// processor token (paper §5.2: synchronization losses when modules
+	// outnumber processors).
+	SyncWaitNanos atomic.Int64
+	// MappingOverrides counts dynamic instances forced into their parent's
+	// unit to preserve Estelle tree-precedence semantics.
+	MappingOverrides atomic.Int64
+}
+
+func (s *Stats) add(c *atomic.Int64, v int64) { c.Add(v) }
+
+// SchedulerShare returns the fraction of measured runtime spent selecting
+// transitions rather than executing them.
+func (s *Stats) SchedulerShare() float64 {
+	scan := float64(s.ScanNanos.Load())
+	exec := float64(s.ExecNanos.Load())
+	if scan+exec == 0 {
+		return 0
+	}
+	return scan / (scan + exec)
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithClock substitutes the runtime clock (delay clauses, timing).
+func WithClock(c Clock) Option { return func(r *Runtime) { r.clock = c } }
+
+// WithTiming enables scan/exec time collection (small per-transition cost).
+func WithTiming() Option { return func(r *Runtime) { r.timing = true } }
+
+// WithStrict makes channel-discipline violations (unknown interaction names,
+// outputs on unconnected IPs) fatal via panic instead of recorded errors.
+// Intended for tests.
+func WithStrict() Option { return func(r *Runtime) { r.strict = true } }
+
+// WithTrace installs a trace hook invoked after every fired transition.
+func WithTrace(fn func(TraceEvent)) Option { return func(r *Runtime) { r.trace = fn } }
+
+// TraceEvent describes one fired transition for tracing/debugging.
+type TraceEvent struct {
+	Module     string
+	Path       string
+	Transition string
+	From       string
+	To         string
+	Msg        string
+}
+
+// Runtime owns a forest of Estelle system-module instances and their shared
+// execution state. Create instances with AddSystem, then drive them with a
+// Scheduler (parallel) or the Stepper (deterministic, single-threaded).
+type Runtime struct {
+	clock  Clock
+	timing bool
+	strict bool
+	trace  func(TraceEvent)
+
+	mu      sync.Mutex
+	systems []*Instance
+	// instances lists all live instances in creation order (parents before
+	// children).
+	instances []*Instance
+	nextID    int64
+	errs      []error
+	// sched is the active scheduler, notified of dynamic instance
+	// creation; nil when driving via Stepper.
+	sched *Scheduler
+
+	stats Stats
+	// events counts enqueue operations; the quiescence detector uses it.
+	events atomic.Int64
+	// idleWake is closed and replaced to wake a scheduler-less waiter.
+	idleWakeMu sync.Mutex
+	idleWake   chan struct{}
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime(opts ...Option) *Runtime {
+	r := &Runtime{
+		clock:    realClock{},
+		idleWake: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Stats returns the runtime's counters.
+func (r *Runtime) Stats() *Stats { return &r.stats }
+
+// Clock returns the runtime clock.
+func (r *Runtime) Clock() Clock { return r.clock }
+
+// Errors returns the errors recorded so far (nil when strict).
+func (r *Runtime) Errors() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]error, len(r.errs))
+	copy(out, r.errs)
+	return out
+}
+
+func (r *Runtime) noteError(err error) {
+	if r.strict {
+		panic(err)
+	}
+	r.mu.Lock()
+	if len(r.errs) < 100 {
+		r.errs = append(r.errs, err)
+	}
+	r.mu.Unlock()
+}
+
+// wakeIdle signals anything blocked waiting for events when no scheduler is
+// attached (the Stepper's WaitEvent).
+func (r *Runtime) wakeIdle() {
+	r.idleWakeMu.Lock()
+	close(r.idleWake)
+	r.idleWake = make(chan struct{})
+	r.idleWakeMu.Unlock()
+}
+
+func (r *Runtime) idleWakeChan() <-chan struct{} {
+	r.idleWakeMu.Lock()
+	defer r.idleWakeMu.Unlock()
+	return r.idleWake
+}
+
+// Systems returns the system-module instances in creation order.
+func (r *Runtime) Systems() []*Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Instance, len(r.systems))
+	copy(out, r.systems)
+	return out
+}
+
+// Instances returns all live instances in creation order.
+func (r *Runtime) Instances() []*Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Instance, 0, len(r.instances))
+	for _, m := range r.instances {
+		if !m.dead.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AddSystem instantiates def as an independent system module (systemprocess
+// or systemactivity). The instance's Init runs immediately on the caller's
+// goroutine.
+func (r *Runtime) AddSystem(def *ModuleDef, name string) (*Instance, error) {
+	if !def.Attr.system() {
+		return nil, fmt.Errorf("estelle: AddSystem(%s): attribute %s is not a system attribute",
+			def.Name, def.Attr)
+	}
+	inst, err := r.newInstance(def, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.systems = append(r.systems, inst)
+	sched := r.sched
+	r.mu.Unlock()
+	if sched != nil {
+		sched.adopt(inst)
+	}
+	r.runInit(inst)
+	return inst, nil
+}
+
+func (r *Runtime) newInstance(def *ModuleDef, name string, parent *Instance) (*Instance, error) {
+	cdef, err := def.compile()
+	if err != nil {
+		return nil, err
+	}
+	if parent != nil {
+		if def.Attr.system() {
+			return nil, fmt.Errorf("estelle: %s: system module %s cannot be contained in %s",
+				parent.Path(), def.Name, parent.def.Name)
+		}
+		if !def.Attr.system() && def.Attr != Process && def.Attr != Activity {
+			return nil, fmt.Errorf("estelle: %s: child %s has no attribute", parent.Path(), def.Name)
+		}
+		if parent.def.Attr.activityLike() && def.Attr != Activity {
+			return nil, fmt.Errorf("estelle: %s: %s parent may only contain activity children, not %s",
+				parent.Path(), parent.def.Attr, def.Attr)
+		}
+	}
+	if name == "" {
+		name = def.Name
+	}
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	inst := &Instance{
+		id:           id,
+		name:         fmt.Sprintf("%s#%d", name, id),
+		def:          def,
+		cdef:         cdef,
+		rt:           r,
+		parent:       parent,
+		ips:          make(map[string]*IP, len(def.IPs)),
+		enabledSince: make(map[int]time.Time),
+	}
+	inst.ipList = make([]*IP, len(def.IPs))
+	inst.headCache = make([]*Interaction, len(def.IPs))
+	inst.headValid = make([]bool, len(def.IPs))
+	for i, ipd := range def.IPs {
+		ip := &IP{def: ipd, owner: inst}
+		inst.ips[ipd.Name] = ip
+		inst.ipList[i] = ip
+	}
+	r.mu.Lock()
+	r.instances = append(r.instances, inst)
+	if parent != nil {
+		parent.children = append(parent.children, inst)
+	}
+	r.mu.Unlock()
+	return inst, nil
+}
+
+// runInit executes def.Init with a Ctx bound to the instance.
+func (r *Runtime) runInit(inst *Instance) {
+	if inst.def.Init != nil {
+		inst.def.Init(&Ctx{inst: inst})
+	}
+}
+
+// Connect wires two free interaction points together (Estelle `connect`).
+func (r *Runtime) Connect(a, b *IP) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("estelle: Connect with nil IP")
+	}
+	// Channel compatibility: same channel def, opposite roles.
+	if a.def.Channel != b.def.Channel {
+		return fmt.Errorf("estelle: Connect %s.%s (%s) to %s.%s (%s): different channels",
+			a.owner.Path(), a.def.Name, a.def.Channel.Name,
+			b.owner.Path(), b.def.Name, b.def.Channel.Name)
+	}
+	if a.def.Role == b.def.Role {
+		return fmt.Errorf("estelle: Connect %s.%s to %s.%s: both play role %q on %s",
+			a.owner.Path(), a.def.Name, b.owner.Path(), b.def.Name, a.def.Role, a.def.Channel.Name)
+	}
+	a.mu.Lock()
+	aBusy := a.peer != nil
+	a.mu.Unlock()
+	b.mu.Lock()
+	bBusy := b.peer != nil
+	b.mu.Unlock()
+	if aBusy || bBusy {
+		return fmt.Errorf("estelle: Connect %s.%s to %s.%s: endpoint already connected",
+			a.owner.Path(), a.def.Name, b.owner.Path(), b.def.Name)
+	}
+	a.mu.Lock()
+	a.peer = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.peer = a
+	b.mu.Unlock()
+	return nil
+}
+
+// Attach forwards a parent's external interaction point to a child's
+// (Estelle `attach`). Traffic arriving at parentIP is delivered to childIP;
+// output from childIP leaves through parentIP's connection or sink.
+func (r *Runtime) Attach(parentIP, childIP *IP) error {
+	if parentIP == nil || childIP == nil {
+		return fmt.Errorf("estelle: Attach with nil IP")
+	}
+	if childIP.owner.parent != parentIP.owner {
+		return fmt.Errorf("estelle: Attach %s.%s -> %s.%s: not a parent/child pair",
+			parentIP.owner.Path(), parentIP.def.Name, childIP.owner.Path(), childIP.def.Name)
+	}
+	if parentIP.def.Channel != childIP.def.Channel || parentIP.def.Role != childIP.def.Role {
+		return fmt.Errorf("estelle: Attach %s.%s -> %s.%s: channel/role mismatch",
+			parentIP.owner.Path(), parentIP.def.Name, childIP.owner.Path(), childIP.def.Name)
+	}
+	parentIP.mu.Lock()
+	if parentIP.fwd != nil {
+		parentIP.mu.Unlock()
+		return fmt.Errorf("estelle: Attach %s.%s: already attached", parentIP.owner.Path(), parentIP.def.Name)
+	}
+	parentIP.fwd = childIP
+	parentIP.mu.Unlock()
+	childIP.mu.Lock()
+	childIP.attachedFrom = parentIP
+	childIP.mu.Unlock()
+	return nil
+}
+
+// Release terminates an instance subtree (Estelle `release`): detaches its
+// IPs, severs its connections, and removes it from scheduling.
+func (r *Runtime) Release(inst *Instance) {
+	for _, c := range inst.Children() {
+		r.Release(c)
+	}
+	for _, ip := range inst.ips {
+		ip.mu.Lock()
+		up := ip.attachedFrom
+		peer := ip.peer
+		ip.peer = nil
+		ip.attachedFrom = nil
+		ip.fwd = nil
+		ip.mu.Unlock()
+		if up != nil {
+			up.mu.Lock()
+			if up.fwd == ip {
+				up.fwd = nil
+			}
+			up.mu.Unlock()
+		}
+		if peer != nil {
+			peer.mu.Lock()
+			if peer.peer == ip {
+				peer.peer = nil
+			}
+			peer.mu.Unlock()
+		}
+	}
+	inst.dead.Store(true)
+	r.mu.Lock()
+	sched := r.sched
+	r.mu.Unlock()
+	if sched != nil {
+		sched.discard(inst)
+	}
+}
+
+// Ctx is the execution context handed to Init functions, transition guards
+// and actions, and external bodies.
+type Ctx struct {
+	inst *Instance
+	// Msg is the consumed interaction for when-clause transitions; nil for
+	// spontaneous transitions, Init, and external bodies.
+	Msg *Interaction
+	// stateOverride records that the action forced a state via ToState,
+	// which then takes precedence over the transition's To clause.
+	stateOverride bool
+}
+
+// Self returns the instance the context is bound to.
+func (c *Ctx) Self() *Instance { return c.inst }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.inst.rt }
+
+// Now returns the runtime clock's current time.
+func (c *Ctx) Now() time.Time { return c.inst.rt.clock.Now() }
+
+// SetBody stores native body state retrievable via Instance.Body.
+func (c *Ctx) SetBody(v any) { c.inst.body = v }
+
+// SetExternal installs a per-instance external body, overriding the
+// definition's External. Call it from Init so every dynamically created
+// instance owns private body state.
+func (c *Ctx) SetExternal(b Body) { c.inst.external = b }
+
+// Body returns the native body state.
+func (c *Ctx) Body() any { return c.inst.body }
+
+// Var returns an interpreter variable.
+func (c *Ctx) Var(name string) any { return c.inst.Var(name) }
+
+// SetVar sets an interpreter variable.
+func (c *Ctx) SetVar(name string, v any) { c.inst.SetVar(name, v) }
+
+// Output emits an interaction on the named IP of this module.
+func (c *Ctx) Output(ipName, msg string, args ...any) {
+	ip := c.inst.IP(ipName)
+	if c.inst.rt.strict {
+		if _, ok := ip.def.Channel.Msg(ip.def.Role, msg); !ok {
+			panic(fmt.Sprintf("estelle: %s.%s: role %q may not send %q on channel %s",
+				c.inst.Path(), ipName, ip.def.Role, msg, ip.def.Channel.Name))
+		}
+	}
+	c.inst.rt.events.Add(1)
+	ip.send(&Interaction{Name: msg, Args: args})
+}
+
+// Init creates a child module instance (Estelle `init`) and runs its Init.
+func (c *Ctx) Init(def *ModuleDef, name string) (*Instance, error) {
+	child, err := c.inst.rt.newInstance(def, name, c.inst)
+	if err != nil {
+		return nil, err
+	}
+	r := c.inst.rt
+	r.mu.Lock()
+	sched := r.sched
+	r.mu.Unlock()
+	if sched != nil {
+		sched.adopt(child)
+	}
+	r.runInit(child)
+	return child, nil
+}
+
+// MustInit is Init that treats failure as a specification bug.
+func (c *Ctx) MustInit(def *ModuleDef, name string) *Instance {
+	child, err := c.Init(def, name)
+	if err != nil {
+		panic(err)
+	}
+	return child
+}
+
+// Release terminates a child instance subtree.
+func (c *Ctx) Release(child *Instance) { c.inst.rt.Release(child) }
+
+// Connect wires two IPs (typically of this module's children).
+func (c *Ctx) Connect(a, b *IP) error { return c.inst.rt.Connect(a, b) }
+
+// Attach forwards one of this module's IPs to a child's IP.
+func (c *Ctx) Attach(parentIP, childIP *IP) error { return c.inst.rt.Attach(parentIP, childIP) }
+
+// ToState forces the control state from within an action, overriding the
+// transition's To clause — an escape hatch for error paths. It panics on
+// unknown states.
+func (c *Ctx) ToState(state string) {
+	idx, ok := c.inst.cdef.stateIdx[state]
+	if !ok {
+		panic(fmt.Sprintf("estelle: module %s has no state %q", c.inst.def.Name, state))
+	}
+	c.inst.state = idx
+	c.stateOverride = true
+}

@@ -1,0 +1,502 @@
+package estelle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MappingFunc assigns a module instance to a scheduling unit, identified by
+// an arbitrary key. All instances with the same key share one unit (one
+// goroutine). This is the paper's "mapping of Estelle modules onto tasks and
+// threads", the knob behind its §5.2 results.
+type MappingFunc func(*Instance) string
+
+// Predefined mappings.
+
+// MapSingleUnit places every module in one unit: the paper's sequential,
+// centralized-scheduler implementation.
+func MapSingleUnit(*Instance) string { return "unit" }
+
+// MapPerInstance gives every module instance its own unit: the code
+// generator's first version, "one thread for each Estelle module, creating
+// the maximum degree of parallelism allowed by Estelle semantics" (§4.2).
+func MapPerInstance(m *Instance) string { return m.name }
+
+// MapPerSystem maps each system-module tree to one unit: systems run in
+// parallel, modules within a system sequentially.
+func MapPerSystem(m *Instance) string { return m.systemRoot().name }
+
+// MapByModuleName co-locates all instances of the same module definition:
+// the paper's layer-per-processor configuration.
+func MapByModuleName(m *Instance) string { return m.def.Name }
+
+// MapPerGroupRoot co-locates each subtree rooted at a GroupRoot-flagged
+// module: the paper's connection-per-processor configuration.
+func MapPerGroupRoot(m *Instance) string { return m.groupRootAncestor().name }
+
+// MapRoundRobin distributes instances over k units by instance id. It is
+// deliberately locality-blind (modules of one connection land in different
+// units) and exists as the strawman grouping; prefer MapGroupedConnections.
+func MapRoundRobin(k int) MappingFunc {
+	if k < 1 {
+		k = 1
+	}
+	return func(m *Instance) string { return fmt.Sprintf("rr%d", m.id%int64(k)) }
+}
+
+// MapGroupedConnections implements the paper's §5.2 grouping scheme: "group
+// certain Estelle modules into one unit, and run this unit by one thread;
+// we take as many of these units as there are processors". Whole GroupRoot
+// subtrees (connections) are dealt round-robin over k units, so modules
+// that exchange data stay together and only whole connections share a
+// processor.
+func MapGroupedConnections(k int) MappingFunc {
+	if k < 1 {
+		k = 1
+	}
+	var mu sync.Mutex
+	next := 0
+	assigned := make(map[string]string)
+	return func(m *Instance) string {
+		root := m.groupRootAncestor().name
+		mu.Lock()
+		defer mu.Unlock()
+		key, ok := assigned[root]
+		if !ok {
+			key = fmt.Sprintf("grp%d", next%k)
+			next++
+			assigned[root] = key
+		}
+		return key
+	}
+}
+
+// unit is a group of module instances scheduled by one goroutine.
+type unit struct {
+	key   string
+	sched *Scheduler
+
+	mu        sync.Mutex
+	instances []*Instance
+	deadCount int
+	scratch   []*Instance
+
+	wakeCh chan struct{}
+	// nextDue holds the earliest delay due time (UnixNano) observed on the
+	// last idle transition; 0 = none. Read by the quiescence monitor.
+	nextDue atomic.Int64
+	passID  uint64
+}
+
+func (u *unit) wakeup() {
+	select {
+	case u.wakeCh <- struct{}{}:
+		u.sched.pendingWakes.Add(1)
+	default:
+	}
+}
+
+func (u *unit) add(m *Instance) {
+	u.mu.Lock()
+	u.instances = append(u.instances, m)
+	u.mu.Unlock()
+}
+
+// snapshot copies the live instance list into the unit's scratch buffer.
+func (u *unit) snapshot() []*Instance {
+	u.mu.Lock()
+	if u.deadCount > len(u.instances)/2 && len(u.instances) > 16 {
+		live := u.instances[:0]
+		for _, m := range u.instances {
+			if !m.dead.Load() {
+				live = append(live, m)
+			}
+		}
+		u.instances = live
+		u.deadCount = 0
+	}
+	u.scratch = append(u.scratch[:0], u.instances...)
+	u.mu.Unlock()
+	return u.scratch
+}
+
+// SchedOption configures a Scheduler.
+type SchedOption func(*Scheduler)
+
+// WithProcessors limits concurrent unit execution to p virtual processors,
+// modelling the paper's KSR1 processor count. p <= 0 means unlimited.
+func WithProcessors(p int) SchedOption { return func(s *Scheduler) { s.procs = p } }
+
+// WithBatch sets how many scan passes a unit runs per processor-token
+// acquisition (default 8).
+func WithBatch(n int) SchedOption {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.batch = n
+		}
+	}
+}
+
+// Scheduler drives a Runtime's module instances with one goroutine per unit,
+// the unified engine behind the paper's sequential (one unit) and parallel
+// (many units) implementations.
+type Scheduler struct {
+	rt      *Runtime
+	mapping MappingFunc
+	procs   int
+	batch   int
+
+	mu       sync.Mutex
+	units    map[string]*unit
+	unitList []*unit
+	started  bool
+
+	tokens    chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	idleUnits atomic.Int64
+	// pendingWakes counts wake tokens buffered in unit wake channels; the
+	// quiescence detector must see zero to conclude no work is in flight.
+	pendingWakes atomic.Int64
+}
+
+// NewScheduler creates a scheduler over rt using the given mapping.
+func NewScheduler(rt *Runtime, mapping MappingFunc, opts ...SchedOption) *Scheduler {
+	s := &Scheduler{
+		rt:      rt,
+		mapping: mapping,
+		batch:   8,
+		units:   make(map[string]*unit),
+		stopCh:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Units returns the number of scheduling units created so far.
+func (s *Scheduler) Units() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.unitList)
+}
+
+// Start attaches the scheduler to the runtime, assigns all existing
+// instances to units, and launches the unit goroutines.
+func (s *Scheduler) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("estelle: scheduler already started")
+	}
+	s.started = true
+	if s.procs > 0 {
+		s.tokens = make(chan struct{}, s.procs)
+		for i := 0; i < s.procs; i++ {
+			s.tokens <- struct{}{}
+		}
+	}
+	s.mu.Unlock()
+
+	s.rt.mu.Lock()
+	if s.rt.sched != nil {
+		s.rt.mu.Unlock()
+		return fmt.Errorf("estelle: runtime already has an active scheduler")
+	}
+	s.rt.sched = s
+	existing := make([]*Instance, 0, len(s.rt.instances))
+	for _, m := range s.rt.instances {
+		if !m.dead.Load() {
+			existing = append(existing, m)
+		}
+	}
+	s.rt.mu.Unlock()
+	for _, m := range existing {
+		s.adopt(m)
+	}
+	return nil
+}
+
+// adopt assigns a (possibly dynamically created) instance to a unit,
+// honouring the co-location constraints Estelle's tree semantics impose:
+// children of activity-like parents and children of transition-bearing
+// parents must share the parent's unit so precedence/exclusion can be
+// enforced locally.
+func (s *Scheduler) adopt(m *Instance) {
+	key := s.mapping(m)
+	if p := m.parent; p != nil {
+		if pu := p.unitPtr.Load(); pu != nil &&
+			(p.def.Attr.activityLike() || p.cdef.hasTrans) && pu.key != key {
+			key = pu.key
+			s.rt.stats.MappingOverrides.Add(1)
+		}
+	}
+	s.mu.Lock()
+	u, ok := s.units[key]
+	created := false
+	if !ok {
+		u = &unit{key: key, sched: s, wakeCh: make(chan struct{}, 1)}
+		s.units[key] = u
+		s.unitList = append(s.unitList, u)
+		created = true
+	}
+	s.mu.Unlock()
+	m.firedPass = 0
+	m.childRanPass = 0
+	m.unitPtr.Store(u)
+	u.add(m)
+	if created {
+		s.wg.Add(1)
+		go s.runUnit(u)
+	} else {
+		u.wakeup()
+	}
+}
+
+// discard notes that an instance died so its unit can compact.
+func (s *Scheduler) discard(m *Instance) {
+	if u := m.unitPtr.Load(); u != nil {
+		u.mu.Lock()
+		u.deadCount++
+		u.mu.Unlock()
+		u.wakeup()
+	}
+}
+
+func (s *Scheduler) runUnit(u *unit) {
+	defer s.wg.Done()
+	rt := s.rt
+	_, isManual := rt.clock.(*ManualClock)
+	for {
+		// Acquire a virtual processor.
+		if s.tokens != nil {
+			var w0 time.Time
+			if rt.timing {
+				w0 = time.Now()
+			}
+			select {
+			case <-s.tokens:
+			case <-s.stopCh:
+				return
+			}
+			if rt.timing {
+				rt.stats.SyncWaitNanos.Add(time.Since(w0).Nanoseconds())
+			}
+		}
+		fired := 0
+		var nextDue time.Time
+		for i := 0; i < s.batch; i++ {
+			u.passID++
+			f, due := scanInstances(rt, u.snapshot(), u, u.passID, rt.clock.Now())
+			fired += f
+			nextDue = due
+			if f == 0 {
+				break
+			}
+		}
+		if s.tokens != nil {
+			s.tokens <- struct{}{}
+		}
+		if fired > 0 {
+			continue
+		}
+		// Drain any buffered wake token before idling: it may announce
+		// work enqueued during the scan.
+		select {
+		case <-u.wakeCh:
+			s.pendingWakes.Add(-1)
+			continue
+		default:
+		}
+		// Nothing to do: go idle until woken, a delay matures, or stop.
+		if nextDue.IsZero() {
+			u.nextDue.Store(0)
+		} else {
+			u.nextDue.Store(nextDue.UnixNano())
+		}
+		var timer *time.Timer
+		var timerCh <-chan time.Time
+		if !nextDue.IsZero() && !isManual {
+			d := nextDue.Sub(rt.clock.Now())
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerCh = timer.C
+		}
+		s.idleUnits.Add(1)
+		select {
+		case <-u.wakeCh:
+			// Leave idle before releasing the pending-wake count so the
+			// quiescence monitor never observes "all idle, no pending".
+			s.idleUnits.Add(-1)
+			s.pendingWakes.Add(-1)
+		case <-timerCh:
+			s.idleUnits.Add(-1)
+		case <-s.stopCh:
+			s.idleUnits.Add(-1)
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		u.nextDue.Store(0)
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// Stop halts all unit goroutines and detaches from the runtime.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	s.rt.mu.Lock()
+	if s.rt.sched == s {
+		s.rt.sched = nil
+	}
+	insts := append([]*Instance(nil), s.rt.instances...)
+	s.rt.mu.Unlock()
+	for _, m := range insts {
+		if u := m.unitPtr.Load(); u != nil && u.sched == s {
+			m.unitPtr.Store(nil)
+		}
+	}
+}
+
+// earliestDue returns the minimum nextDue over idle units (zero if none).
+func (s *Scheduler) earliestDue() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min int64
+	for _, u := range s.unitList {
+		if v := u.nextDue.Load(); v != 0 && (min == 0 || v < min) {
+			min = v
+		}
+	}
+	if min == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, min)
+}
+
+func (s *Scheduler) wakeAll() {
+	s.mu.Lock()
+	units := append([]*unit(nil), s.unitList...)
+	s.mu.Unlock()
+	for _, u := range units {
+		u.wakeup()
+	}
+}
+
+// RunToQuiescence starts the scheduler (if needed), waits until no module
+// can fire and no interaction is in flight, then stops it. With a
+// ManualClock it advances virtual time across delay clauses. It fails if
+// quiescence is not reached within timeout.
+func (s *Scheduler) RunToQuiescence(timeout time.Duration) error {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	defer s.Stop()
+	return s.WaitQuiescent(timeout)
+}
+
+// WaitQuiescent blocks until the running scheduler reaches quiescence.
+func (s *Scheduler) WaitQuiescent(timeout time.Duration) error {
+	mc, isManual := s.rt.clock.(*ManualClock)
+	deadline := time.Now().Add(timeout)
+	lastEvents := int64(-1)
+	stable := 0
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := int64(len(s.unitList))
+		s.mu.Unlock()
+		if s.idleUnits.Load() == n && n > 0 && s.pendingWakes.Load() == 0 {
+			ev := s.rt.events.Load() + s.rt.stats.TransitionsFired.Load()
+			if ev == lastEvents {
+				stable++
+			} else {
+				stable = 0
+				lastEvents = ev
+			}
+			if stable >= 3 {
+				due := s.earliestDue()
+				if due.IsZero() {
+					return nil
+				}
+				if isManual {
+					mc.AdvanceTo(due)
+					stable = 0
+					lastEvents = -1
+					s.wakeAll()
+					continue
+				}
+				// Real clock: unit timers will fire; keep waiting.
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return fmt.Errorf("estelle: not quiescent after %v", timeout)
+}
+
+// Stepper drives a runtime deterministically on the calling goroutine —
+// the reference implementation of Estelle's global-situation semantics,
+// used by tests and as the baseline "centralized scheduler".
+type Stepper struct {
+	rt     *Runtime
+	passID uint64
+}
+
+// NewStepper returns a stepper for rt. The runtime must not have an active
+// Scheduler while a Stepper drives it.
+func NewStepper(rt *Runtime) *Stepper { return &Stepper{rt: rt} }
+
+// Step runs one global scheduling pass and reports how many transitions
+// fired and the earliest pending delay due time.
+func (st *Stepper) Step() (int, time.Time) {
+	st.passID++
+	return scanInstances(st.rt, st.rt.Instances(), nil, st.passID, st.rt.clock.Now())
+}
+
+// RunUntilIdle steps until no transition fires. With a ManualClock it
+// advances virtual time over delay clauses. It returns the total number of
+// transitions fired, and an error if maxPasses is exceeded.
+func (st *Stepper) RunUntilIdle(maxPasses int) (int, error) {
+	mc, isManual := st.rt.clock.(*ManualClock)
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		fired, due := st.Step()
+		total += fired
+		if fired > 0 {
+			continue
+		}
+		if due.IsZero() {
+			return total, nil
+		}
+		if isManual {
+			mc.AdvanceTo(due)
+			continue
+		}
+		now := st.rt.clock.Now()
+		if d := due.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return total, fmt.Errorf("estelle: still active after %d passes", maxPasses)
+}

@@ -1,0 +1,227 @@
+package estelle
+
+import "time"
+
+// selectTransition finds the highest-priority enabled transition of m at the
+// given time. It returns the transition index (-1 if none), the head
+// interaction to consume (nil for spontaneous transitions), and the earliest
+// future instant at which a currently delay-blocked transition becomes
+// eligible (zero if none).
+//
+// Dispatch strategy (paper §5.2): DispatchLinear walks the whole declaration
+// list, checking each transition's source states — the "hard-coded chain of
+// code blocks". DispatchTable walks only the precomputed per-state list —
+// the "table-controlled" variant.
+func (m *Instance) selectTransition(now time.Time) (int, *Interaction, time.Time) {
+	var cands []int
+	linear := m.def.Dispatch == DispatchLinear
+	if linear {
+		cands = m.cdef.all
+	} else {
+		cands = m.cdef.byState[m.state]
+	}
+	best := -1
+	bestPrio := 0
+	var bestMsg *Interaction
+	var nextDue time.Time
+	ctx := Ctx{inst: m}
+	// delayedSeen tracks delay-clause transitions that are otherwise
+	// enabled this scan, to expire stale enabledSince entries after.
+	var delayedSeen []int
+
+	// Snapshot queue heads once per scan so every candidate transition is
+	// judged against the same global situation: without this, a message
+	// arriving between two peeks could fire a later-declared transition
+	// even though an earlier one matches the same head.
+	for i := range m.headValid {
+		m.headValid[i] = false
+	}
+	head := func(ipIdx int) *Interaction {
+		if !m.headValid[ipIdx] {
+			m.headCache[ipIdx] = m.ipList[ipIdx].peekHead()
+			m.headValid[ipIdx] = true
+		}
+		return m.headCache[ipIdx]
+	}
+
+	for _, ti := range cands {
+		t := &m.def.Trans[ti]
+		if linear {
+			if set := m.cdef.fromIdx[ti]; set != nil && !set[m.state] {
+				continue
+			}
+		}
+		if best >= 0 && t.Priority >= bestPrio {
+			// Cannot beat the current best (ties break by declaration
+			// order, and cands is in declaration order).
+			continue
+		}
+		var msg *Interaction
+		if wi := m.cdef.whenIdx[ti]; wi >= 0 {
+			msg = head(wi)
+			if msg == nil || msg.Name != t.When.Msg {
+				continue
+			}
+		}
+		ctx.Msg = msg
+		if t.Provided != nil && !t.Provided(&ctx) {
+			continue
+		}
+		if t.Delay != nil {
+			if d := t.Delay(&ctx); d > 0 {
+				delayedSeen = append(delayedSeen, ti)
+				since, ok := m.enabledSince[ti]
+				if !ok {
+					since = now
+					m.enabledSince[ti] = now
+				}
+				due := since.Add(d)
+				if now.Before(due) {
+					if nextDue.IsZero() || due.Before(nextDue) {
+						nextDue = due
+					}
+					continue
+				}
+			}
+		}
+		best, bestPrio, bestMsg = ti, t.Priority, msg
+	}
+	// Expire delay timers of transitions that are no longer enabled
+	// (Estelle: the delay clock restarts when the transition is disabled).
+	if len(m.enabledSince) > 0 {
+		for ti := range m.enabledSince {
+			found := false
+			for _, s := range delayedSeen {
+				if s == ti {
+					found = true
+					break
+				}
+			}
+			if !found {
+				delete(m.enabledSince, ti)
+			}
+		}
+	}
+	return best, bestMsg, nextDue
+}
+
+// fire executes transition ti, consuming msg if the transition has a
+// when-clause.
+func (m *Instance) fire(ti int, msg *Interaction) {
+	t := &m.def.Trans[ti]
+	fromState := m.State()
+	if wi := m.cdef.whenIdx[ti]; wi >= 0 {
+		// Only the owning unit pops, so the head is still msg.
+		m.ipList[wi].popHead()
+	}
+	ctx := Ctx{inst: m, Msg: msg}
+	if t.Action != nil {
+		t.Action(&ctx)
+	}
+	if to := m.cdef.toIdx[ti]; to >= 0 && !ctx.stateOverride {
+		m.state = to
+	}
+	// A state change (or consumed input) may disable delayed transitions;
+	// restart all delay clocks, matching Estelle's continuously-enabled
+	// requirement.
+	if len(m.enabledSince) > 0 {
+		clear(m.enabledSince)
+	}
+	rt := m.rt
+	rt.stats.TransitionsFired.Add(1)
+	if rt.trace != nil {
+		msgName := ""
+		if msg != nil {
+			msgName = msg.Name
+		}
+		rt.trace(TraceEvent{
+			Module:     m.def.Name,
+			Path:       m.Path(),
+			Transition: t.Name,
+			From:       fromState,
+			To:         m.State(),
+			Msg:        msgName,
+		})
+	}
+}
+
+// scanInstances performs one scheduling pass over insts (creation order:
+// parents precede children), honouring Estelle tree semantics:
+//
+//   - parent precedence: a child is skipped when its parent fired in this
+//     pass ("a child can only execute if the parent has nothing to do");
+//   - activity exclusion: at most one child of an activity/systemactivity
+//     parent fires per pass.
+//
+// When u is non-nil, precedence applies only between instances of the same
+// unit (the mapper co-locates every pair the rules can relate). Returns the
+// number of fired transitions and the earliest delay due time.
+func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now time.Time) (int, time.Time) {
+	fired := 0
+	var nextDue time.Time
+	timing := rt.timing
+	rt.stats.ScanPasses.Add(1)
+	for _, m := range insts {
+		if m.dead.Load() {
+			continue
+		}
+		if p := m.parent; p != nil && (u == nil || p.unitPtr.Load() == u) {
+			if p.firedPass == passID {
+				continue
+			}
+			if p.def.Attr.activityLike() && p.childRanPass == passID {
+				continue
+			}
+		}
+		var t0 time.Time
+		if timing {
+			t0 = time.Now()
+		}
+		ti, msg, due := m.selectTransition(now)
+		if timing {
+			rt.stats.ScanNanos.Add(time.Since(t0).Nanoseconds())
+		}
+		if ti < 0 {
+			if !due.IsZero() && (nextDue.IsZero() || due.Before(nextDue)) {
+				nextDue = due
+			}
+			ext := m.external
+			if ext == nil {
+				ext = m.def.External
+			}
+			if ext != nil {
+				ctx := Ctx{inst: m}
+				var e0 time.Time
+				if timing {
+					e0 = time.Now()
+				}
+				worked := ext.Step(&ctx)
+				if timing {
+					rt.stats.ExecNanos.Add(time.Since(e0).Nanoseconds())
+				}
+				if worked {
+					m.firedPass = passID
+					if p := m.parent; p != nil && p.def.Attr.activityLike() {
+						p.childRanPass = passID
+					}
+					fired++
+				}
+			}
+			continue
+		}
+		m.firedPass = passID
+		if p := m.parent; p != nil && p.def.Attr.activityLike() {
+			p.childRanPass = passID
+		}
+		var e0 time.Time
+		if timing {
+			e0 = time.Now()
+		}
+		m.fire(ti, msg)
+		if timing {
+			rt.stats.ExecNanos.Add(time.Since(e0).Nanoseconds())
+		}
+		fired++
+	}
+	return fired, nextDue
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run, produce its table, and satisfy the paper's
+// qualitative shape where the shape is load-independent. Timing-dependent
+// shapes (speedups) are asserted loosely or reported only, because CI
+// machines differ from a KSR1.
+
+func mustRun(t *testing.T, fn func() (*Result, error)) *Result {
+	t.Helper()
+	r, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("experiment produced no rows")
+	}
+	t.Log("\n" + r.String())
+	return r
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	r := mustRun(t, Table1)
+	if len(r.Rows) != 6 {
+		t.Errorf("Table 1 has %d rows, want 6", len(r.Rows))
+	}
+	// Reliability row: control is 100%, stream below 100% (lossy path).
+	rel := r.Rows[1]
+	if !strings.Contains(rel[1], "100%") {
+		t.Errorf("control reliability = %q", rel[1])
+	}
+	if strings.HasPrefix(rel[2], "100.0%") {
+		t.Errorf("stream delivered %q on a lossy path", rel[2])
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	r := mustRun(t, Figure1)
+	for _, row := range r.Rows {
+		if row[3] != "yes" {
+			t.Errorf("agent %s not assembled: %v", row[1], row)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r := mustRun(t, Figure2)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 connections", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[3] != "60" {
+			t.Errorf("connection %s delivered %s frames, want 60", row[0], row[3])
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	r := mustRun(t, Figure3)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want MCA+DUA+SUA+EUA", len(r.Rows))
+	}
+	if !strings.Contains(r.Rows[0][2], "Estelle") {
+		t.Errorf("MCA body = %q", r.Rows[0][2])
+	}
+	for _, row := range r.Rows[1:] {
+		if !strings.Contains(row[2], "external") {
+			t.Errorf("%s body = %q, want external", row[0], row[2])
+		}
+	}
+}
+
+func TestExp1SeqVsPar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	r := mustRun(t, Exp1SeqVsPar)
+	// The headline row: 2 connections. The paper reports 1.4-2.0; we
+	// assert only that parallel execution is not a large regression and
+	// that the experiment completed (absolute speedups are hardware-bound).
+	for _, row := range r.Rows {
+		if s := cellFloat(t, row[4]); s <= 0 {
+			t.Errorf("non-positive speedup in row %v", row)
+		}
+	}
+}
+
+func TestExp2Grouping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	mustRun(t, Exp2Grouping)
+}
+
+func TestExp3Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	r := mustRun(t, Exp3Pipeline)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestExp4Dispatch(t *testing.T) {
+	r := mustRun(t, Exp4Dispatch)
+	// Shape: for large transition counts the table dispatcher must win
+	// clearly (paper: crossover above ~4).
+	last := r.Rows[len(r.Rows)-1]
+	if adv := cellFloat(t, last[3]); adv < 1.5 {
+		t.Errorf("at %s transitions linear/table = %v, want table clearly ahead", last[0], adv)
+	}
+}
+
+func TestExp5Scheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	r := mustRun(t, Exp5Scheduler)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	cent := strings.TrimSuffix(r.Rows[0][2], "%")
+	dec := strings.TrimSuffix(r.Rows[1][2], "%")
+	if cellFloat(t, cent) < cellFloat(t, dec) {
+		t.Errorf("centralized share %s%% below decentralized %s%%", cent, dec)
+	}
+}
+
+func TestExp6GenVsHand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	r := mustRun(t, Exp6GenVsHand)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want all four stack pairings", len(r.Rows))
+	}
+}
+
+func TestExp7ParallelASN1(t *testing.T) {
+	r := mustRun(t, Exp7ParallelASN1)
+	// The negative result: parallel encode must NOT be meaningfully
+	// faster (ratio parallel/sequential well above some floor).
+	for _, row := range r.Rows {
+		if ratio := cellFloat(t, row[3]); ratio < 0.9 {
+			t.Errorf("%s: parallel/sequential = %.2f — parallel ASN.1 unexpectedly profitable", row[0], ratio)
+		}
+	}
+}
+
+func TestExp8ConnVsLayer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	mustRun(t, Exp8ConnVsLayer)
+}

@@ -1,0 +1,264 @@
+// Package isode is the repository's stand-in for ISODE, the hand-coded OSI
+// upper-layer library the paper uses as its second control-protocol stack
+// ("the second stack places the MCAM module directly on top of the ISODE
+// presentation interface", §3).
+//
+// It provides a procedural presentation service (PConnect/PAccept/PData/
+// PRelease/PAbort) over a transport connection. The wire format — session
+// SPDUs carrying BER presentation PPDUs — is identical to what the
+// Estelle-generated session+presentation modules produce, so the two stacks
+// interoperate; the paper uses exactly this to test conformance and to
+// compare generated against hand-written code (experiment E6).
+package isode
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"xmovie/internal/presentation"
+	"xmovie/internal/session"
+	"xmovie/internal/transport"
+)
+
+// Errors returned by the provider.
+var (
+	// ErrRefused reports that the called presentation entity refused the
+	// connection; the message carries the refuse reason.
+	ErrRefused = errors.New("isode: connection refused")
+	// ErrAborted reports an abort PDU or a protocol error.
+	ErrAborted = errors.New("isode: association aborted")
+	// ErrReleased reports that the peer released the association.
+	ErrReleased = errors.New("isode: association released")
+)
+
+// Provider is an established presentation association.
+type Provider struct {
+	conn     transport.Conn
+	contexts map[int64]string
+	// pendingRelease holds release user data when RecvData hit an FN.
+	releaseData []byte
+}
+
+// Contexts returns the negotiated presentation contexts (id -> abstract
+// syntax name).
+func (p *Provider) Contexts() map[int64]string {
+	out := make(map[int64]string, len(p.contexts))
+	for k, v := range p.contexts {
+		out[k] = v
+	}
+	return out
+}
+
+func sendSPDU(conn transport.Conn, s *session.SPDU) error {
+	return conn.Send(s.Encode(nil))
+}
+
+func recvSPDU(conn transport.Conn) (*session.SPDU, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return session.Parse(msg)
+}
+
+// Connect establishes a presentation association over an already-open
+// transport connection (calling side): it sends CN carrying a CP and waits
+// for AC/RF. userData rides in the CP (the MCAM association request).
+func Connect(conn transport.Conn, calledSel string, contexts []presentation.Context, userData []byte) (*Provider, []byte, error) {
+	cp := &presentation.PPDU{CP: &presentation.CP{
+		CalledSelector: calledSel,
+		Contexts:       contexts,
+		UserData:       userData,
+	}}
+	enc, err := cp.Encode()
+	if err != nil {
+		return nil, nil, fmt.Errorf("isode: encode CP: %w", err)
+	}
+	cn := (&session.SPDU{Type: session.SPDUConnect}).
+		With(session.PICalledSelector, []byte(calledSel)).
+		With(session.PIUserData, enc)
+	if err := sendSPDU(conn, cn); err != nil {
+		return nil, nil, fmt.Errorf("isode: send CN: %w", err)
+	}
+	reply, err := recvSPDU(conn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isode: await AC: %w", err)
+	}
+	switch reply.Type {
+	case session.SPDUAccept:
+		ppdu, err := presentation.Decode(reply.UserData())
+		if err != nil || ppdu.CPA == nil {
+			return nil, nil, fmt.Errorf("%w: malformed CPA", ErrAborted)
+		}
+		p := &Provider{conn: conn, contexts: make(map[int64]string)}
+		for _, r := range ppdu.CPA.Results {
+			if !r.Accepted {
+				continue
+			}
+			for _, c := range contexts {
+				if c.ID == r.ID {
+					p.contexts[c.ID] = c.AbstractSyntax
+				}
+			}
+		}
+		return p, ppdu.CPA.UserData, nil
+	case session.SPDURefuse:
+		reason := ""
+		if ppdu, err := presentation.Decode(reply.UserData()); err == nil && ppdu.CPR != nil {
+			reason = ppdu.CPR.Reason
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrRefused, reason)
+	default:
+		return nil, nil, fmt.Errorf("%w: unexpected %v during connect", ErrAborted, reply.Type)
+	}
+}
+
+// AcceptDecision is the called side's answer to an incoming association.
+type AcceptDecision struct {
+	// Accept grants the association when true; otherwise RefuseReason is
+	// reported to the caller.
+	Accept       bool
+	RefuseReason string
+	// UserData rides in the CPA back to the caller.
+	UserData []byte
+}
+
+// Accept waits for a CN on an already-open transport connection (called
+// side), passes the CP to decide, and completes the handshake. All proposed
+// contexts are accepted when decide grants the association.
+func Accept(conn transport.Conn, decide func(cp *presentation.CP) AcceptDecision) (*Provider, *presentation.CP, error) {
+	req, err := recvSPDU(conn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isode: await CN: %w", err)
+	}
+	if req.Type != session.SPDUConnect {
+		return nil, nil, fmt.Errorf("%w: expected CN, got %v", ErrAborted, req.Type)
+	}
+	ppdu, err := presentation.Decode(req.UserData())
+	if err != nil || ppdu.CP == nil {
+		return nil, nil, fmt.Errorf("%w: malformed CP", ErrAborted)
+	}
+	cp := ppdu.CP
+	d := decide(cp)
+	if !d.Accept {
+		cpr := &presentation.PPDU{CPR: &presentation.CPR{Reason: d.RefuseReason}}
+		enc, err := cpr.Encode()
+		if err != nil {
+			return nil, nil, err
+		}
+		rf := (&session.SPDU{Type: session.SPDURefuse}).With(session.PIUserData, enc)
+		if err := sendSPDU(conn, rf); err != nil {
+			return nil, nil, err
+		}
+		return nil, cp, fmt.Errorf("%w: refused locally", ErrRefused)
+	}
+	p := &Provider{conn: conn, contexts: make(map[int64]string)}
+	results := make([]presentation.Result, len(cp.Contexts))
+	for i, c := range cp.Contexts {
+		results[i] = presentation.Result{ID: c.ID, Accepted: true}
+		p.contexts[c.ID] = c.AbstractSyntax
+	}
+	cpa := &presentation.PPDU{CPA: &presentation.CPA{Results: results, UserData: d.UserData}}
+	enc, err := cpa.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	ac := (&session.SPDU{Type: session.SPDUAccept}).With(session.PIUserData, enc)
+	if err := sendSPDU(conn, ac); err != nil {
+		return nil, nil, err
+	}
+	return p, cp, nil
+}
+
+// Data sends presentation user data on a negotiated context.
+func (p *Provider) Data(ctxID int64, data []byte) error {
+	if _, ok := p.contexts[ctxID]; !ok {
+		return fmt.Errorf("isode: context %d not negotiated", ctxID)
+	}
+	td := &presentation.PPDU{TD: &presentation.TD{ContextID: ctxID, Data: data}}
+	enc, err := td.Encode()
+	if err != nil {
+		return err
+	}
+	dt := (&session.SPDU{Type: session.SPDUData}).With(session.PIUserData, enc)
+	return sendSPDU(p.conn, dt)
+}
+
+// RecvData blocks for the next inbound data unit. On an orderly release
+// request from the peer it returns ErrReleased (release data retrievable
+// via ReleaseData); on abort or protocol error, ErrAborted.
+func (p *Provider) RecvData() (int64, []byte, error) {
+	for {
+		s, err := recvSPDU(p.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0, nil, ErrAborted
+			}
+			return 0, nil, fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		switch s.Type {
+		case session.SPDUData:
+			ppdu, err := presentation.Decode(s.UserData())
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: malformed PPDU", ErrAborted)
+			}
+			switch {
+			case ppdu.TD != nil:
+				return ppdu.TD.ContextID, ppdu.TD.Data, nil
+			case ppdu.ARP != nil:
+				return 0, nil, fmt.Errorf("%w: %s", ErrAborted, ppdu.ARP.Reason)
+			default:
+				return 0, nil, fmt.Errorf("%w: unexpected PPDU in data phase", ErrAborted)
+			}
+		case session.SPDUFinish:
+			p.releaseData = s.UserData()
+			return 0, nil, ErrReleased
+		case session.SPDUAbort:
+			return 0, nil, ErrAborted
+		default:
+			return 0, nil, fmt.Errorf("%w: unexpected %v in data phase", ErrAborted, s.Type)
+		}
+	}
+}
+
+// ReleaseData returns the user data carried by the peer's release request.
+func (p *Provider) ReleaseData() []byte { return p.releaseData }
+
+// Release performs the initiating side of an orderly release: FN, await DN.
+func (p *Provider) Release(userData []byte) error {
+	fn := (&session.SPDU{Type: session.SPDUFinish}).With(session.PIUserData, userData)
+	if err := sendSPDU(p.conn, fn); err != nil {
+		return err
+	}
+	for {
+		s, err := recvSPDU(p.conn)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		switch s.Type {
+		case session.SPDUDisconnect:
+			return p.conn.Close()
+		case session.SPDUData:
+			// Data may still be in flight; drop it during release.
+			continue
+		default:
+			return fmt.Errorf("%w: unexpected %v during release", ErrAborted, s.Type)
+		}
+	}
+}
+
+// AcceptRelease completes the passive side of an orderly release after
+// RecvData returned ErrReleased.
+func (p *Provider) AcceptRelease() error {
+	if err := sendSPDU(p.conn, &session.SPDU{Type: session.SPDUDisconnect}); err != nil {
+		return err
+	}
+	return p.conn.Close()
+}
+
+// Abort sends an AB and tears the transport down.
+func (p *Provider) Abort() error {
+	_ = sendSPDU(p.conn, &session.SPDU{Type: session.SPDUAbort})
+	return p.conn.Close()
+}

@@ -1,0 +1,346 @@
+package mcam
+
+import (
+	"errors"
+	"fmt"
+
+	"xmovie/internal/directory"
+	"xmovie/internal/equipment"
+	"xmovie/internal/moviedb"
+)
+
+// ServerEnv bundles the services one MCAM server association operates on —
+// the MCA's view of Fig. 1: the movie database (via the SPS), the movie
+// directory (via a DUA) and the equipment control system (via an EUA).
+type ServerEnv struct {
+	Store moviedb.Store
+	// Dialer opens MTP paths for Play; nil disables streaming.
+	Dialer StreamDialer
+	// DUA, when non-nil, mirrors movie attributes into the directory under
+	// DirBase.
+	DUA     *directory.DUA
+	DirBase directory.DN
+	// EUA, when non-nil, serves Record captures.
+	EUA *equipment.EUA
+}
+
+// handler executes MCAM requests against a ServerEnv. One handler serves
+// one association; it owns the association's SPA and selection state.
+type handler struct {
+	env *ServerEnv
+	spa *spa
+	// selected tracks the movie opened by Select (MCAM's access model:
+	// control operations address the selected movie).
+	selected string
+	nextID   int64
+}
+
+// newHandler creates the per-association handler; events receives stream
+// lifecycle notifications and must be safe to call from stream goroutines.
+func newHandler(env *ServerEnv, events func(Event)) *handler {
+	h := &handler{env: env, nextID: 1}
+	h.spa = newSPA(env.Dialer, events)
+	return h
+}
+
+// close releases the association's resources.
+func (h *handler) close() { h.spa.drain() }
+
+func fail(req *Request, st Status, format string, args ...any) *Response {
+	return &Response{
+		InvokeID:   req.InvokeID,
+		Op:         req.Op,
+		Status:     st,
+		Diagnostic: fmt.Sprintf(format, args...),
+	}
+}
+
+func ok(req *Request) *Response {
+	return &Response{InvokeID: req.InvokeID, Op: req.Op, Status: StatusSuccess}
+}
+
+// storeStatus maps store errors onto MCAM statuses.
+func storeStatus(err error) Status {
+	switch {
+	case errors.Is(err, moviedb.ErrNotFound):
+		return StatusNoSuchMovie
+	case errors.Is(err, moviedb.ErrExists):
+		return StatusMovieExists
+	default:
+		return StatusBadState
+	}
+}
+
+// execute runs one request and produces its response.
+func (h *handler) execute(req *Request) *Response {
+	switch req.Op {
+	case OpCreate:
+		return h.create(req)
+	case OpDelete:
+		return h.delete(req)
+	case OpSelect:
+		return h.selectMovie(req)
+	case OpDeselect:
+		h.selected = ""
+		return ok(req)
+	case OpQueryAttributes:
+		return h.query(req)
+	case OpModifyAttributes:
+		return h.modify(req)
+	case OpListMovies:
+		resp := ok(req)
+		resp.Movies = h.env.Store.List()
+		return resp
+	case OpPlay:
+		return h.play(req)
+	case OpRecord:
+		return h.record(req)
+	case OpPause:
+		if err := h.spa.pauseStream(req.StreamID); err != nil {
+			return fail(req, StatusStreamError, "%v", err)
+		}
+		return ok(req)
+	case OpResume:
+		if err := h.spa.resumeStream(req.StreamID); err != nil {
+			return fail(req, StatusStreamError, "%v", err)
+		}
+		return ok(req)
+	case OpStop:
+		pos, err := h.spa.stopStream(req.StreamID)
+		if err != nil {
+			return fail(req, StatusStreamError, "%v", err)
+		}
+		resp := ok(req)
+		resp.Position = pos
+		return resp
+	case OpSeek:
+		return h.seek(req)
+	default:
+		return fail(req, StatusProtocolError, "unknown operation %d", req.Op)
+	}
+}
+
+func (h *handler) create(req *Request) *Response {
+	if req.Movie == "" {
+		return fail(req, StatusProtocolError, "create without movie name")
+	}
+	attrs := make(moviedb.Attributes, len(req.Attrs))
+	for _, a := range req.Attrs {
+		attrs[a.Name] = a.Value
+	}
+	frameRate := int(req.FrameRate)
+	if frameRate == 0 {
+		frameRate = 25
+	}
+	m := &moviedb.Movie{
+		Name:      req.Movie,
+		Format:    moviedb.Format(req.Format),
+		FrameRate: frameRate,
+		Attrs:     attrs,
+	}
+	if err := h.env.Store.Create(m); err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if err := h.mirrorToDirectory(req.Movie, attrs); err != nil {
+		return fail(req, StatusDirectoryError, "%v", err)
+	}
+	return ok(req)
+}
+
+func (h *handler) delete(req *Request) *Response {
+	if err := h.env.Store.Delete(req.Movie); err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if h.selected == req.Movie {
+		h.selected = ""
+	}
+	if h.env.DUA != nil {
+		_ = h.env.DUA.Remove(h.movieDN(req.Movie)) // directory is advisory
+	}
+	return ok(req)
+}
+
+func (h *handler) selectMovie(req *Request) *Response {
+	m, err := h.env.Store.Get(req.Movie)
+	if err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	h.selected = m.Name
+	resp := ok(req)
+	resp.Length = int64(len(m.Frames))
+	resp.FrameRate = int64(m.FrameRate)
+	return resp
+}
+
+// target resolves the movie a request addresses: explicit name or current
+// selection.
+func (h *handler) target(req *Request) (string, *Response) {
+	if req.Movie != "" {
+		return req.Movie, nil
+	}
+	if h.selected == "" {
+		return "", fail(req, StatusNotSelected, "no movie selected")
+	}
+	return h.selected, nil
+}
+
+func (h *handler) query(req *Request) *Response {
+	name, errResp := h.target(req)
+	if errResp != nil {
+		return errResp
+	}
+	m, err := h.env.Store.Get(name)
+	if err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	resp := ok(req)
+	for k, v := range m.Attrs {
+		resp.Attrs = append(resp.Attrs, Attr{Name: k, Value: v})
+	}
+	sortAttrs(resp.Attrs)
+	resp.Length = int64(len(m.Frames))
+	resp.FrameRate = int64(m.FrameRate)
+	return resp
+}
+
+func (h *handler) modify(req *Request) *Response {
+	name, errResp := h.target(req)
+	if errResp != nil {
+		return errResp
+	}
+	updates := make(moviedb.Attributes, len(req.Attrs))
+	for _, a := range req.Attrs {
+		updates[a.Name] = a.Value
+	}
+	if err := h.env.Store.SetAttrs(name, updates); err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if err := h.mirrorToDirectory(name, updates); err != nil {
+		return fail(req, StatusDirectoryError, "%v", err)
+	}
+	return ok(req)
+}
+
+func (h *handler) play(req *Request) *Response {
+	name, errResp := h.target(req)
+	if errResp != nil {
+		return errResp
+	}
+	m, err := h.env.Store.Get(name)
+	if err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if req.StreamAddr == "" {
+		return fail(req, StatusProtocolError, "play without streamAddr")
+	}
+	id := req.StreamID
+	if id == 0 {
+		id = h.nextID
+		h.nextID++
+	}
+	if err := h.spa.play(id, req.StreamAddr, m.Frames, m.FrameRate, req.Position, req.Count); err != nil {
+		return fail(req, StatusStreamError, "%v", err)
+	}
+	resp := ok(req)
+	resp.StreamID = id
+	resp.Length = int64(len(m.Frames))
+	resp.FrameRate = int64(m.FrameRate)
+	return resp
+}
+
+func (h *handler) record(req *Request) *Response {
+	name, errResp := h.target(req)
+	if errResp != nil {
+		return errResp
+	}
+	if h.env.EUA == nil {
+		return fail(req, StatusEquipmentError, "server has no equipment control")
+	}
+	if req.Device == "" {
+		return fail(req, StatusProtocolError, "record without device")
+	}
+	count := int(req.Count)
+	if count <= 0 {
+		count = 25
+	}
+	frames, err := h.env.EUA.Capture(req.Device, count)
+	if err != nil {
+		return fail(req, StatusEquipmentError, "%v", err)
+	}
+	if err := h.env.Store.AppendFrames(name, frames); err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	m, err := h.env.Store.Get(name)
+	if err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	resp := ok(req)
+	resp.Length = int64(len(m.Frames))
+	return resp
+}
+
+func (h *handler) seek(req *Request) *Response {
+	// Seek on an active stream: stop it and report where to restart; the
+	// client issues a new Play from the target position. (MTP streams are
+	// stateless on the wire, so seek = stop + play-from.)
+	if req.StreamID != 0 {
+		if _, err := h.spa.stopStream(req.StreamID); err != nil {
+			return fail(req, StatusStreamError, "%v", err)
+		}
+	}
+	name, errResp := h.target(req)
+	if errResp != nil {
+		return errResp
+	}
+	m, err := h.env.Store.Get(name)
+	if err != nil {
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if req.Position < 0 || req.Position > int64(len(m.Frames)) {
+		return fail(req, StatusBadState, "position %d outside 0..%d", req.Position, len(m.Frames))
+	}
+	resp := ok(req)
+	resp.Position = req.Position
+	return resp
+}
+
+func (h *handler) movieDN(name string) directory.DN {
+	return h.env.DirBase.Child("cn", name)
+}
+
+// mirrorToDirectory writes movie attributes into the directory, creating
+// the entry on first touch.
+func (h *handler) mirrorToDirectory(name string, attrs moviedb.Attributes) error {
+	if h.env.DUA == nil {
+		return nil
+	}
+	dn := h.movieDN(name)
+	set := make(map[string][]string, len(attrs)+1)
+	for k, v := range attrs {
+		if v != "" {
+			set[k] = []string{v}
+		}
+	}
+	if _, err := h.env.DUA.Read(dn); err != nil {
+		if !errors.Is(err, directory.ErrNoSuchEntry) {
+			return err
+		}
+		set["objectClass"] = []string{"movie"}
+		return h.env.DUA.Add(&directory.Entry{DN: dn, Attrs: set})
+	}
+	var del []string
+	for k, v := range attrs {
+		if v == "" {
+			del = append(del, k)
+		}
+	}
+	return h.env.DUA.Modify(dn, set, del)
+}
+
+func sortAttrs(attrs []Attr) {
+	for i := 1; i < len(attrs); i++ {
+		for j := i; j > 0 && attrs[j].Name < attrs[j-1].Name; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mcam
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"xmovie/internal/isode"
+	"xmovie/internal/presentation"
+	"xmovie/internal/transport"
+)
+
+// IsodeClient is the hand-coded MCAM client running directly on the ISODE
+// presentation interface — the paper's second protocol stack (§3), used to
+// compare generated against hand-written code and to cross-test
+// conformance. Calls are synchronous; stream events arriving between
+// responses are delivered to the OnEvent callback.
+type IsodeClient struct {
+	// OnEvent, when non-nil, receives server-initiated stream events. Set
+	// it before issuing calls. It runs on the calling goroutine during
+	// Call/AwaitEvent.
+	OnEvent func(Event)
+
+	mu     sync.Mutex
+	prov   *isode.Provider
+	invoke int64
+}
+
+// DialIsode establishes an MCAM association over conn.
+func DialIsode(conn transport.Conn, calledSel string) (*IsodeClient, error) {
+	prov, _, err := isode.Connect(conn, calledSel, proposedContexts(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("mcam: %w", err)
+	}
+	return &IsodeClient{prov: prov}, nil
+}
+
+// Call sends a request and blocks for its response, dispatching any stream
+// events that arrive in between.
+func (c *IsodeClient) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invoke++
+	req.InvokeID = c.invoke
+	enc, err := (&PDU{Request: req}).Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.prov.Data(ContextID, enc); err != nil {
+		return nil, fmt.Errorf("mcam: send: %w", err)
+	}
+	for {
+		pdu, err := c.recvPDU()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case pdu.Event != nil:
+			if c.OnEvent != nil {
+				c.OnEvent(*pdu.Event)
+			}
+		case pdu.Response != nil:
+			if pdu.Response.InvokeID != req.InvokeID {
+				return nil, fmt.Errorf("mcam: response for invoke %d, want %d",
+					pdu.Response.InvokeID, req.InvokeID)
+			}
+			return pdu.Response, nil
+		default:
+			return nil, fmt.Errorf("mcam: unexpected request from server")
+		}
+	}
+}
+
+// AwaitEvent blocks until the next stream event arrives (no call pending).
+func (c *IsodeClient) AwaitEvent() (Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		pdu, err := c.recvPDU()
+		if err != nil {
+			return Event{}, err
+		}
+		if pdu.Event != nil {
+			if c.OnEvent != nil {
+				c.OnEvent(*pdu.Event)
+			}
+			return *pdu.Event, nil
+		}
+	}
+}
+
+func (c *IsodeClient) recvPDU() (*PDU, error) {
+	ctxID, data, err := c.prov.RecvData()
+	if err != nil {
+		return nil, fmt.Errorf("mcam: %w", err)
+	}
+	if ctxID != ContextID {
+		return nil, fmt.Errorf("mcam: data on unexpected context %d", ctxID)
+	}
+	return Decode(data)
+}
+
+// Close releases the association in an orderly way.
+func (c *IsodeClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prov.Release(nil)
+}
+
+// Abort tears the association down immediately.
+func (c *IsodeClient) Abort() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prov.Abort()
+}
+
+// ServeIsode runs the hand-coded server side of one MCAM association over
+// conn until the client releases or aborts. It is the direct, non-Estelle
+// implementation used as the baseline in the generated-vs-handwritten
+// comparison (experiment E6).
+func ServeIsode(conn transport.Conn, env *ServerEnv) error {
+	prov, _, err := isode.Accept(conn, func(*presentation.CP) isode.AcceptDecision {
+		return isode.AcceptDecision{Accept: true}
+	})
+	if err != nil {
+		return err
+	}
+	h := newHandler(env, func(e Event) {
+		// Stream goroutines push events straight onto the association;
+		// transport Send is serialized internally.
+		if enc, err := (&PDU{Event: &e}).Encode(); err == nil {
+			_ = prov.Data(ContextID, enc)
+		}
+	})
+	defer h.close()
+	for {
+		ctxID, data, err := prov.RecvData()
+		switch {
+		case errors.Is(err, isode.ErrReleased):
+			return prov.AcceptRelease()
+		case err != nil:
+			return err
+		}
+		if ctxID != ContextID {
+			continue
+		}
+		pdu, err := Decode(data)
+		if err != nil || pdu.Request == nil {
+			resp := &Response{Status: StatusProtocolError, Diagnostic: "expected request"}
+			if enc, encErr := (&PDU{Response: resp}).Encode(); encErr == nil {
+				_ = prov.Data(ContextID, enc)
+			}
+			continue
+		}
+		resp := h.execute(pdu.Request)
+		enc, err := (&PDU{Response: resp}).Encode()
+		if err != nil {
+			continue
+		}
+		if err := prov.Data(ContextID, enc); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package mcam implements MCAM — the application-layer protocol for Movie
+// Control, Access and Management that is the paper's subject.
+//
+// MCAM lets a user access (create, delete, select), manage (query and
+// modify attributes) and control (play, record, pause, resume, stop, seek)
+// movies held by remote server entities (paper §2, and ref [19] for the
+// service definition). PDUs are specified in ASN.1 and encoded in BER; the
+// protocol runs over the presentation service of either control stack: the
+// Estelle-generated session+presentation modules, or the hand-coded
+// ISODE-equivalent library.
+//
+// The data plane is deliberately separate: Play responses only carry stream
+// coordinates; the movie itself travels via the MTP stream protocol.
+package mcam
+
+import (
+	"fmt"
+	"sync"
+
+	"xmovie/internal/asn1ber"
+)
+
+// ContextID is the presentation context MCAM PDUs travel on.
+const ContextID int64 = 1
+
+// AbstractSyntax names the MCAM PDU syntax in presentation negotiation.
+const AbstractSyntax = "mcam-pci-v1"
+
+// ModuleText is the ASN.1 definition of all MCAM PDUs (refs [9], [16]: the
+// paper generated its C++ codecs from such a module).
+const ModuleText = `
+MCAM-PDUs DEFINITIONS ::= BEGIN
+
+  Operation ::= ENUMERATED {
+     create(1), delete(2), select(3), deselect(4),
+     queryAttributes(5), modifyAttributes(6), listMovies(7),
+     play(8), record(9), pause(10), resume(11), stop(12), seek(13)
+  }
+
+  Status ::= ENUMERATED {
+     success(0), noSuchMovie(1), movieExists(2), notSelected(3),
+     badState(4), directoryError(5), equipmentError(6), protocolError(7),
+     streamError(8)
+  }
+
+  Attribute ::= SEQUENCE {
+     name   UTF8String,
+     value  UTF8String
+  }
+
+  Request ::= SEQUENCE {
+     invokeID    INTEGER,
+     op          Operation,
+     movie       [0]  UTF8String OPTIONAL,
+     attrs       [1]  SEQUENCE OF Attribute OPTIONAL,
+     format      [2]  INTEGER OPTIONAL,
+     frameRate   [3]  INTEGER OPTIONAL,
+     position    [4]  INTEGER OPTIONAL,
+     count       [5]  INTEGER OPTIONAL,
+     device      [6]  UTF8String OPTIONAL,
+     streamAddr  [7]  UTF8String OPTIONAL,
+     streamID    [8]  INTEGER OPTIONAL
+  }
+
+  Response ::= SEQUENCE {
+     invokeID    INTEGER,
+     op          Operation,
+     status      Status,
+     diagnostic  [0]  UTF8String OPTIONAL,
+     movies      [1]  SEQUENCE OF UTF8String OPTIONAL,
+     attrs       [2]  SEQUENCE OF Attribute OPTIONAL,
+     position    [3]  INTEGER OPTIONAL,
+     length      [4]  INTEGER OPTIONAL,
+     frameRate   [5]  INTEGER OPTIONAL,
+     streamID    [6]  INTEGER OPTIONAL
+  }
+
+  EventKind ::= ENUMERATED {
+     streamStarted(1), streamProgress(2), streamCompleted(3), streamAborted(4)
+  }
+
+  Event ::= SEQUENCE {
+     kind      EventKind,
+     streamID  INTEGER,
+     position  [0] INTEGER OPTIONAL,
+     detail    [1] UTF8String OPTIONAL
+  }
+
+  MoviePDU ::= CHOICE {
+     request  [1] Request,
+     response [2] Response,
+     event    [3] Event
+  }
+END
+`
+
+var compileOnce = sync.OnceValues(func() (*asn1ber.Module, error) {
+	return asn1ber.ParseModule(ModuleText)
+})
+
+func schema() *asn1ber.Module {
+	m, err := compileOnce()
+	if err != nil {
+		panic(fmt.Sprintf("mcam: bad built-in ASN.1 module: %v", err))
+	}
+	return m
+}
+
+// Op is an MCAM operation code.
+type Op int64
+
+// Operations, grouped as the paper groups them: access, management,
+// control.
+const (
+	OpCreate Op = iota + 1
+	OpDelete
+	OpSelect
+	OpDeselect
+	OpQueryAttributes
+	OpModifyAttributes
+	OpListMovies
+	OpPlay
+	OpRecord
+	OpPause
+	OpResume
+	OpStop
+	OpSeek
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	names := [...]string{"", "create", "delete", "select", "deselect",
+		"queryAttributes", "modifyAttributes", "listMovies",
+		"play", "record", "pause", "resume", "stop", "seek"}
+	if o >= 1 && int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", int64(o))
+}
+
+// Status is an MCAM response status.
+type Status int64
+
+// Response statuses.
+const (
+	StatusSuccess Status = iota
+	StatusNoSuchMovie
+	StatusMovieExists
+	StatusNotSelected
+	StatusBadState
+	StatusDirectoryError
+	StatusEquipmentError
+	StatusProtocolError
+	StatusStreamError
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	names := [...]string{"success", "noSuchMovie", "movieExists", "notSelected",
+		"badState", "directoryError", "equipmentError", "protocolError", "streamError"}
+	if s >= 0 && int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("Status(%d)", int64(s))
+}
+
+// Attr is one movie attribute in a PDU.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Request is an MCAM operation invocation.
+type Request struct {
+	InvokeID int64
+	Op       Op
+	Movie    string
+	Attrs    []Attr
+	// Format and FrameRate apply to create.
+	Format    int64
+	FrameRate int64
+	// Position is a frame index (seek, play start).
+	Position int64
+	// Count bounds play/record frame counts (0 = whole movie / default).
+	Count int64
+	// Device names the capture source for record.
+	Device string
+	// StreamAddr tells the server where to send (play) the MTP stream.
+	StreamAddr string
+	// StreamID labels the MTP stream of play/record.
+	StreamID int64
+}
+
+// Response answers a Request, matched by InvokeID.
+type Response struct {
+	InvokeID   int64
+	Op         Op
+	Status     Status
+	Diagnostic string
+	Movies     []string
+	Attrs      []Attr
+	Position   int64
+	Length     int64
+	FrameRate  int64
+	StreamID   int64
+}
+
+// OK reports a success status.
+func (r *Response) OK() bool { return r.Status == StatusSuccess }
+
+// EventKind classifies stream notifications.
+type EventKind int64
+
+// Stream event kinds.
+const (
+	EventStreamStarted EventKind = iota + 1
+	EventStreamProgress
+	EventStreamCompleted
+	EventStreamAborted
+)
+
+// Event is a server-initiated stream notification.
+type Event struct {
+	Kind     EventKind
+	StreamID int64
+	Position int64
+	Detail   string
+}
+
+// PDU is the MCAM protocol data unit; exactly one field is non-nil.
+type PDU struct {
+	Request  *Request
+	Response *Response
+	Event    *Event
+}
+
+func attrsToValues(attrs []Attr) []any {
+	out := make([]any, len(attrs))
+	for i, a := range attrs {
+		out[i] = map[string]any{"name": a.Name, "value": a.Value}
+	}
+	return out
+}
+
+func valuesToAttrs(v any) []Attr {
+	items, _ := v.([]any)
+	out := make([]Attr, 0, len(items))
+	for _, it := range items {
+		m, ok := it.(map[string]any)
+		if !ok {
+			continue
+		}
+		name, _ := m["name"].(string)
+		value, _ := m["value"].(string)
+		out = append(out, Attr{Name: name, Value: value})
+	}
+	return out
+}
+
+// Encode produces the BER encoding of the PDU.
+func (p *PDU) Encode() ([]byte, error) {
+	var c asn1ber.Choice
+	switch {
+	case p.Request != nil:
+		r := p.Request
+		v := map[string]any{"invokeID": r.InvokeID, "op": int64(r.Op)}
+		if r.Movie != "" {
+			v["movie"] = r.Movie
+		}
+		if len(r.Attrs) > 0 {
+			v["attrs"] = attrsToValues(r.Attrs)
+		}
+		setOpt(v, "format", r.Format)
+		setOpt(v, "frameRate", r.FrameRate)
+		setOpt(v, "position", r.Position)
+		setOpt(v, "count", r.Count)
+		if r.Device != "" {
+			v["device"] = r.Device
+		}
+		if r.StreamAddr != "" {
+			v["streamAddr"] = r.StreamAddr
+		}
+		setOpt(v, "streamID", r.StreamID)
+		c = asn1ber.Choice{Alt: "request", Value: v}
+	case p.Response != nil:
+		r := p.Response
+		v := map[string]any{
+			"invokeID": r.InvokeID, "op": int64(r.Op), "status": int64(r.Status),
+		}
+		if r.Diagnostic != "" {
+			v["diagnostic"] = r.Diagnostic
+		}
+		if len(r.Movies) > 0 {
+			items := make([]any, len(r.Movies))
+			for i, m := range r.Movies {
+				items[i] = m
+			}
+			v["movies"] = items
+		}
+		if len(r.Attrs) > 0 {
+			v["attrs"] = attrsToValues(r.Attrs)
+		}
+		setOpt(v, "position", r.Position)
+		setOpt(v, "length", r.Length)
+		setOpt(v, "frameRate", r.FrameRate)
+		setOpt(v, "streamID", r.StreamID)
+		c = asn1ber.Choice{Alt: "response", Value: v}
+	case p.Event != nil:
+		e := p.Event
+		v := map[string]any{"kind": int64(e.Kind), "streamID": e.StreamID}
+		setOpt(v, "position", e.Position)
+		if e.Detail != "" {
+			v["detail"] = e.Detail
+		}
+		c = asn1ber.Choice{Alt: "event", Value: v}
+	default:
+		return nil, fmt.Errorf("mcam: empty PDU")
+	}
+	return schema().MustLookup("MoviePDU").Encode(nil, c)
+}
+
+// setOpt records nonzero optional integers.
+func setOpt(v map[string]any, key string, val int64) {
+	if val != 0 {
+		v[key] = val
+	}
+}
+
+func optInt(m map[string]any, key string) int64 {
+	if v, ok := m[key].(int64); ok {
+		return v
+	}
+	return 0
+}
+
+func optStr(m map[string]any, key string) string {
+	if v, ok := m[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Decode parses a BER-encoded MCAM PDU.
+func Decode(data []byte) (*PDU, error) {
+	v, err := schema().MustLookup("MoviePDU").DecodeAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("mcam: %w", err)
+	}
+	c := v.(asn1ber.Choice)
+	m, ok := c.Value.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("mcam: malformed %s PDU", c.Alt)
+	}
+	out := &PDU{}
+	switch c.Alt {
+	case "request":
+		out.Request = &Request{
+			InvokeID:   m["invokeID"].(int64),
+			Op:         Op(m["op"].(int64)),
+			Movie:      optStr(m, "movie"),
+			Attrs:      valuesToAttrs(m["attrs"]),
+			Format:     optInt(m, "format"),
+			FrameRate:  optInt(m, "frameRate"),
+			Position:   optInt(m, "position"),
+			Count:      optInt(m, "count"),
+			Device:     optStr(m, "device"),
+			StreamAddr: optStr(m, "streamAddr"),
+			StreamID:   optInt(m, "streamID"),
+		}
+		if len(out.Request.Attrs) == 0 {
+			out.Request.Attrs = nil
+		}
+	case "response":
+		resp := &Response{
+			InvokeID:   m["invokeID"].(int64),
+			Op:         Op(m["op"].(int64)),
+			Status:     Status(m["status"].(int64)),
+			Diagnostic: optStr(m, "diagnostic"),
+			Attrs:      valuesToAttrs(m["attrs"]),
+			Position:   optInt(m, "position"),
+			Length:     optInt(m, "length"),
+			FrameRate:  optInt(m, "frameRate"),
+			StreamID:   optInt(m, "streamID"),
+		}
+		if items, ok := m["movies"].([]any); ok {
+			for _, it := range items {
+				if s, ok := it.(string); ok {
+					resp.Movies = append(resp.Movies, s)
+				}
+			}
+		}
+		if len(resp.Attrs) == 0 {
+			resp.Attrs = nil
+		}
+		out.Response = resp
+	case "event":
+		out.Event = &Event{
+			Kind:     EventKind(m["kind"].(int64)),
+			StreamID: m["streamID"].(int64),
+			Position: optInt(m, "position"),
+			Detail:   optStr(m, "detail"),
+		}
+	default:
+		return nil, fmt.Errorf("mcam: unknown PDU alternative %q", c.Alt)
+	}
+	return out, nil
+}

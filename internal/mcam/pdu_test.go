@@ -1,0 +1,141 @@
+package mcam
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrips(t *testing.T) {
+	tests := []*Request{
+		{InvokeID: 1, Op: OpCreate, Movie: "casablanca", Format: 1, FrameRate: 25,
+			Attrs: []Attr{{Name: "year", Value: "1942"}, {Name: "director", Value: "Curtiz"}}},
+		{InvokeID: 2, Op: OpDelete, Movie: "old"},
+		{InvokeID: 3, Op: OpSelect, Movie: "metropolis"},
+		{InvokeID: 4, Op: OpDeselect},
+		{InvokeID: 5, Op: OpQueryAttributes, Movie: "m"},
+		{InvokeID: 6, Op: OpModifyAttributes, Attrs: []Attr{{Name: "seen", Value: "yes"}}},
+		{InvokeID: 7, Op: OpListMovies},
+		{InvokeID: 8, Op: OpPlay, Movie: "m", StreamAddr: "client-1/stream", StreamID: 9,
+			Position: 10, Count: 50},
+		{InvokeID: 9, Op: OpRecord, Movie: "rec", Device: "cam1", Count: 30},
+		{InvokeID: 10, Op: OpPause, StreamID: 9},
+		{InvokeID: 11, Op: OpResume, StreamID: 9},
+		{InvokeID: 12, Op: OpStop, StreamID: 9},
+		{InvokeID: 13, Op: OpSeek, Movie: "m", Position: 500},
+	}
+	for _, req := range tests {
+		t.Run(req.Op.String(), func(t *testing.T) {
+			enc, err := (&PDU{Request: req}).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Request == nil {
+				t.Fatal("decoded PDU is not a request")
+			}
+			if !reflect.DeepEqual(got.Request, req) {
+				t.Errorf("round trip:\n got %+v\nwant %+v", got.Request, req)
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrips(t *testing.T) {
+	tests := []*Response{
+		{InvokeID: 1, Op: OpCreate, Status: StatusSuccess},
+		{InvokeID: 2, Op: OpListMovies, Status: StatusSuccess, Movies: []string{"a", "b", "c"}},
+		{InvokeID: 3, Op: OpQueryAttributes, Status: StatusSuccess,
+			Attrs: []Attr{{Name: "title", Value: "x"}}, Length: 1000, FrameRate: 25},
+		{InvokeID: 4, Op: OpPlay, Status: StatusSuccess, StreamID: 7, Length: 500, FrameRate: 30},
+		{InvokeID: 5, Op: OpDelete, Status: StatusNoSuchMovie, Diagnostic: "no such movie: x"},
+		{InvokeID: 6, Op: OpStop, Status: StatusSuccess, Position: 123},
+	}
+	for _, resp := range tests {
+		enc, err := (&PDU{Response: resp}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Response, resp) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got.Response, resp)
+		}
+	}
+}
+
+func TestEventRoundTrips(t *testing.T) {
+	tests := []*Event{
+		{Kind: EventStreamStarted, StreamID: 1},
+		{Kind: EventStreamProgress, StreamID: 2, Position: 100},
+		{Kind: EventStreamCompleted, StreamID: 3, Position: 500},
+		{Kind: EventStreamAborted, StreamID: 4, Position: 7, Detail: "stopped"},
+	}
+	for _, ev := range tests {
+		enc, err := (&PDU{Event: ev}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Event, ev) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got.Event, ev)
+		}
+	}
+}
+
+func TestEmptyPDURejected(t *testing.T) {
+	if _, err := (&PDU{}).Encode(); err == nil {
+		t.Error("empty PDU encoded")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, {0xff, 0x03, 1, 2, 3}} {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("decoded garbage %x", data)
+		}
+	}
+}
+
+func TestRequestRoundTripQuick(t *testing.T) {
+	f := func(invoke int64, op uint8, movie string, pos int64) bool {
+		req := &Request{
+			InvokeID: invoke,
+			Op:       Op(int64(op%13) + 1),
+			Movie:    movie,
+			Position: pos,
+		}
+		enc, err := (&PDU{Request: req}).Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil || got.Request == nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Request, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if OpPlay.String() != "play" || OpCreate.String() != "create" {
+		t.Error("op names wrong")
+	}
+	if StatusSuccess.String() != "success" || StatusNoSuchMovie.String() != "noSuchMovie" {
+		t.Error("status names wrong")
+	}
+	if Op(99).String() == "" || Status(99).String() == "" {
+		t.Error("out-of-range names empty")
+	}
+}

@@ -1,0 +1,203 @@
+// Package moviedb stores digital movies: frames plus descriptive attributes.
+//
+// It is the paper's "movie database" (Fig. 2) that MCAM server entities
+// serve streams from, and the synthetic-movie generator substitutes for the
+// production movie material the XMovie project used.
+package moviedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Format identifies a movie's digital image format.
+type Format int
+
+// Formats from the XMovie environment.
+const (
+	FormatMJPEG Format = iota + 1
+	FormatXMovieRaw
+	FormatMPEG1
+)
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatMJPEG:
+		return "M-JPEG"
+	case FormatXMovieRaw:
+		return "XMovie-Raw"
+	case FormatMPEG1:
+		return "MPEG-1"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Attributes are the descriptive properties kept in the movie directory:
+// free-form key/value pairs plus well-known keys.
+type Attributes map[string]string
+
+// Well-known attribute keys.
+const (
+	AttrTitle    = "title"
+	AttrYear     = "year"
+	AttrDirector = "director"
+	AttrFormat   = "format"
+	AttrLocation = "location"
+)
+
+// Clone returns a copy of the attribute set.
+func (a Attributes) Clone() Attributes {
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Movie is one stored movie.
+type Movie struct {
+	Name      string
+	Format    Format
+	FrameRate int // frames per second
+	Attrs     Attributes
+	Frames    [][]byte
+}
+
+// Duration returns the playing time in whole milliseconds.
+func (m *Movie) DurationMillis() int64 {
+	if m.FrameRate <= 0 {
+		return 0
+	}
+	return int64(len(m.Frames)) * 1000 / int64(m.FrameRate)
+}
+
+// Errors returned by stores.
+var (
+	ErrNotFound = errors.New("moviedb: no such movie")
+	ErrExists   = errors.New("moviedb: movie already exists")
+)
+
+// Store is a movie repository.
+type Store interface {
+	// Create inserts a new movie; ErrExists if the name is taken.
+	Create(m *Movie) error
+	// Get returns the movie by name.
+	Get(name string) (*Movie, error)
+	// Delete removes the movie by name.
+	Delete(name string) error
+	// List returns all movie names, sorted.
+	List() []string
+	// SetAttrs merges attribute updates into the named movie (a value of
+	// "" deletes the key).
+	SetAttrs(name string, updates Attributes) error
+	// AppendFrames adds recorded frames to the named movie.
+	AppendFrames(name string, frames [][]byte) error
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu     sync.RWMutex
+	movies map[string]*Movie
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{movies: make(map[string]*Movie)}
+}
+
+// Create implements Store.
+func (s *MemStore) Create(m *Movie) error {
+	if m.Name == "" {
+		return fmt.Errorf("moviedb: empty movie name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.movies[m.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, m.Name)
+	}
+	cp := *m
+	cp.Attrs = m.Attrs.Clone()
+	cp.Frames = append([][]byte(nil), m.Frames...)
+	if cp.Attrs == nil {
+		cp.Attrs = make(Attributes)
+	}
+	s.movies[m.Name] = &cp
+	return nil
+}
+
+// Get implements Store. The returned movie shares frame storage with the
+// store and must not be mutated; use SetAttrs/AppendFrames to modify.
+func (s *MemStore) Get(name string) (*Movie, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.movies[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	cp := *m
+	cp.Attrs = m.Attrs.Clone()
+	return &cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.movies[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.movies, name)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.movies))
+	for name := range s.movies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetAttrs implements Store.
+func (s *MemStore) SetAttrs(name string, updates Attributes) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.movies[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for k, v := range updates {
+		if v == "" {
+			delete(m.Attrs, k)
+		} else {
+			m.Attrs[k] = v
+		}
+	}
+	return nil
+}
+
+// AppendFrames implements Store.
+func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.movies[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, f := range frames {
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		m.Frames = append(m.Frames, cp)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package moviedb
+
+import "fmt"
+
+// SynthConfig describes a deterministic synthetic movie. It substitutes for
+// the digitized movie material of the XMovie testbed: frames are
+// pseudo-random but reproducible, sized like the named format, so stream
+// experiments exercise realistic data volumes.
+type SynthConfig struct {
+	Name      string
+	Format    Format
+	FrameRate int
+	Frames    int
+	// FrameSize overrides the per-format default frame size in bytes.
+	FrameSize int
+	Attrs     Attributes
+}
+
+// defaultFrameSize returns a plausible compressed frame size for a format
+// at early-90s "quarter-screen" resolution.
+func defaultFrameSize(f Format) int {
+	switch f {
+	case FormatMJPEG:
+		return 8 * 1024
+	case FormatXMovieRaw:
+		return 320 * 240 / 4 // 2-bit color-mapped raw, as in XMovie
+	case FormatMPEG1:
+		return 4 * 1024
+	default:
+		return 4 * 1024
+	}
+}
+
+// Synthesize builds a deterministic movie from the configuration. The same
+// configuration always yields byte-identical frames (an xorshift generator
+// seeded from the name), so tests can verify end-to-end delivery.
+func Synthesize(cfg SynthConfig) *Movie {
+	if cfg.FrameRate == 0 {
+		cfg.FrameRate = 25
+	}
+	if cfg.Frames == 0 {
+		cfg.Frames = 100
+	}
+	size := cfg.FrameSize
+	if size == 0 {
+		size = defaultFrameSize(cfg.Format)
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	for _, c := range cfg.Name {
+		seed = seed*131 + uint64(c)
+	}
+	frames := make([][]byte, cfg.Frames)
+	for i := range frames {
+		f := make([]byte, size)
+		s := seed ^ uint64(i)*0xbf58476d1ce4e5b9
+		for j := 0; j < size; j += 8 {
+			// xorshift64*
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			v := s * 0x2545f4914f6cdd1d
+			for k := 0; k < 8 && j+k < size; k++ {
+				f[j+k] = byte(v >> (8 * k))
+			}
+		}
+		frames[i] = f
+	}
+	attrs := cfg.Attrs.Clone()
+	if attrs == nil {
+		attrs = make(Attributes)
+	}
+	if _, ok := attrs[AttrTitle]; !ok {
+		attrs[AttrTitle] = cfg.Name
+	}
+	attrs[AttrFormat] = cfg.Format.String()
+	return &Movie{
+		Name:      cfg.Name,
+		Format:    cfg.Format,
+		FrameRate: cfg.FrameRate,
+		Attrs:     attrs,
+		Frames:    frames,
+	}
+}
+
+// MustSeed fills a store with n synthetic movies named prefix-0..n-1,
+// panicking on store errors (intended for tests and examples).
+func MustSeed(s Store, prefix string, n, framesEach int) []string {
+	names := make([]string, n)
+	formats := []Format{FormatMJPEG, FormatXMovieRaw, FormatMPEG1}
+	for i := range names {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		m := Synthesize(SynthConfig{
+			Name:   name,
+			Format: formats[i%len(formats)],
+			Frames: framesEach,
+			Attrs: Attributes{
+				AttrYear: fmt.Sprintf("%d", 1990+i%5),
+			},
+		})
+		if err := s.Create(m); err != nil {
+			panic(err)
+		}
+		names[i] = name
+	}
+	return names
+}

@@ -1,0 +1,273 @@
+package mtp
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xmovie/internal/moviedb"
+	"xmovie/internal/netsim"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Flags:    FlagKey,
+		StreamID: 7,
+		Seq:      42,
+		TSMicro:  123456789,
+		Payload:  []byte("frame data"),
+	}
+	enc, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != p.Flags || got.StreamID != p.StreamID || got.Seq != p.Seq ||
+		got.TSMicro != p.TSMicro || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestPacketRoundTripQuick(t *testing.T) {
+	f := func(flags byte, id, seq uint32, ts uint64, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		p := Packet{Flags: flags, StreamID: id, Seq: seq, TSMicro: ts, Payload: payload}
+		enc, err := p.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		return got.Flags == flags && got.StreamID == id && got.Seq == seq &&
+			got.TSMicro == ts && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Unmarshal(make([]byte, HeaderSize-1)); err == nil {
+		t.Error("short accepted")
+	}
+	bad := make([]byte, HeaderSize)
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := Packet{}
+	enc, _ := p.Marshal(nil)
+	enc[2] = 99
+	if _, err := Unmarshal(enc); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestMarshalRejectsOversize(t *testing.T) {
+	p := Packet{Payload: make([]byte, MaxPayload+1)}
+	if _, err := p.Marshal(nil); err == nil {
+		t.Error("oversize payload accepted")
+	}
+}
+
+// streamOver runs a full send/receive over the given netsim configs and
+// returns both stats plus the delivered frames.
+func streamOver(t *testing.T, frames [][]byte, cfg netsim.Config, scfg SenderConfig, rcfg ReceiverConfig) (SendStats, RecvStats, []Frame) {
+	t.Helper()
+	a, b, link := netsim.NewLink(cfg, netsim.Config{})
+	defer link.Close()
+	var (
+		got     []Frame
+		rstats  RecvStats
+		rerr    error
+		wg      sync.WaitGroup
+		deliver = func(f Frame) {
+			cp := f
+			cp.Payload = append([]byte(nil), f.Payload...)
+			got = append(got, cp)
+		}
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rstats, rerr = ReceiveStream(b, rcfg, deliver)
+	}()
+	sstats, err := SendStream(a, frames, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return sstats, rstats, got
+}
+
+func TestStreamPerfectPath(t *testing.T) {
+	movie := moviedb.Synthesize(moviedb.SynthConfig{Name: "perfect", Frames: 50, FrameSize: 1000})
+	sstats, rstats, got := streamOver(t, movie.Frames, netsim.Config{},
+		SenderConfig{StreamID: 1}, ReceiverConfig{})
+	if sstats.Packets != 50 {
+		t.Errorf("sent %d packets", sstats.Packets)
+	}
+	if rstats.Delivered != 50 || rstats.Lost != 0 {
+		t.Errorf("recv stats = %+v", rstats)
+	}
+	for i, f := range got {
+		if f.Seq != uint32(i) {
+			t.Fatalf("frame %d has seq %d", i, f.Seq)
+		}
+		if !bytes.Equal(f.Payload, movie.Frames[i]) {
+			t.Fatalf("frame %d payload corrupted", i)
+		}
+	}
+}
+
+func TestStreamLossyPath(t *testing.T) {
+	movie := moviedb.Synthesize(moviedb.SynthConfig{Name: "lossy", Frames: 400, FrameSize: 200})
+	_, rstats, got := streamOver(t, movie.Frames,
+		netsim.Config{LossProb: 0.1, Seed: 7},
+		SenderConfig{StreamID: 2, EOSRepeats: 10}, ReceiverConfig{})
+	if rstats.Lost == 0 {
+		t.Error("no loss recorded on a lossy path")
+	}
+	if rstats.Delivered+rstats.Lost != 400 {
+		t.Errorf("delivered %d + lost %d != 400", rstats.Delivered, rstats.Lost)
+	}
+	if rstats.DeliveryRatio() < 0.8 || rstats.DeliveryRatio() >= 1.0 {
+		t.Errorf("delivery ratio = %f", rstats.DeliveryRatio())
+	}
+	// Delivered frames stay in order and uncorrupted.
+	last := int64(-1)
+	for _, f := range got {
+		if int64(f.Seq) <= last {
+			t.Fatalf("frame %d delivered out of order", f.Seq)
+		}
+		last = int64(f.Seq)
+		if !bytes.Equal(f.Payload, movie.Frames[f.Seq]) {
+			t.Fatalf("frame %d corrupted", f.Seq)
+		}
+	}
+}
+
+func TestStreamJitteredPathReorders(t *testing.T) {
+	movie := moviedb.Synthesize(moviedb.SynthConfig{Name: "jitter", Frames: 200, FrameSize: 100})
+	_, rstats, got := streamOver(t, movie.Frames,
+		netsim.Config{Delay: time.Millisecond, Jitter: 3 * time.Millisecond, Seed: 3},
+		SenderConfig{StreamID: 3, EOSRepeats: 10}, ReceiverConfig{Window: 64})
+	if rstats.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	last := int64(-1)
+	for _, f := range got {
+		if int64(f.Seq) <= last {
+			t.Fatalf("receiver emitted out-of-order frame %d after %d", f.Seq, last)
+		}
+		last = int64(f.Seq)
+	}
+	if rstats.JitterMicro == 0 {
+		t.Error("jitter estimate is zero on a jittered path")
+	}
+}
+
+func TestPacingHoldsFrameRate(t *testing.T) {
+	movie := moviedb.Synthesize(moviedb.SynthConfig{Name: "paced", Frames: 20, FrameSize: 64})
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = ReceiveStream(b, ReceiverConfig{}, nil)
+	}()
+	start := time.Now()
+	// 20 frames at 100 fps = at least 190 ms of pacing.
+	sstats, err := SendStream(a, movie.Frames, SenderConfig{FrameRate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("20 frames at 100fps took %v, want >= ~190ms", elapsed)
+	}
+	if sstats.Packets != 20 {
+		t.Errorf("sent %d", sstats.Packets)
+	}
+}
+
+func TestStreamOverUDP(t *testing.T) {
+	lis, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	movie := moviedb.Synthesize(moviedb.SynthConfig{Name: "udp", Frames: 30, FrameSize: 1200})
+	var (
+		rstats RecvStats
+		rerr   error
+		count  int
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rstats, rerr = ReceiveStream(lis, ReceiverConfig{}, func(Frame) { count++ })
+	}()
+	conn, err := DialUDP(lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := SendStream(conn, movie.Frames, SenderConfig{StreamID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	// Loopback UDP may still drop under pressure; expect near-total delivery.
+	if count < 25 {
+		t.Errorf("delivered %d of 30 over loopback UDP (stats %+v)", count, rstats)
+	}
+}
+
+func TestReceiverIgnoresForeignStreams(t *testing.T) {
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+	var delivered int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = ReceiveStream(b, ReceiverConfig{ExpectedStreamID: 5}, func(Frame) { delivered++ })
+	}()
+	// Interleave packets of stream 6 (foreign) and 5 (expected).
+	for i := 0; i < 5; i++ {
+		for _, id := range []uint32{6, 5} {
+			p := Packet{StreamID: id, Seq: uint32(i), Payload: []byte{byte(i)}}
+			enc, _ := p.Marshal(nil)
+			if err := a.Send(enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eos, _ := (&Packet{StreamID: 5, Seq: 5, Flags: FlagEOS}).Marshal(nil)
+	if err := a.Send(eos); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if delivered != 5 {
+		t.Errorf("delivered %d, want 5", delivered)
+	}
+}

@@ -1,0 +1,94 @@
+// Package mtp implements the XMovie Movie Transmission Protocol — the
+// continuous-media stream protocol of the paper's data plane.
+//
+// MCAM deliberately separates the control protocol (reliable, low rate,
+// OSI stack) from the CM-stream protocol (isochronous, high rate, light
+// error handling, run over UDP/IP/FDDI in the paper; over a UDP socket or a
+// simulated network path here). MTP provides sequence numbering, media
+// timestamps, sender-side pacing, and receiver-side reordering, loss
+// accounting and jitter measurement — but no retransmission: late video is
+// worse than lost video (paper Table 1: "lightweight or none").
+package mtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Packet layout constants.
+const (
+	// HeaderSize is the fixed MTP header length in octets.
+	HeaderSize = 20
+	// Magic identifies MTP packets.
+	Magic uint16 = 0x4d54 // "MT"
+	// Version is the protocol version carried in every packet.
+	Version byte = 1
+	// MaxPayload bounds one packet's payload (UDP-safe).
+	MaxPayload = 60000
+)
+
+// Header flags.
+const (
+	// FlagEOS marks the end of the stream.
+	FlagEOS byte = 1 << 0
+	// FlagKey marks an independently decodable frame.
+	FlagKey byte = 1 << 1
+)
+
+// Packet is one MTP datagram.
+type Packet struct {
+	Flags    byte
+	StreamID uint32
+	// Seq numbers packets consecutively from 0 within a stream.
+	Seq uint32
+	// TSMicro is the media timestamp in microseconds since stream start.
+	TSMicro uint64
+	Payload []byte
+}
+
+// ErrBadPacket reports an undecodable datagram.
+var ErrBadPacket = errors.New("mtp: malformed packet")
+
+// Marshal appends the wire encoding to dst.
+func (p *Packet) Marshal(dst []byte) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("mtp: payload of %d octets exceeds maximum", len(p.Payload))
+	}
+	var h [HeaderSize]byte
+	binary.BigEndian.PutUint16(h[0:], Magic)
+	h[2] = Version
+	h[3] = p.Flags
+	binary.BigEndian.PutUint32(h[4:], p.StreamID)
+	binary.BigEndian.PutUint32(h[8:], p.Seq)
+	binary.BigEndian.PutUint64(h[12:], p.TSMicro)
+	dst = append(dst, h[:]...)
+	return append(dst, p.Payload...), nil
+}
+
+// Unmarshal decodes a datagram. The payload aliases data.
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d octets", ErrBadPacket, len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if data[2] != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadPacket, data[2])
+	}
+	return &Packet{
+		Flags:    data[3],
+		StreamID: binary.BigEndian.Uint32(data[4:]),
+		Seq:      binary.BigEndian.Uint32(data[8:]),
+		TSMicro:  binary.BigEndian.Uint64(data[12:]),
+		Payload:  data[HeaderSize:],
+	}, nil
+}
+
+// PacketConn is the datagram substrate MTP runs over: a netsim endpoint, a
+// UDP socket, or anything message-oriented and unreliable.
+type PacketConn interface {
+	Send(p []byte) error
+	Recv() ([]byte, error)
+}

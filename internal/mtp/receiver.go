@@ -1,0 +1,201 @@
+package mtp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Frame is one in-order delivered media frame.
+type Frame struct {
+	Seq     uint32
+	TS      time.Duration
+	Key     bool
+	Payload []byte
+}
+
+// RecvStats summarizes reception quality — the measurable side of the
+// paper's Table 1 row "delay and jitter control".
+type RecvStats struct {
+	Received   int
+	Delivered  int
+	Lost       int
+	Duplicates int
+	Reordered  int
+	Bytes      int64
+	// JitterMicro is the RFC-3550-style smoothed interarrival jitter
+	// estimate, in microseconds.
+	JitterMicro int64
+	Elapsed     time.Duration
+}
+
+// DeliveryRatio returns delivered / (delivered + lost).
+func (s RecvStats) DeliveryRatio() float64 {
+	total := s.Delivered + s.Lost
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(total)
+}
+
+// ReceiverConfig tunes the reorder buffer.
+type ReceiverConfig struct {
+	// Window is the maximum number of out-of-order packets buffered before
+	// the receiver declares the gap lost and moves on. Default 32.
+	Window int
+	// ExpectedStreamID, when nonzero, discards packets of other streams.
+	ExpectedStreamID uint32
+}
+
+// ReceiveStream consumes packets from conn until an EOS marker (or conn
+// error), delivering frames in sequence order to deliver (which may be
+// nil). Frames lost on the path are skipped — MTP never retransmits.
+func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (RecvStats, error) {
+	var stats RecvStats
+	if cfg.Window == 0 {
+		cfg.Window = 32
+	}
+	start := time.Now()
+	next := uint32(0)
+	pending := make(map[uint32]*Packet)
+	eosSeq := int64(-1)
+
+	var lastArrival time.Time
+	var lastTS uint64
+	haveLast := false
+
+	flush := func() {
+		for {
+			p, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			if deliver != nil {
+				deliver(Frame{
+					Seq:     p.Seq,
+					TS:      time.Duration(p.TSMicro) * time.Microsecond,
+					Key:     p.Flags&FlagKey != 0,
+					Payload: p.Payload,
+				})
+			}
+			stats.Delivered++
+			stats.Bytes += int64(len(p.Payload))
+			next++
+		}
+	}
+
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, fmt.Errorf("mtp: recv: %w", err)
+		}
+		p, err := Unmarshal(data)
+		if err != nil {
+			// Not an MTP packet; ignore, as a real receiver must on a
+			// shared port.
+			continue
+		}
+		if cfg.ExpectedStreamID != 0 && p.StreamID != cfg.ExpectedStreamID {
+			continue
+		}
+		arrival := time.Now()
+		if p.Flags&FlagEOS != 0 {
+			if eosSeq < 0 || int64(p.Seq) < eosSeq {
+				eosSeq = int64(p.Seq)
+			}
+			// Everything before EOS that never arrived is lost.
+			if int64(next) < eosSeq {
+				flushUpTo(uint32(eosSeq), pending, &stats, deliver, &next)
+			}
+			stats.Elapsed = time.Since(start)
+			return stats, nil
+		}
+		stats.Received++
+		// Interarrival jitter (RFC 3550 §6.4.1 form).
+		if haveLast {
+			transitDelta := arrival.Sub(lastArrival).Microseconds() -
+				(int64(p.TSMicro) - int64(lastTS))
+			if transitDelta < 0 {
+				transitDelta = -transitDelta
+			}
+			stats.JitterMicro += (transitDelta - stats.JitterMicro) / 16
+		}
+		haveLast = true
+		lastArrival, lastTS = arrival, p.TSMicro
+
+		switch {
+		case p.Seq == next:
+			cp := clonePacket(p)
+			pending[p.Seq] = cp
+			flush()
+		case p.Seq > next:
+			if _, dup := pending[p.Seq]; dup {
+				stats.Duplicates++
+				continue
+			}
+			stats.Reordered++
+			pending[p.Seq] = clonePacket(p)
+			if len(pending) > cfg.Window {
+				// Give up on the gap: advance to the earliest buffered.
+				lowest := lowestKey(pending)
+				stats.Lost += int(lowest - next)
+				next = lowest
+				flush()
+			}
+		default: // p.Seq < next
+			stats.Duplicates++
+		}
+	}
+}
+
+// flushUpTo delivers buffered packets below the EOS sequence, counting the
+// holes as lost.
+func flushUpTo(eos uint32, pending map[uint32]*Packet, stats *RecvStats, deliver func(Frame), next *uint32) {
+	keys := make([]uint32, 0, len(pending))
+	for k := range pending {
+		if k < eos {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		stats.Lost += int(k - *next)
+		p := pending[k]
+		delete(pending, k)
+		if deliver != nil {
+			deliver(Frame{
+				Seq:     p.Seq,
+				TS:      time.Duration(p.TSMicro) * time.Microsecond,
+				Key:     p.Flags&FlagKey != 0,
+				Payload: p.Payload,
+			})
+		}
+		stats.Delivered++
+		stats.Bytes += int64(len(p.Payload))
+		*next = k + 1
+	}
+	if *next < eos {
+		stats.Lost += int(eos - *next)
+		*next = eos
+	}
+}
+
+func clonePacket(p *Packet) *Packet {
+	cp := *p
+	cp.Payload = append([]byte(nil), p.Payload...)
+	return &cp
+}
+
+func lowestKey(m map[uint32]*Packet) uint32 {
+	first := true
+	var low uint32
+	for k := range m {
+		if first || k < low {
+			low = k
+			first = false
+		}
+	}
+	return low
+}

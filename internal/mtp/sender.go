@@ -1,0 +1,105 @@
+package mtp
+
+import (
+	"fmt"
+	"time"
+)
+
+// SenderConfig controls one stream transmission.
+type SenderConfig struct {
+	StreamID uint32
+	// FrameRate paces transmission at this many frames per second;
+	// 0 sends as fast as possible (throughput benchmarks).
+	FrameRate int
+	// EOSRepeats re-sends the end-of-stream marker to survive loss.
+	// 0 means the default of 3; negative suppresses EOS entirely (for
+	// callers that transmit a stream in several SendStream calls).
+	EOSRepeats int
+	// StartSeq lets a resumed playback continue the sequence space.
+	StartSeq uint32
+	// Sleep substitutes the pacing wait (tests); nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// SendStats summarizes a transmission.
+type SendStats struct {
+	Packets int
+	Bytes   int64
+	// Late counts frames whose send instant had already passed by more
+	// than one frame period (pacing overruns).
+	Late int
+	// Elapsed is the wall-clock duration of the transmission.
+	Elapsed time.Duration
+}
+
+// SendStream transmits frames over conn, paced to cfg.FrameRate, and
+// terminates the stream with EOS markers. It blocks until done.
+func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, error) {
+	var stats SendStats
+	switch {
+	case cfg.EOSRepeats == 0:
+		cfg.EOSRepeats = 3
+	case cfg.EOSRepeats < 0:
+		cfg.EOSRepeats = 0
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var period time.Duration
+	if cfg.FrameRate > 0 {
+		period = time.Second / time.Duration(cfg.FrameRate)
+	}
+	start := time.Now()
+	buf := make([]byte, 0, HeaderSize+16*1024)
+	seq := cfg.StartSeq
+	for i, frame := range frames {
+		if period > 0 {
+			due := start.Add(time.Duration(i) * period)
+			now := time.Now()
+			if wait := due.Sub(now); wait > 0 {
+				sleep(wait)
+			} else if now.Sub(due) > period {
+				stats.Late++
+			}
+		}
+		p := Packet{
+			StreamID: cfg.StreamID,
+			Seq:      seq,
+			TSMicro:  uint64(i) * uint64(time.Second/time.Microsecond) / uint64(max(cfg.FrameRate, 1)),
+			Payload:  frame,
+		}
+		var err error
+		buf, err = p.Marshal(buf[:0])
+		if err != nil {
+			return stats, err
+		}
+		if err := conn.Send(buf); err != nil {
+			return stats, fmt.Errorf("mtp: send seq %d: %w", seq, err)
+		}
+		stats.Packets++
+		stats.Bytes += int64(len(frame))
+		seq++
+	}
+	// End-of-stream markers; repeated because the path may drop them.
+	for i := 0; i < cfg.EOSRepeats; i++ {
+		p := Packet{StreamID: cfg.StreamID, Seq: seq, Flags: FlagEOS}
+		var err error
+		buf, err = p.Marshal(buf[:0])
+		if err != nil {
+			return stats, err
+		}
+		if err := conn.Send(buf); err != nil {
+			return stats, fmt.Errorf("mtp: send EOS: %w", err)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package mtp
+
+import (
+	"fmt"
+	"net"
+)
+
+// UDPConn adapts a connected UDP socket to PacketConn, the configuration
+// the paper uses for MTP ("we run the XMovie transmission protocol MTP
+// directly on top of UDP, IP and FDDI", §3).
+type UDPConn struct {
+	c   *net.UDPConn
+	buf []byte
+}
+
+var _ PacketConn = (*UDPConn)(nil)
+
+// NewUDPConn wraps an already connected UDP socket.
+func NewUDPConn(c *net.UDPConn) *UDPConn {
+	return &UDPConn{c: c, buf: make([]byte, HeaderSize+MaxPayload)}
+}
+
+// DialUDP opens a connected UDP socket to addr.
+func DialUDP(addr string) (*UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mtp: %w", err)
+	}
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("mtp: %w", err)
+	}
+	return NewUDPConn(c), nil
+}
+
+// ListenUDP binds a UDP socket on addr (use port 0 for ephemeral) and
+// returns it unconnected; the first peer to send adopts the session.
+func ListenUDP(addr string) (*UDPListener, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mtp: %w", err)
+	}
+	c, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("mtp: %w", err)
+	}
+	return &UDPListener{c: c, buf: make([]byte, HeaderSize+MaxPayload)}, nil
+}
+
+// Send implements PacketConn.
+func (u *UDPConn) Send(p []byte) error {
+	_, err := u.c.Write(p)
+	return err
+}
+
+// Recv implements PacketConn.
+func (u *UDPConn) Recv() ([]byte, error) {
+	n, err := u.c.Read(u.buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, u.buf[:n])
+	return out, nil
+}
+
+// Close releases the socket.
+func (u *UDPConn) Close() error { return u.c.Close() }
+
+// UDPListener receives a stream on a bound socket, replying to the most
+// recent sender (sufficient for one stream per port, as MCAM allocates).
+type UDPListener struct {
+	c    *net.UDPConn
+	buf  []byte
+	peer *net.UDPAddr
+}
+
+var _ PacketConn = (*UDPListener)(nil)
+
+// Addr returns the bound address.
+func (u *UDPListener) Addr() string { return u.c.LocalAddr().String() }
+
+// Recv implements PacketConn, learning the peer from inbound traffic.
+func (u *UDPListener) Recv() ([]byte, error) {
+	n, peer, err := u.c.ReadFromUDP(u.buf)
+	if err != nil {
+		return nil, err
+	}
+	u.peer = peer
+	out := make([]byte, n)
+	copy(out, u.buf[:n])
+	return out, nil
+}
+
+// Send implements PacketConn toward the learned peer.
+func (u *UDPListener) Send(p []byte) error {
+	if u.peer == nil {
+		return fmt.Errorf("mtp: no peer learned yet")
+	}
+	_, err := u.c.WriteToUDP(p, u.peer)
+	return err
+}
+
+// Close releases the socket.
+func (u *UDPListener) Close() error { return u.c.Close() }

@@ -1,0 +1,304 @@
+// Package netsim simulates datagram network paths with configurable delay,
+// jitter, loss and bandwidth.
+//
+// The paper runs its continuous-media stream protocol (XMovie MTP) over
+// UDP/IP/FDDI; this package is the stand-in for that network so stream
+// experiments are repeatable and loss-controllable: a Link delivers packets
+// to the far end after a (possibly jittered) delay, drops them with a seeded
+// probability, and enforces a serialization rate.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config shapes one direction of a link.
+type Config struct {
+	// Delay is the fixed one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter].
+	Jitter time.Duration
+	// LossProb is the independent drop probability in [0, 1].
+	LossProb float64
+	// BitsPerSec, when > 0, models serialization: packets queue behind one
+	// another at this rate.
+	BitsPerSec int64
+	// Seed makes loss and jitter deterministic. 0 means seed 1.
+	Seed int64
+	// MaxQueue bounds the in-flight packet count (tail drop). 0 = 4096.
+	MaxQueue int
+}
+
+// Stats counts one endpoint's traffic.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	QueueDrop int64
+	Bytes     int64
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("netsim: link closed")
+
+// Endpoint is one side of a Link.
+type Endpoint struct {
+	link *Link
+	// out is the transmit direction state owned by this endpoint.
+	out *direction
+	// in is the receive queue.
+	in chan []byte
+}
+
+// direction carries packets one way.
+type direction struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu sync.Mutex
+	// busyUntil models the serialization of previous packets.
+	busyUntil time.Time
+	inFlight  int
+	stats     Stats
+	dst       chan []byte
+}
+
+// Link is a bidirectional shaped path between two Endpoints.
+type Link struct {
+	a, b *Endpoint
+
+	mu     sync.Mutex
+	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	// wakeCh interrupts the pump's sleep when an earlier packet arrives.
+	wakeCh  chan struct{}
+	pending deliveryHeap
+	seq     int64
+}
+
+type delivery struct {
+	at  time.Time
+	seq int64
+	p   []byte
+	dir *direction
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}
+func (h deliveryHeap) peek() delivery     { return h[0] }
+func (h *deliveryHeap) popHead() delivery { return heap.Pop(h).(delivery) }
+
+// NewLink creates a link whose two directions are shaped by aToB and bToA.
+func NewLink(aToB, bToA Config) (*Endpoint, *Endpoint, *Link) {
+	l := &Link{stopCh: make(chan struct{}), wakeCh: make(chan struct{}, 1)}
+	mk := func(cfg Config, dst chan []byte) *direction {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		if cfg.MaxQueue == 0 {
+			cfg.MaxQueue = 4096
+		}
+		return &direction{cfg: cfg, rng: rand.New(rand.NewSource(seed)), dst: dst}
+	}
+	inA := make(chan []byte, 4096)
+	inB := make(chan []byte, 4096)
+	a := &Endpoint{link: l, in: inA, out: mk(aToB, inB)}
+	b := &Endpoint{link: l, in: inB, out: mk(bToA, inA)}
+	l.a, l.b = a, b
+	l.wg.Add(1)
+	go l.pump()
+	return a, b, l
+}
+
+// NewPerfectLink returns an unshaped (instant, lossless) link.
+func NewPerfectLink() (*Endpoint, *Endpoint, *Link) {
+	return NewLink(Config{}, Config{})
+}
+
+// pump delivers scheduled packets when their time arrives.
+func (l *Link) pump() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if len(l.pending) == 0 {
+			l.mu.Unlock()
+			select {
+			case <-l.wakeCh:
+			case <-l.stopCh:
+				return
+			}
+			continue
+		}
+		head := l.pending.peek()
+		wait := time.Until(head.at)
+		if wait > 0 {
+			l.mu.Unlock()
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-l.wakeCh: // an earlier packet may have been scheduled
+				timer.Stop()
+			case <-l.stopCh:
+				timer.Stop()
+				return
+			}
+			continue
+		}
+		d := l.pending.popHead()
+		l.mu.Unlock()
+		d.dir.deliver(d.p)
+	}
+}
+
+func (l *Link) wake() {
+	select {
+	case l.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+func (d *direction) deliver(p []byte) {
+	d.mu.Lock()
+	d.inFlight--
+	dst := d.dst
+	d.mu.Unlock()
+	select {
+	case dst <- p:
+		d.mu.Lock()
+		d.stats.Delivered++
+		d.mu.Unlock()
+	default:
+		d.mu.Lock()
+		d.stats.QueueDrop++
+		d.mu.Unlock()
+	}
+}
+
+// Send transmits p toward the peer endpoint. The packet is copied.
+func (e *Endpoint) Send(p []byte) error {
+	l := e.link
+	dir := e.out
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+
+	dir.mu.Lock()
+	dir.stats.Sent++
+	dir.stats.Bytes += int64(len(p))
+	if dir.cfg.LossProb > 0 && dir.rng.Float64() < dir.cfg.LossProb {
+		dir.stats.Dropped++
+		dir.mu.Unlock()
+		return nil
+	}
+	if dir.inFlight >= dir.cfg.MaxQueue {
+		dir.stats.QueueDrop++
+		dir.mu.Unlock()
+		return nil
+	}
+	now := time.Now()
+	depart := now
+	if dir.cfg.BitsPerSec > 0 {
+		txTime := time.Duration(int64(len(p)) * 8 * int64(time.Second) / dir.cfg.BitsPerSec)
+		if dir.busyUntil.After(now) {
+			depart = dir.busyUntil
+		}
+		dir.busyUntil = depart.Add(txTime)
+		depart = dir.busyUntil
+	}
+	arrive := depart.Add(dir.cfg.Delay)
+	if dir.cfg.Jitter > 0 {
+		arrive = arrive.Add(time.Duration(dir.rng.Int63n(int64(dir.cfg.Jitter) + 1)))
+	}
+	dir.inFlight++
+	dir.mu.Unlock()
+
+	buf := make([]byte, len(p))
+	copy(buf, p)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.seq++
+	heap.Push(&l.pending, delivery{at: arrive, seq: l.seq, p: buf, dir: dir})
+	l.mu.Unlock()
+	l.wake()
+	return nil
+}
+
+// Recv returns the next delivered packet, blocking until one arrives or the
+// link closes.
+func (e *Endpoint) Recv() ([]byte, error) {
+	select {
+	case p := <-e.in:
+		return p, nil
+	case <-e.link.stopCh:
+		// Drain anything already delivered.
+		select {
+		case p := <-e.in:
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// TryRecv returns a delivered packet without blocking.
+func (e *Endpoint) TryRecv() ([]byte, bool) {
+	select {
+	case p := <-e.in:
+		return p, true
+	default:
+		return nil, false
+	}
+}
+
+// Stats returns a snapshot of this endpoint's transmit-direction counters.
+func (e *Endpoint) Stats() Stats {
+	e.out.mu.Lock()
+	defer e.out.mu.Unlock()
+	return e.out.stats
+}
+
+// Close shuts the link down in both directions.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.stopCh)
+	l.mu.Unlock()
+	l.wg.Wait()
+}

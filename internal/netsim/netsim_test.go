@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPerfectLinkDelivers(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for _, p := range want {
+		if err := a.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Errorf("packet %d = %q, want %q", i, got, w)
+		}
+	}
+	st := a.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || string(p) != "ping" {
+		t.Fatalf("b got %q, %v", p, err)
+	}
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := a.Recv(); err != nil || string(p) != "pong" {
+		t.Fatalf("a got %q, %v", p, err)
+	}
+}
+
+func TestLossIsSeededAndApproximate(t *testing.T) {
+	a, _, l := NewLink(Config{LossProb: 0.3, Seed: 42}, Config{})
+	defer l.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.Dropped < n*20/100 || st.Dropped > n*40/100 {
+		t.Errorf("dropped %d of %d, want ~30%%", st.Dropped, n)
+	}
+	// Same seed, same loss count.
+	a2, _, l2 := NewLink(Config{LossProb: 0.3, Seed: 42}, Config{})
+	defer l2.Close()
+	for i := 0; i < n; i++ {
+		if err := a2.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a2.Stats().Dropped; got != st.Dropped {
+		t.Errorf("seeded loss not deterministic: %d vs %d", got, st.Dropped)
+	}
+}
+
+func TestDelayIsApplied(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	a, b, l := NewLink(Config{Delay: delay}, Config{})
+	defer l.Close()
+	start := time.Now()
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < delay {
+		t.Errorf("delivered after %v, want >= %v", got, delay)
+	}
+}
+
+func TestOrderPreservedWithoutJitter(t *testing.T) {
+	a, b, l := NewLink(Config{Delay: time.Millisecond}, Config{})
+	defer l.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != byte(i) {
+			t.Fatalf("packet %d arrived as %d", i, p[0])
+		}
+	}
+}
+
+func TestBandwidthSerializes(t *testing.T) {
+	// 8 KB at 64 kbit/s = 1 s of serialization; send 4 packets of 1 KB at
+	// 800 kbit/s => 10 ms each, 40 ms total.
+	a, b, l := NewLink(Config{BitsPerSec: 800_000}, Config{})
+	defer l.Close()
+	start := time.Now()
+	p := make([]byte, 1000)
+	for i := 0; i < 4; i++ {
+		if err := a.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := time.Since(start); got < 35*time.Millisecond {
+		t.Errorf("4 KB at 800 kbit/s took %v, want >= ~40ms", got)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	_, b, l := NewPerfectLink()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, _, l := NewPerfectLink()
+	l.Close()
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("Send after close = %v", err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	if _, ok := b.TryRecv(); ok {
+		t.Error("TryRecv returned a packet on an idle link")
+	}
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if p, ok := b.TryRecv(); ok {
+			if string(p) != "x" {
+				t.Errorf("got %q", p)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("packet never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

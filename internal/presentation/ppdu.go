@@ -1,0 +1,220 @@
+// Package presentation implements a kernel-functional-unit ISO presentation
+// layer (ISO 8823 style): context negotiation at connect time and
+// context-tagged data transfer, with PPDUs defined in ASN.1 and encoded in
+// BER — the combination the paper's control stack uses (Estelle presentation
+// layer over the session layer, ASN.1 tooling from refs [9], [16]).
+package presentation
+
+import (
+	"fmt"
+	"sync"
+
+	"xmovie/internal/asn1ber"
+)
+
+// ModuleText is the ASN.1 definition of the presentation PDUs. It is parsed
+// by the asn1ber schema compiler at first use — the runtime analogue of the
+// paper's ASN.1-to-C++ translator step.
+const ModuleText = `
+ISO-Presentation DEFINITIONS ::= BEGIN
+  ContextItem ::= SEQUENCE {
+     id              INTEGER,
+     abstractSyntax  IA5String
+  }
+  CP ::= SEQUENCE {
+     callingSelector [0] IA5String OPTIONAL,
+     calledSelector  [1] IA5String OPTIONAL,
+     contextList     [2] SEQUENCE OF ContextItem,
+     userData        [3] OCTET STRING OPTIONAL
+  }
+  ResultItem ::= SEQUENCE {
+     id       INTEGER,
+     accepted BOOLEAN
+  }
+  CPA ::= SEQUENCE {
+     resultList [0] SEQUENCE OF ResultItem,
+     userData   [1] OCTET STRING OPTIONAL
+  }
+  CPR ::= SEQUENCE {
+     reason IA5String
+  }
+  TD ::= SEQUENCE {
+     contextID INTEGER,
+     data      OCTET STRING
+  }
+  ARP ::= SEQUENCE {
+     reason IA5String
+  }
+  PPDU ::= CHOICE {
+     cp    [10] CP,
+     cpa   [11] CPA,
+     cpr   [12] CPR,
+     td    [13] TD,
+     arp   [14] ARP
+  }
+END
+`
+
+var compileOnce = sync.OnceValues(func() (*asn1ber.Module, error) {
+	return asn1ber.ParseModule(ModuleText)
+})
+
+// schema returns the compiled PPDU schema.
+func schema() *asn1ber.Module {
+	m, err := compileOnce()
+	if err != nil {
+		panic(fmt.Sprintf("presentation: bad built-in ASN.1 module: %v", err))
+	}
+	return m
+}
+
+// Context is one proposed/negotiated presentation context.
+type Context struct {
+	ID             int64
+	AbstractSyntax string
+}
+
+// Result is the responder's verdict on one proposed context.
+type Result struct {
+	ID       int64
+	Accepted bool
+}
+
+// CP is the connect-presentation PDU.
+type CP struct {
+	CallingSelector string
+	CalledSelector  string
+	Contexts        []Context
+	UserData        []byte
+}
+
+// CPA is the connect-presentation-accept PDU.
+type CPA struct {
+	Results  []Result
+	UserData []byte
+}
+
+// CPR is the connect-presentation-refuse PDU.
+type CPR struct {
+	Reason string
+}
+
+// TD is the presentation data PDU: user data tagged with its context.
+type TD struct {
+	ContextID int64
+	Data      []byte
+}
+
+// ARP is the abnormal-release (abort) PDU.
+type ARP struct {
+	Reason string
+}
+
+// PPDU is the union of presentation PDUs; exactly one field is non-nil.
+type PPDU struct {
+	CP  *CP
+	CPA *CPA
+	CPR *CPR
+	TD  *TD
+	ARP *ARP
+}
+
+// Encode produces the BER encoding of the PPDU.
+func (p *PPDU) Encode() ([]byte, error) {
+	var c asn1ber.Choice
+	switch {
+	case p.CP != nil:
+		items := make([]any, len(p.CP.Contexts))
+		for i, ctx := range p.CP.Contexts {
+			items[i] = map[string]any{"id": ctx.ID, "abstractSyntax": ctx.AbstractSyntax}
+		}
+		v := map[string]any{"contextList": items}
+		if p.CP.CallingSelector != "" {
+			v["callingSelector"] = p.CP.CallingSelector
+		}
+		if p.CP.CalledSelector != "" {
+			v["calledSelector"] = p.CP.CalledSelector
+		}
+		if p.CP.UserData != nil {
+			v["userData"] = p.CP.UserData
+		}
+		c = asn1ber.Choice{Alt: "cp", Value: v}
+	case p.CPA != nil:
+		items := make([]any, len(p.CPA.Results))
+		for i, r := range p.CPA.Results {
+			items[i] = map[string]any{"id": r.ID, "accepted": r.Accepted}
+		}
+		v := map[string]any{"resultList": items}
+		if p.CPA.UserData != nil {
+			v["userData"] = p.CPA.UserData
+		}
+		c = asn1ber.Choice{Alt: "cpa", Value: v}
+	case p.CPR != nil:
+		c = asn1ber.Choice{Alt: "cpr", Value: map[string]any{"reason": p.CPR.Reason}}
+	case p.TD != nil:
+		c = asn1ber.Choice{Alt: "td", Value: map[string]any{
+			"contextID": p.TD.ContextID, "data": p.TD.Data,
+		}}
+	case p.ARP != nil:
+		c = asn1ber.Choice{Alt: "arp", Value: map[string]any{"reason": p.ARP.Reason}}
+	default:
+		return nil, fmt.Errorf("presentation: empty PPDU")
+	}
+	return schema().MustLookup("PPDU").Encode(nil, c)
+}
+
+// Decode parses a BER-encoded PPDU.
+func Decode(data []byte) (*PPDU, error) {
+	v, err := schema().MustLookup("PPDU").DecodeAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("presentation: %w", err)
+	}
+	c := v.(asn1ber.Choice)
+	out := &PPDU{}
+	switch c.Alt {
+	case "cp":
+		m := c.Value.(map[string]any)
+		cp := &CP{}
+		if s, ok := m["callingSelector"].(string); ok {
+			cp.CallingSelector = s
+		}
+		if s, ok := m["calledSelector"].(string); ok {
+			cp.CalledSelector = s
+		}
+		for _, item := range m["contextList"].([]any) {
+			im := item.(map[string]any)
+			cp.Contexts = append(cp.Contexts, Context{
+				ID:             im["id"].(int64),
+				AbstractSyntax: im["abstractSyntax"].(string),
+			})
+		}
+		if b, ok := m["userData"].([]byte); ok {
+			cp.UserData = b
+		}
+		out.CP = cp
+	case "cpa":
+		m := c.Value.(map[string]any)
+		cpa := &CPA{}
+		for _, item := range m["resultList"].([]any) {
+			im := item.(map[string]any)
+			cpa.Results = append(cpa.Results, Result{
+				ID:       im["id"].(int64),
+				Accepted: im["accepted"].(bool),
+			})
+		}
+		if b, ok := m["userData"].([]byte); ok {
+			cpa.UserData = b
+		}
+		out.CPA = cpa
+	case "cpr":
+		out.CPR = &CPR{Reason: c.Value.(map[string]any)["reason"].(string)}
+	case "td":
+		m := c.Value.(map[string]any)
+		out.TD = &TD{ContextID: m["contextID"].(int64), Data: m["data"].([]byte)}
+	case "arp":
+		out.ARP = &ARP{Reason: c.Value.(map[string]any)["reason"].(string)}
+	default:
+		return nil, fmt.Errorf("presentation: unknown PPDU alternative %q", c.Alt)
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"sync"
+
+	"xmovie/internal/estelle"
+)
+
+// ServiceChannel is the ISO-style transport service boundary used by the
+// session layer: T-CONNECT, T-DATA and T-DISCONNECT primitives.
+//
+// Roles: "user" (the session entity) and "provider" (the transport system).
+var ServiceChannel = &estelle.ChannelDef{
+	Name:  "TransportService",
+	RoleA: "user",
+	RoleB: "provider",
+	ByRole: map[string][]estelle.MsgDef{
+		"user": {
+			{Name: "TConReq", Params: []estelle.ParamDef{{Name: "calledAddr", Type: "string"}}},
+			{Name: "TConResp"},
+			{Name: "TDatReq", Params: []estelle.ParamDef{{Name: "data", Type: "octetstring"}}},
+			{Name: "TDisReq"},
+		},
+		"provider": {
+			{Name: "TConInd", Params: []estelle.ParamDef{{Name: "callingAddr", Type: "string"}}},
+			{Name: "TConCnf"},
+			{Name: "TDatInd", Params: []estelle.ParamDef{{Name: "data", Type: "octetstring"}}},
+			{Name: "TDisInd"},
+		},
+	},
+}
+
+// PipeProviderDef returns the module definition of an in-runtime transport
+// pipe serving exactly one connection between its two service access points
+// A and B — the "simulated transport layer pipe" of the paper's §5.1 test
+// environment. It is a plain Estelle FSM: no goroutines, no I/O.
+func PipeProviderDef() *estelle.ModuleDef {
+	relay := func(from, to string) estelle.Trans {
+		return estelle.Trans{
+			Name: "data-" + from + to,
+			From: []string{"Connected"},
+			When: estelle.On(from, "TDatReq"),
+			Action: func(ctx *estelle.Ctx) {
+				ctx.Output(to, "TDatInd", ctx.Msg.Arg(0))
+			},
+		}
+	}
+	disconnect := func(from, to string) estelle.Trans {
+		return estelle.Trans{
+			Name: "dis-" + from + to,
+			From: []string{"Connected", "Calling"},
+			When: estelle.On(from, "TDisReq"),
+			To:   "Idle",
+			Action: func(ctx *estelle.Ctx) {
+				ctx.Output(to, "TDisInd")
+			},
+		}
+	}
+	return &estelle.ModuleDef{
+		Name: "TransportPipe",
+		Attr: estelle.Process,
+		IPs: []estelle.IPDef{
+			{Name: "A", Channel: ServiceChannel, Role: "provider"},
+			{Name: "B", Channel: ServiceChannel, Role: "provider"},
+		},
+		States: []string{"Idle", "Calling", "Connected"},
+		Trans: []estelle.Trans{
+			{
+				Name: "connect",
+				From: []string{"Idle"},
+				When: estelle.On("A", "TConReq"),
+				To:   "Calling",
+				Action: func(ctx *estelle.Ctx) {
+					ctx.Output("B", "TConInd", ctx.Msg.Arg(0))
+				},
+			},
+			{
+				Name: "accept",
+				From: []string{"Calling"},
+				When: estelle.On("B", "TConResp"),
+				To:   "Connected",
+				Action: func(ctx *estelle.Ctx) {
+					ctx.Output("A", "TConCnf")
+				},
+			},
+			relay("A", "B"),
+			relay("B", "A"),
+			disconnect("A", "B"),
+			disconnect("B", "A"),
+		},
+	}
+}
+
+// SystemPipeProviderDef wraps PipeProviderDef as a standalone system module
+// so a pipe can be added directly to a runtime.
+func SystemPipeProviderDef() *estelle.ModuleDef {
+	def := *PipeProviderDef()
+	def.Attr = estelle.SystemProcess
+	return &def
+}
+
+// connBody is the external body bridging an Estelle transport-service IP to
+// a real Conn (TCP/TPKT or in-memory pipe). It is the package's equivalent
+// of the paper's hand-coded ISODE interface module (§4.3): a loop that maps
+// Estelle interactions onto library calls and back.
+type connBody struct {
+	conn Conn
+	// rx carries events from the background reader to Step, which turns
+	// them into provider outputs on the scheduler's goroutine.
+	rx chan connEvent
+
+	mu       sync.Mutex
+	started  bool
+	accepted bool
+	wg       sync.WaitGroup
+}
+
+type connEvent struct {
+	data []byte
+	dis  bool
+}
+
+// ConnProviderDef returns a transport provider module def whose single
+// service access point U is backed by conn. If accepted is true the module
+// represents the called side: it emits TConInd when the user is ready and
+// completes with TConResp; otherwise the module is the calling side,
+// answering TConReq with TConCnf (the connection below is already open).
+func ConnProviderDef(conn Conn, accepted bool) *estelle.ModuleDef {
+	body := &connBody{conn: conn, accepted: accepted, rx: make(chan connEvent, 1024)}
+	return &estelle.ModuleDef{
+		Name: "TransportConn",
+		Attr: estelle.Process,
+		IPs: []estelle.IPDef{
+			{Name: "U", Channel: ServiceChannel, Role: "provider"},
+		},
+		External: body,
+	}
+}
+
+// SystemConnProviderDef wraps ConnProviderDef as a system module.
+func SystemConnProviderDef(conn Conn, accepted bool) *estelle.ModuleDef {
+	def := *ConnProviderDef(conn, accepted)
+	def.Attr = estelle.SystemProcess
+	return &def
+}
+
+// Step implements estelle.Body. It follows the structure of the paper's
+// §4.3 interface-module loop: translate pending Estelle interactions into
+// library calls, then translate pending library events into Estelle outputs.
+func (b *connBody) Step(ctx *estelle.Ctx) bool {
+	self := ctx.Self()
+	ip := self.IP("U")
+	b.mu.Lock()
+	if !b.started {
+		b.started = true
+		b.wg.Add(1)
+		go b.readLoop(self)
+		if b.accepted {
+			// Called side: announce the incoming connection.
+			b.mu.Unlock()
+			ctx.Output("U", "TConInd", "")
+			b.mu.Lock()
+		}
+	}
+	b.mu.Unlock()
+
+	worked := false
+	for {
+		in := ip.PopInput()
+		if in == nil {
+			break
+		}
+		worked = true
+		switch in.Name {
+		case "TConReq":
+			// The underlying connection is already established.
+			ctx.Output("U", "TConCnf")
+		case "TConResp":
+			// Called side completed; nothing to send at this level.
+		case "TDatReq":
+			if err := b.conn.Send(in.Bytes(0)); err != nil {
+				ctx.Output("U", "TDisInd")
+			}
+		case "TDisReq":
+			_ = b.conn.Close()
+		}
+	}
+	for {
+		select {
+		case ev := <-b.rx:
+			worked = true
+			if ev.dis {
+				ctx.Output("U", "TDisInd")
+			} else {
+				ctx.Output("U", "TDatInd", ev.data)
+			}
+		default:
+			return worked
+		}
+	}
+}
+
+func (b *connBody) readLoop(self *estelle.Instance) {
+	defer b.wg.Done()
+	for {
+		p, err := b.conn.Recv()
+		if err != nil {
+			b.rx <- connEvent{dis: true}
+			self.Notify()
+			return
+		}
+		b.rx <- connEvent{data: p}
+		self.Notify()
+	}
+}
+
+// Wait blocks until the background reader exits (after Close or peer EOF).
+func (b *connBody) Wait() { b.wg.Wait() }

@@ -1,0 +1,210 @@
+// Package transport provides the transport services the MCAM control plane
+// runs on: an in-memory reliable pipe (the paper's "simulated transport
+// layer pipe", §5.1), TPKT-style framing over TCP (the stand-in for the
+// ISODE TP stack), and Estelle module definitions exposing either as an
+// ISO-style transport service to the layers above.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a reliable, ordered, message-preserving transport connection.
+type Conn interface {
+	// Send transmits one message.
+	Send(p []byte) error
+	// Recv blocks for the next message; it returns io.EOF after the peer
+	// closes.
+	Recv() ([]byte, error)
+	// Close tears the connection down in both directions.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeConn is one end of an in-memory connection.
+type pipeConn struct {
+	out chan<- []byte
+	in  <-chan []byte
+	// closeOut signals this end's close to the peer (idempotent).
+	closeOut func()
+	// closedIn is closed when the peer closes; selfClosed when we do.
+	closedIn   <-chan struct{}
+	selfClosed <-chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Pipe returns two connected in-memory transport endpoints with queue
+// capacity cap (0 means 1024).
+func Pipe(capacity int) (Conn, Conn) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	ab := make(chan []byte, capacity)
+	ba := make(chan []byte, capacity)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	var aOnce, bOnce sync.Once
+	a := &pipeConn{
+		out: ab, in: ba,
+		closeOut: func() { aOnce.Do(func() { close(aClosed) }) },
+		closedIn: bClosed,
+	}
+	b := &pipeConn{
+		out: ba, in: ab,
+		closeOut: func() { bOnce.Do(func() { close(bClosed) }) },
+		closedIn: aClosed,
+	}
+	a.selfClosed = aClosed
+	b.selfClosed = bClosed
+	return a, b
+}
+
+func (c *pipeConn) Send(p []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	select {
+	case c.out <- buf:
+		return nil
+	case <-c.closedIn:
+		return ErrClosed
+	}
+}
+
+func (c *pipeConn) Recv() ([]byte, error) {
+	select {
+	case p := <-c.in:
+		return p, nil
+	case <-c.closedIn:
+		// Peer closed; drain what is already queued.
+		select {
+		case p := <-c.in:
+			return p, nil
+		default:
+			return nil, io.EOF
+		}
+	case <-c.selfClosed:
+		return nil, io.EOF
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.closeOut()
+	return nil
+}
+
+// tpktConn frames messages over a stream connection with a 4-octet header
+// (version, reserved, 16-bit length), following ISO transport over TCP.
+type tpktConn struct {
+	nc net.Conn
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	hdr     [4]byte
+}
+
+const (
+	tpktVersion   = 3
+	tpktMaxLength = 0xffff - 4
+)
+
+// NewTPKT wraps a stream connection in TPKT framing.
+func NewTPKT(nc net.Conn) Conn { return &tpktConn{nc: nc} }
+
+func (c *tpktConn) Send(p []byte) error {
+	if len(p) > tpktMaxLength {
+		return fmt.Errorf("transport: message of %d octets exceeds TPKT limit", len(p))
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var hdr [4]byte
+	hdr[0] = tpktVersion
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(p)+4))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.nc.Write(p); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+func (c *tpktConn) Recv() ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	if _, err := io.ReadFull(c.nc, c.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	if c.hdr[0] != tpktVersion {
+		return nil, fmt.Errorf("transport: bad TPKT version %d", c.hdr[0])
+	}
+	n := int(binary.BigEndian.Uint16(c.hdr[2:]))
+	if n < 4 {
+		return nil, fmt.Errorf("transport: bad TPKT length %d", n)
+	}
+	body := make([]byte, n-4)
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	return body, nil
+}
+
+func (c *tpktConn) Close() error { return c.nc.Close() }
+
+// Listener accepts TPKT transport connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen starts a TPKT listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return NewTPKT(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// Dial opens a TPKT transport connection to addr.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return NewTPKT(nc), nil
+}

@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"xmovie/internal/estelle"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+	if err := b.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil || string(got) != "world" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestPipeSendCopiesBuffer(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	buf := []byte("abc")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	got, err := b.Recv()
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("Recv = %q, %v (send must copy)", got, err)
+	}
+}
+
+func TestPipeCloseGivesEOF(t *testing.T) {
+	a, b := Pipe(0)
+	if err := a.Send([]byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// Queued data is still readable, then EOF.
+	if got, err := b.Recv(); err != nil || string(got) != "last" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("Recv after close = %v, want EOF", err)
+	}
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeRecvUnblocksOnLocalClose(t *testing.T) {
+	a, _ := Pipe(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Errorf("Recv = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTPKTOverTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		for {
+			p, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if err := conn.Send(append([]byte("echo:"), p...)); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+
+	conn, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][]byte{[]byte("a"), bytes.Repeat([]byte("b"), 10000), {}}
+	for _, m := range msgs {
+		if err := conn.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte("echo:"), m...)
+		if !bytes.Equal(got, want) {
+			t.Errorf("echo of %d bytes mismatched", len(m))
+		}
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestTPKTRejectsOversize(t *testing.T) {
+	a, b := Pipe(0)
+	_ = b
+	defer a.Close()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			_, _ = c.Recv()
+		}
+	}()
+	conn, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(make([]byte, 70000)); err == nil {
+		t.Error("oversize TPKT send accepted")
+	}
+}
+
+// sessionUserDef is a tiny T-service user for exercising providers: it
+// connects, sends `n` data units, and counts what comes back.
+type tUser struct {
+	sent     int
+	received int
+	n        int
+	initiate bool
+	done     bool
+}
+
+func tUserDef(name string, n int, initiate bool) *estelle.ModuleDef {
+	return &estelle.ModuleDef{
+		Name:   name,
+		Attr:   estelle.SystemProcess,
+		IPs:    []estelle.IPDef{{Name: "T", Channel: ServiceChannel, Role: "user"}},
+		States: []string{"Idle", "Connecting", "Connected", "Closed"},
+		Init: func(ctx *estelle.Ctx) {
+			ctx.SetBody(&tUser{n: n, initiate: initiate})
+		},
+		Trans: []estelle.Trans{
+			{
+				Name: "start", From: []string{"Idle"}, To: "Connecting",
+				Provided: func(ctx *estelle.Ctx) bool { return ctx.Body().(*tUser).initiate },
+				Action: func(ctx *estelle.Ctx) {
+					ctx.Output("T", "TConReq", "peer")
+				},
+			},
+			{
+				Name: "accept", From: []string{"Idle"}, When: estelle.On("T", "TConInd"), To: "Connected",
+				Action: func(ctx *estelle.Ctx) {
+					ctx.Output("T", "TConResp")
+				},
+			},
+			{
+				Name: "connected", From: []string{"Connecting"}, When: estelle.On("T", "TConCnf"), To: "Connected",
+				Action: func(ctx *estelle.Ctx) {
+					st := ctx.Body().(*tUser)
+					ctx.Output("T", "TDatReq", []byte{byte(st.sent)})
+					st.sent++
+				},
+			},
+			{
+				Name: "echo", From: []string{"Connected"}, When: estelle.On("T", "TDatInd"),
+				Action: func(ctx *estelle.Ctx) {
+					st := ctx.Body().(*tUser)
+					st.received++
+					if st.initiate {
+						if st.sent < st.n {
+							ctx.Output("T", "TDatReq", []byte{byte(st.sent)})
+							st.sent++
+						} else if !st.done {
+							st.done = true
+							ctx.Output("T", "TDisReq")
+						}
+					} else {
+						// Echo back.
+						ctx.Output("T", "TDatReq", ctx.Msg.Bytes(0))
+					}
+				},
+			},
+			{
+				Name: "peerGone", When: estelle.On("T", "TDisInd"), To: "Closed",
+				Action: func(ctx *estelle.Ctx) { ctx.Body().(*tUser).done = true },
+			},
+		},
+	}
+}
+
+func TestPipeProviderModule(t *testing.T) {
+	rt := estelle.NewRuntime(estelle.WithStrict())
+	pipe, err := rt.AddSystem(SystemPipeProviderDef(), "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	initiator, err := rt.AddSystem(tUserDef("Initiator", 10, true), "init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	responder, err := rt.AddSystem(tUserDef("Responder", 0, false), "resp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(initiator.IP("T"), pipe.IP("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(responder.IP("T"), pipe.IP("B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := estelle.NewStepper(rt).RunUntilIdle(10000); err != nil {
+		t.Fatal(err)
+	}
+	st := initiator.Body().(*tUser)
+	if st.sent != 10 || st.received != 10 || !st.done {
+		t.Errorf("initiator sent=%d received=%d done=%v", st.sent, st.received, st.done)
+	}
+	rst := responder.Body().(*tUser)
+	if rst.received != 10 {
+		t.Errorf("responder received=%d", rst.received)
+	}
+}
+
+func TestConnProviderBridgesRealPipe(t *testing.T) {
+	ca, cb := Pipe(0)
+	rt := estelle.NewRuntime(estelle.WithStrict())
+	provA, err := rt.AddSystem(SystemConnProviderDef(ca, false), "provA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provB, err := rt.AddSystem(SystemConnProviderDef(cb, true), "provB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	initiator, err := rt.AddSystem(tUserDef("Initiator", 20, true), "init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	responder, err := rt.AddSystem(tUserDef("Responder", 0, false), "resp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(initiator.IP("T"), provA.IP("U")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(responder.IP("T"), provB.IP("U")); err != nil {
+		t.Fatal(err)
+	}
+	s := estelle.NewScheduler(rt, estelle.MapPerSystem)
+	if err := s.RunToQuiescence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := initiator.Body().(*tUser)
+	if st.sent != 20 || st.received != 20 || !st.done {
+		t.Errorf("initiator sent=%d received=%d done=%v", st.sent, st.received, st.done)
+	}
+	rst := responder.Body().(*tUser)
+	if !rst.done {
+		t.Errorf("responder not notified of disconnect: %+v", rst)
+	}
+}

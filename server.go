@@ -1,0 +1,48 @@
+package xmovie
+
+import (
+	"xmovie/internal/core"
+)
+
+// ServerConfig configures ListenAndServe.
+type ServerConfig struct {
+	// Addr is the control-plane listen address (TPKT over TCP), e.g.
+	// "127.0.0.1:0".
+	Addr string
+	// Stack selects the control stack (default StackGenerated).
+	Stack StackKind
+	// Env provides the movie store, stream dialer, directory and
+	// equipment. Env.Store is required.
+	Env *ServerEnv
+	// Processors limits the generated stack to P virtual processors
+	// (0 = unlimited), modelling the paper's multiprocessor sizing.
+	Processors int
+}
+
+// Server is a running MCAM server entity. One server accepts any number of
+// control connections, creating the per-connection Estelle modules (or
+// hand-coded handlers) dynamically, exactly as the paper's server machine
+// does.
+type Server struct {
+	inner *core.Server
+}
+
+// ListenAndServe starts an MCAM server.
+func ListenAndServe(cfg ServerConfig) (*Server, error) {
+	inner, err := core.NewServer(core.ServerConfig{
+		Addr:       cfg.Addr,
+		Stack:      cfg.Stack,
+		Env:        cfg.Env,
+		Processors: cfg.Processors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Addr returns the bound control-plane address.
+func (s *Server) Addr() string { return s.inner.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.inner.Close() }

@@ -1,0 +1,116 @@
+// Package xmovie is a Go implementation of MCAM — the application-layer
+// protocol for Movie Control, Access and Management of Keller, Fischer and
+// Effelsberg (ICDCS 1994) — together with the complete system the paper
+// describes: an Estelle formal-description runtime with parallel module
+// scheduling, an Estelle parser and Go code generator, ISO session and
+// presentation layer kernels, an ASN.1/BER codec, a hand-coded
+// ISODE-equivalent stack, an X.500-style movie directory, a simulated
+// equipment control system, a movie database, and the XMovie MTP
+// continuous-media stream protocol.
+//
+// The public API is this package: run a Server over a movie store, Dial it
+// with a Client, and control movie playback; the continuous-media frames
+// travel separately over MTP. See examples/ for runnable programs and
+// DESIGN.md for the system inventory.
+package xmovie
+
+import (
+	"embed"
+
+	"xmovie/internal/core"
+	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
+)
+
+// Specs holds the Estelle formal specifications this repository is built
+// from (specs/*.est): the methodology's inputs, usable with the estparse
+// interpreter and estgen code generator.
+//
+//go:embed specs/*.est
+var Specs embed.FS
+
+// Re-exported protocol types: the request/response vocabulary of MCAM.
+type (
+	// Request is one MCAM operation invocation.
+	Request = mcam.Request
+	// Response answers a Request.
+	Response = mcam.Response
+	// Event is a server-initiated stream notification.
+	Event = mcam.Event
+	// Attr is one movie attribute.
+	Attr = mcam.Attr
+	// Op is an MCAM operation code.
+	Op = mcam.Op
+	// Status is an MCAM response status.
+	Status = mcam.Status
+	// ServerEnv bundles the services a server operates on.
+	ServerEnv = mcam.ServerEnv
+	// SimNet is the in-process simulated stream network.
+	SimNet = mcam.SimNet
+	// StackKind selects the generated or hand-coded control stack.
+	StackKind = core.StackKind
+	// Movie is a stored movie.
+	Movie = moviedb.Movie
+	// Store is a movie repository.
+	Store = moviedb.Store
+)
+
+// Operation codes.
+const (
+	OpCreate           = mcam.OpCreate
+	OpDelete           = mcam.OpDelete
+	OpSelect           = mcam.OpSelect
+	OpDeselect         = mcam.OpDeselect
+	OpQueryAttributes  = mcam.OpQueryAttributes
+	OpModifyAttributes = mcam.OpModifyAttributes
+	OpListMovies       = mcam.OpListMovies
+	OpPlay             = mcam.OpPlay
+	OpRecord           = mcam.OpRecord
+	OpPause            = mcam.OpPause
+	OpResume           = mcam.OpResume
+	OpStop             = mcam.OpStop
+	OpSeek             = mcam.OpSeek
+)
+
+// Response statuses.
+const (
+	StatusSuccess     = mcam.StatusSuccess
+	StatusNoSuchMovie = mcam.StatusNoSuchMovie
+	StatusMovieExists = mcam.StatusMovieExists
+)
+
+// Stream event kinds.
+const (
+	EventStreamStarted   = mcam.EventStreamStarted
+	EventStreamProgress  = mcam.EventStreamProgress
+	EventStreamCompleted = mcam.EventStreamCompleted
+	EventStreamAborted   = mcam.EventStreamAborted
+)
+
+// Control stacks.
+const (
+	// StackGenerated runs MCAM over the Estelle-generated session and
+	// presentation modules (the paper's first stack).
+	StackGenerated = core.StackGenerated
+	// StackHandcoded runs MCAM directly over the hand-coded
+	// ISODE-equivalent library (the paper's second stack).
+	StackHandcoded = core.StackHandcoded
+)
+
+// NewMemStore returns an empty in-memory movie store.
+func NewMemStore() *moviedb.MemStore { return moviedb.NewMemStore() }
+
+// Synthesize builds a deterministic synthetic movie (the stand-in for
+// digitized movie material).
+func Synthesize(name string, frames, frameRate int) *Movie {
+	return moviedb.Synthesize(moviedb.SynthConfig{
+		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
+	})
+}
+
+// NewSimNet returns an in-process simulated stream network for Play
+// targets. Production deployments use UDP addresses and UDPDialer instead.
+func NewSimNet() *SimNet { return mcam.NewSimNet() }
+
+// UDPDialer dials real UDP stream addresses.
+func UDPDialer() mcam.StreamDialer { return mcam.UDPDialer{} }

@@ -1,0 +1,191 @@
+package xmovie_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/equipment"
+	"xmovie/internal/mcam"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+func newFacadeServer(t *testing.T, stack xmovie.StackKind) (*xmovie.Server, *xmovie.SimNet) {
+	t.Helper()
+	store := xmovie.NewMemStore()
+	for _, name := range []string{"casablanca", "metropolis"} {
+		if err := store.Create(xmovie.Synthesize(name, 50, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := xmovie.NewSimNet()
+	t.Cleanup(sim.Close)
+	eca := equipment.NewECA("studio")
+	if err := eca.Register(equipment.NewCamera("cam1", 256)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr:  "127.0.0.1:0",
+		Stack: stack,
+		Env: &xmovie.ServerEnv{
+			Store:  store,
+			Dialer: sim,
+			EUA:    equipment.NewEUA(eca, "server"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sim
+}
+
+func TestFacadeFullWorkflow(t *testing.T) {
+	srv, sim := newFacadeServer(t, xmovie.StackGenerated)
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	movies, err := client.List()
+	if err != nil || len(movies) != 2 {
+		t.Fatalf("List = %v, %v", movies, err)
+	}
+	if err := client.Create("newfilm", 30, map[string]string{"year": "1994"}); err != nil {
+		t.Fatal(err)
+	}
+	length, rate, err := client.Select("casablanca")
+	if err != nil || length != 50 || rate != 25 {
+		t.Fatalf("Select = %d/%d, %v", length, rate, err)
+	}
+	attrs, err := client.Query("newfilm")
+	if err != nil || attrs["year"] != "1994" {
+		t.Fatalf("Query = %v, %v", attrs, err)
+	}
+	if err := client.Modify("newfilm", map[string]string{"seen": "yes"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Record("newfilm", "cam1", 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Playback with pause/resume and the completion event.
+	end, err := sim.Listen("facade/video", netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+		done <- st
+	}()
+	id, err := client.Play("casablanca", "facade/video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Pause(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-done:
+		if st.Delivered != 50 {
+			t.Errorf("delivered %d frames", st.Delivered)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not complete")
+	}
+	ev, err := client.AwaitEvent(10 * time.Second)
+	for err == nil && ev.Kind != xmovie.EventStreamCompleted {
+		ev, err = client.AwaitEvent(10 * time.Second)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete("newfilm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete("newfilm"); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestFacadeHandcodedStack(t *testing.T) {
+	srv, _ := newFacadeServer(t, xmovie.StackHandcoded)
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{Stack: xmovie.StackHandcoded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	movies, err := client.List()
+	if err != nil || len(movies) != 2 {
+		t.Fatalf("List = %v, %v", movies, err)
+	}
+}
+
+func TestFacadeConcurrentClients(t *testing.T) {
+	srv, _ := newFacadeServer(t, xmovie.StackGenerated)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer client.Close()
+			_, errs[i] = client.List()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestSpecsEmbedded(t *testing.T) {
+	entries, err := xmovie.Specs.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"pingpong.est", "abp.est", "mcam_skeleton.est"} {
+		if !names[want] {
+			t.Errorf("spec %s not embedded", want)
+		}
+	}
+}
+
+func TestStatusErrorSurfacing(t *testing.T) {
+	srv, _ := newFacadeServer(t, xmovie.StackGenerated)
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, _, err := client.Select("nonexistent"); err == nil {
+		t.Error("Select of missing movie succeeded")
+	}
+	resp, err := client.Call(&xmovie.Request{Op: xmovie.OpSelect, Movie: "nonexistent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != xmovie.StatusNoSuchMovie {
+		t.Errorf("status = %v", resp.Status)
+	}
+}
+
+var _ mcam.StreamDialer = xmovie.UDPDialer()
