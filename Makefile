@@ -1,0 +1,53 @@
+# Build/test entry points for the xmovie repository. `make verify` is the
+# tier-1 gate (ROADMAP.md); CI runs the same targets plus race/bench jobs.
+
+GO ?= go
+
+.PHONY: build test test-short verify fmt-check vet generate generate-check \
+	bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the timing experiments (internal/experiments); the race
+# detector job uses it so the full matrix stays fast.
+test-short:
+	$(GO) test -short -race ./...
+
+# Tier-1 verify: exactly what reviewers and the CI gate run.
+verify: build test
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate internal/gen from specs/ in place (the paper's step 2:
+# formal description -> code).
+generate:
+	$(GO) run ./cmd/estgen -pkg pingpong -o internal/gen/pingpong/pingpong_gen.go specs/pingpong.est
+	$(GO) run ./cmd/estgen -pkg abp -o internal/gen/abp/abp_gen.go specs/abp.est
+
+# Fail when the committed generated sources drift from the specifications
+# (byte-for-byte), and validate the interpreted-only skeleton.
+generate-check:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/estgen -pkg pingpong -o "$$tmp/pingpong_gen.go" specs/pingpong.est && \
+	$(GO) run ./cmd/estgen -pkg abp -o "$$tmp/abp_gen.go" specs/abp.est && \
+	cmp internal/gen/pingpong/pingpong_gen.go "$$tmp/pingpong_gen.go" && \
+	cmp internal/gen/abp/abp_gen.go "$$tmp/abp_gen.go" && \
+	$(GO) run ./cmd/estgen -check specs/mcam_skeleton.est && \
+	echo "generated sources in sync with specs/"
+
+# One iteration of every benchmark: a perf-regression smoke hook, not a
+# measurement. CI runs it so later PRs inherit a baseline.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Everything CI checks, locally.
+ci: fmt-check vet build generate-check test-short test bench-smoke

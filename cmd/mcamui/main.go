@@ -9,7 +9,9 @@
 //
 //	mcamui -spec specs/mcam_skeleton.est -modvar mca -ip U
 //
-// The default drives the MCA skeleton's user interface.
+// The default drives the MCA skeleton's user interface. Spec paths are
+// resolved on disk first; the specs/*.est corpus embedded in the xmovie
+// package is the fallback, so the default works from any directory.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"xmovie"
 	"xmovie/internal/chanui"
 	"xmovie/internal/estelle"
 	"xmovie/internal/estelle/estparse"
@@ -37,7 +40,13 @@ func run() error {
 
 	src, err := os.ReadFile(*specFile)
 	if err != nil {
-		return err
+		// Not on disk: try the embedded corpus so the documented default
+		// (-spec specs/mcam_skeleton.est) works from any directory.
+		embedded, eerr := xmovie.Specs.ReadFile(*specFile)
+		if eerr != nil {
+			return err
+		}
+		src = embedded
 	}
 	spec, err := estparse.Parse(string(src))
 	if err != nil {

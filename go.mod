@@ -1,0 +1,3 @@
+module xmovie
+
+go 1.24

@@ -58,6 +58,9 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time paced stream delivery (~30s)")
+	}
 	r := mustRun(t, Figure2)
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3 connections", len(r.Rows))

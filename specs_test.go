@@ -1,0 +1,71 @@
+package xmovie_test
+
+import (
+	"os"
+	"testing"
+
+	"xmovie"
+	"xmovie/internal/estelle/estparse"
+)
+
+// specCorpus is the complete expected specification corpus. A new spec
+// must be added here, to specs/, and (if generated) to internal/gen plus
+// the Makefile generate targets.
+var specCorpus = map[string]string{
+	"pingpong.est":      "PingPong",
+	"abp.est":           "AlternatingBit",
+	"mcam_skeleton.est": "MCAMSkeleton",
+}
+
+// TestSpecCorpusComplete asserts that xmovie.Specs embeds exactly the
+// declared corpus, that the embedded file set matches the specs/
+// directory on disk by name, and that every specification parses
+// cleanly. It guards against a spec being added on disk without being
+// embedded (or vice versa).
+func TestSpecCorpusComplete(t *testing.T) {
+	embedded, err := xmovie.Specs.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range embedded {
+		seen[e.Name()] = true
+		if _, ok := specCorpus[e.Name()]; !ok {
+			t.Errorf("embedded spec %s is not in the declared corpus; update specCorpus", e.Name())
+		}
+	}
+	for name := range specCorpus {
+		if !seen[name] {
+			t.Errorf("spec %s is missing from the embedded corpus", name)
+		}
+	}
+
+	onDisk, err := os.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range onDisk {
+		if !seen[e.Name()] {
+			t.Errorf("specs/%s exists on disk but is not embedded in xmovie.Specs", e.Name())
+		}
+	}
+	if len(onDisk) != len(embedded) {
+		t.Errorf("specs/ holds %d files, embed holds %d", len(onDisk), len(embedded))
+	}
+
+	for name, wantSpec := range specCorpus {
+		src, err := xmovie.Specs.ReadFile("specs/" + name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		spec, err := estparse.Parse(string(src))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+			continue
+		}
+		if spec.Name != wantSpec {
+			t.Errorf("%s declares specification %q, want %q", name, spec.Name, wantSpec)
+		}
+	}
+}

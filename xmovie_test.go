@@ -153,22 +153,6 @@ func TestFacadeConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestSpecsEmbedded(t *testing.T) {
-	entries, err := xmovie.Specs.ReadDir("specs")
-	if err != nil {
-		t.Fatal(err)
-	}
-	names := map[string]bool{}
-	for _, e := range entries {
-		names[e.Name()] = true
-	}
-	for _, want := range []string{"pingpong.est", "abp.est", "mcam_skeleton.est"} {
-		if !names[want] {
-			t.Errorf("spec %s not embedded", want)
-		}
-	}
-}
-
 func TestStatusErrorSurfacing(t *testing.T) {
 	srv, _ := newFacadeServer(t, xmovie.StackGenerated)
 	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
