@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
-	bench-smoke ci
+	bench-smoke bench-guard ci
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,14 @@ generate-check:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Hot-path guard: allocation-regression tests (pooled runtime cycle,
+# append-path codecs, MTP stream) + append-vs-schema byte-identity proofs,
+# then the mcambench -json smoke emitting BENCH_*.json into bench-out/.
+bench-guard:
+	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestAppendMatchesSchemaEncoder' \
+		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcambench -json -outdir bench-out e4 hot
+
 # Everything CI checks, locally.
-ci: fmt-check vet build generate-check test-short test bench-smoke
+ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard

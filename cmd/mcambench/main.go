@@ -1,12 +1,21 @@
 // Command mcambench regenerates the paper's tables, figures and measured
 // results and prints them in paper-style form. Without arguments it runs
 // everything; with arguments it runs the named experiments (t1, f1, f2,
-// f3, e1..e8).
+// f3, e1..e8) and/or the hot-path micro-benchmarks (hot).
+//
+// With -json, every result is additionally written as a machine-readable
+// BENCH_<name>.json file (into -outdir), so CI can archive the performance
+// trajectory: experiments carry their table and an ok/error shape verdict;
+// hot paths carry ns/op, allocs/op and an ok/regression verdict against
+// their allocation budget.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"xmovie/internal/experiments"
@@ -30,12 +39,51 @@ var all = []struct {
 	{"e8", experiments.Exp8ConnVsLayer},
 }
 
+// experimentJSON is the BENCH_<id>.json schema for paper experiments.
+type experimentJSON struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title,omitempty"`
+	Shape  string     `json:"shape"`
+	Error  string     `json:"error,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func writeJSON(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), data, 0o644)
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "also write each result as BENCH_<name>.json")
+	outDir := flag.String("outdir", "bench-out", "directory for -json output files (created if missing)")
+	flag.Parse()
+	if *jsonOut {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mcambench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[strings.ToLower(a)] = true
 	}
 	failed := false
+	emit := func(name string, v any) {
+		if !*jsonOut {
+			return
+		}
+		if err := writeJSON(*outDir, name, v); err != nil {
+			fmt.Fprintf(os.Stderr, "mcambench: write BENCH_%s.json: %v\n", name, err)
+			failed = true
+		}
+	}
 	for _, exp := range all {
 		if len(want) > 0 && !want[exp.id] {
 			continue
@@ -43,10 +91,27 @@ func main() {
 		r, err := exp.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcambench: %s: %v\n", exp.id, err)
+			emit(exp.id, experimentJSON{Name: exp.id, Shape: "error", Error: err.Error()})
 			failed = true
 			continue
 		}
 		fmt.Println(r)
+		emit(exp.id, experimentJSON{
+			Name: exp.id, Title: r.Title, Shape: "ok",
+			Header: r.Header, Rows: r.Rows, Notes: r.Notes,
+		})
+	}
+	// Hot-path micro-benchmarks: run when selected explicitly ("hot") or
+	// when everything runs with -json (the trajectory artifact).
+	if want["hot"] || (len(want) == 0 && *jsonOut) {
+		for _, h := range experiments.HotPaths() {
+			fmt.Printf("[hot] %-16s %12.1f ns/op %8d B/op %6d allocs/op (budget %d) %s\n",
+				h.Name, h.NsPerOp, h.BytesPerOp, h.AllocsPerOp, h.MaxAllocs, h.Shape)
+			emit(h.Name, h)
+			if h.Shape != "ok" {
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -110,6 +110,32 @@ func AppendHeader(dst []byte, class Class, constructed bool, tag uint32, length 
 	return AppendLength(dst, length)
 }
 
+// SizeLength reports how many octets AppendLength(dst, n) writes.
+func SizeLength(n int) int {
+	switch {
+	case n < 0:
+		panic("asn1ber: negative length")
+	case n < 0x80:
+		return 1
+	case n <= 0xff:
+		return 2
+	case n <= 0xffff:
+		return 3
+	case n <= 0xffffff:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// SizeTLV reports the total encoded size of an element with a one-octet
+// identifier (any tag < 31, or a session-layer PI octet) and contentLen
+// content octets — the sizing half of the two-pass append encoders, which
+// compute definite lengths before emitting a single byte.
+func SizeTLV(contentLen int) int {
+	return 1 + SizeLength(contentLen) + contentLen
+}
+
 // AppendLength appends a BER definite length.
 func AppendLength(dst []byte, n int) []byte {
 	switch {
@@ -134,9 +160,9 @@ func AppendTLV(dst []byte, class Class, constructed bool, tag uint32, content []
 	return append(dst, content...)
 }
 
-// intContentLen reports how many octets the two's-complement content of v
-// occupies.
-func intContentLen(v int64) int {
+// IntegerContentLen reports how many octets the two's-complement content of
+// v occupies.
+func IntegerContentLen(v int64) int {
 	n := 1
 	for v > 0x7f || v < -0x80 {
 		n++
@@ -147,7 +173,7 @@ func intContentLen(v int64) int {
 
 // AppendIntegerContent appends only the two's-complement content octets of v.
 func AppendIntegerContent(dst []byte, v int64) []byte {
-	n := intContentLen(v)
+	n := IntegerContentLen(v)
 	for i := n - 1; i >= 0; i-- {
 		dst = append(dst, byte(v>>(8*uint(i))))
 	}
@@ -157,7 +183,7 @@ func AppendIntegerContent(dst []byte, v int64) []byte {
 // AppendInteger appends an INTEGER (or with tag overridden, ENUMERATED or an
 // implicitly tagged integer) element.
 func AppendInteger(dst []byte, class Class, tag uint32, v int64) []byte {
-	dst = AppendHeader(dst, class, false, tag, intContentLen(v))
+	dst = AppendHeader(dst, class, false, tag, IntegerContentLen(v))
 	return AppendIntegerContent(dst, v)
 }
 

@@ -128,11 +128,13 @@ func TestRunSession(t *testing.T) {
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer s.Stop()
 	session := strings.NewReader("help\nHello 1 false x\nBogus\nquit\nHello 2 false y\n")
 	if err := ui.Run(session); err != nil {
 		t.Fatal(err)
 	}
+	// Stop joins the unit goroutines, so the sink cannot write to out
+	// concurrently with (or after) the reads below.
+	s.Stop()
 	got := out.String()
 	if !strings.Contains(got, "error: chanui") {
 		t.Errorf("typo not reported:\n%s", got)

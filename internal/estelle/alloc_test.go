@@ -1,0 +1,123 @@
+package estelle
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSendSelectFireAllocs is the allocation regression guard for the
+// runtime's hot cycle: with pooled interactions, per-instance scan scratch
+// and the reusable Stepper snapshot, a steady-state send→select→fire pass
+// must not allocate.
+func TestSendSelectFireAllocs(t *testing.T) {
+	rt := NewRuntime()
+	l, err := rt.AddSystem(benchEchoDef("left"), "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.AddSystem(benchEchoDef("right"), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(l.IP("P"), r.IP("P")); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(rt)
+	l.IP("P").Inject("Tok")
+	// Warm up: grow queue/pool/snapshot capacities to steady state.
+	for i := 0; i < 64; i++ {
+		if fired, _ := st.Step(); fired != 2 {
+			t.Fatalf("warmup pass fired %d transitions, want 2", fired)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if fired, _ := st.Step(); fired != 2 {
+			t.Fatalf("pass fired %d transitions, want 2", fired)
+		}
+	})
+	// Each run is two full send→select→fire cycles; allow a stray pool
+	// refill but nothing per-cycle.
+	if allocs > 1 {
+		t.Fatalf("send→select→fire pass allocates %.1f times, want ≤ 1", allocs)
+	}
+}
+
+// TestInteractionPoolRecycling proves a fired transition's consumed
+// interaction really returns to the pool (the Release path), by observing
+// that the cycle keeps running with no queue growth and no leaked heads.
+func TestInteractionPoolRecycling(t *testing.T) {
+	rt := NewRuntime()
+	l, err := rt.AddSystem(benchEchoDef("left"), "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.AddSystem(benchEchoDef("right"), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(l.IP("P"), r.IP("P")); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepper(rt)
+	l.IP("P").Inject("Tok")
+	for i := 0; i < 1000; i++ {
+		if fired, _ := st.Step(); fired != 2 {
+			t.Fatalf("pass %d fired %d transitions, want 2", i, fired)
+		}
+	}
+	// Exactly one token is in flight; queues must not have accumulated.
+	if n := l.IP("P").QueueLen() + r.IP("P").QueueLen(); n != 1 {
+		t.Fatalf("in-flight interactions = %d, want 1", n)
+	}
+}
+
+// TestDelayFiresWhileUnitBusy guards the event-driven scheduler against
+// delay starvation: a matured delay-clause transition must fire even when
+// a sibling instance in the same unit stays continuously busy, so the unit
+// never reaches its idle branch (where the delay timer is armed).
+func TestDelayFiresWhileUnitBusy(t *testing.T) {
+	rt := NewRuntime()
+	// spinning keeps the busy module's spontaneous transition enabled until
+	// the delayed transition has fired, so the shared unit never idles in
+	// the interval the delay matures in (a unit that never idles also never
+	// arms its delay timer).
+	var spinning atomic.Bool
+	spinning.Store(true)
+	busy := &ModuleDef{
+		Name: "Busy", Attr: SystemProcess, States: []string{"S"},
+		Trans: []Trans{{
+			Name:     "spin",
+			Provided: func(*Ctx) bool { return spinning.Load() },
+			Action:   func(*Ctx) {},
+		}},
+	}
+	fired := make(chan struct{})
+	timer := &ModuleDef{
+		Name: "Timer", Attr: SystemProcess, States: []string{"Wait", "Done"},
+		Trans: []Trans{{
+			Name: "timeout", From: []string{"Wait"}, To: "Done",
+			Delay: func(*Ctx) time.Duration { return 30 * time.Millisecond },
+			Action: func(*Ctx) {
+				spinning.Store(false)
+				close(fired)
+			},
+		}},
+	}
+	if _, err := rt.AddSystem(busy, "busy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddSystem(timer, "timer"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(rt, MapSingleUnit)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delay transition starved while the unit stayed busy")
+	}
+}

@@ -1,0 +1,116 @@
+package estelle
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchTokChannel carries an argument-less token in both directions — the
+// leanest interaction the runtime can move, so the benchmark isolates the
+// send→select→fire machinery itself.
+var benchTokChannel = &ChannelDef{
+	Name:  "BenchTok",
+	RoleA: "left",
+	RoleB: "right",
+	ByRole: map[string][]MsgDef{
+		"left":  {{Name: "Tok"}},
+		"right": {{Name: "Tok"}},
+	},
+}
+
+func benchEchoDef(role string) *ModuleDef {
+	return &ModuleDef{
+		Name:   "Echo-" + role,
+		Attr:   SystemProcess,
+		IPs:    []IPDef{{Name: "P", Channel: benchTokChannel, Role: role}},
+		States: []string{"Idle"},
+		Trans: []Trans{{
+			Name:   "echo",
+			When:   On("P", "Tok"),
+			Action: func(ctx *Ctx) { ctx.Output("P", "Tok") },
+		}},
+	}
+}
+
+// BenchmarkSendSelectFire measures the runtime's hot cycle — deliver an
+// interaction, select the enabled transition, fire it — on a two-module
+// echo pair driven by the deterministic Stepper. Each iteration performs
+// two full send→select→fire cycles (one per module).
+func BenchmarkSendSelectFire(b *testing.B) {
+	rt := NewRuntime()
+	l, err := rt.AddSystem(benchEchoDef("left"), "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := rt.AddSystem(benchEchoDef("right"), "r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Connect(l.IP("P"), r.IP("P")); err != nil {
+		b.Fatal(err)
+	}
+	st := NewStepper(rt)
+	l.IP("P").Inject("Tok")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fired, _ := st.Step(); fired != 2 {
+			b.Fatalf("pass %d fired %d transitions, want 2", i, fired)
+		}
+	}
+}
+
+// benchBudgetEchoDef echoes tokens until the shared budget is exhausted,
+// then signals done — so a benchmark can wait for completion without
+// polling the runtime.
+func benchBudgetEchoDef(role string, budget *atomic.Int64, done chan<- struct{}) *ModuleDef {
+	return &ModuleDef{
+		Name:   "BudgetEcho-" + role,
+		Attr:   SystemProcess,
+		IPs:    []IPDef{{Name: "P", Channel: benchTokChannel, Role: role}},
+		States: []string{"Idle"},
+		Trans: []Trans{{
+			Name: "echo",
+			When: On("P", "Tok"),
+			Action: func(ctx *Ctx) {
+				switch n := budget.Add(-1); {
+				case n > 0:
+					ctx.Output("P", "Tok")
+				case n == 0:
+					close(done)
+				}
+			},
+		}},
+	}
+}
+
+// BenchmarkSchedulerEcho drives an echo pair through the parallel Scheduler
+// with both modules in one unit, measuring the unit scheduling path
+// (wakeups, work queues) rather than the Stepper's global scan. One op is
+// one fired transition (receive token, send token).
+func BenchmarkSchedulerEcho(b *testing.B) {
+	rt := NewRuntime()
+	var budget atomic.Int64
+	budget.Store(int64(b.N))
+	done := make(chan struct{})
+	l, err := rt.AddSystem(benchBudgetEchoDef("left", &budget, done), "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := rt.AddSystem(benchBudgetEchoDef("right", &budget, done), "r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Connect(l.IP("P"), r.IP("P")); err != nil {
+		b.Fatal(err)
+	}
+	s := NewScheduler(rt, MapSingleUnit)
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	l.IP("P").Inject("Tok")
+	<-done
+}

@@ -1,6 +1,9 @@
 package estelle
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ChannelDef describes an Estelle channel type: two roles, each with the set
 // of interactions that role may send.
@@ -54,9 +57,40 @@ func (c *ChannelDef) Peer(role string) (string, error) {
 
 // Interaction is one message instance travelling through a channel.
 // Args are positional, matching the MsgDef parameter order.
+//
+// Interactions are pooled: the runtime recycles every interaction consumed
+// by a fired transition, so transition actions and guards must not retain
+// ctx.Msg (or its Args slice) past the call — copy argument values out
+// instead. Interactions delivered to environment sinks or popped via
+// PopInput are owned by the consumer, which may return them to the pool
+// with Release once done.
 type Interaction struct {
 	Name string
 	Args []any
+}
+
+// interactionPool recycles Interaction objects (and their Args backing
+// arrays) so the steady-state send→select→fire cycle allocates nothing.
+var interactionPool = sync.Pool{New: func() any { return new(Interaction) }}
+
+// newInteraction takes an interaction from the pool and fills it. The args
+// values are copied into the pooled Args backing array; the values
+// themselves (strings, byte slices, pointers) are shared, never recycled.
+func newInteraction(name string, args []any) *Interaction {
+	in := interactionPool.Get().(*Interaction)
+	in.Name = name
+	in.Args = append(in.Args[:0], args...)
+	return in
+}
+
+// Release returns the interaction to the runtime's pool. The caller must
+// not touch the interaction afterwards. Releasing is optional — interactions
+// that are simply dropped are garbage collected as usual.
+func (in *Interaction) Release() {
+	clear(in.Args)
+	in.Args = in.Args[:0]
+	in.Name = ""
+	interactionPool.Put(in)
 }
 
 // Arg returns the i-th argument or nil if absent.

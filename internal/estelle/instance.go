@@ -67,7 +67,7 @@ func (ip *IP) PopInput() *Interaction { return ip.popHead() }
 // queue (following any attach chain), as if the connected peer had sent it.
 func (ip *IP) Inject(name string, args ...any) {
 	target := ip.deliveryEnd()
-	target.enqueue(&Interaction{Name: name, Args: args})
+	target.enqueue(newInteraction(name, args))
 }
 
 // deliveryEnd follows the attach chain to the IP that actually consumes
@@ -189,11 +189,29 @@ type Instance struct {
 	unitPtr atomic.Pointer[unit]
 	// dead marks released instances; read by scanners on other units.
 	dead atomic.Bool
+	// dirtyFlag marks membership in the owning unit's pending work queue;
+	// set by whoever makes the instance runnable (message arrival, Notify,
+	// adoption), cleared by the unit when it drains the queue.
+	dirtyFlag atomic.Bool
 	// firedPass, childRanPass and enabledSince are touched only by the
-	// owning unit (or the single-threaded Stepper).
+	// owning unit (or the single-threaded Stepper). enabledSince is nil for
+	// modules without delay clauses.
 	firedPass    uint64
 	childRanPass uint64
 	enabledSince map[int]time.Time
+	// scanSeq numbers selectTransition scans; delayStamp[t] records the
+	// scan that last saw delay-transition t enabled, so stale enabledSince
+	// entries expire in O(delayed) without per-scan scratch. delayStamp is
+	// nil for modules without delay clauses.
+	scanSeq    uint64
+	delayStamp []uint64
+	// ectx is the reusable execution context handed to guards, actions and
+	// external bodies; only valid during the call it is passed into.
+	ectx Ctx
+	// delayDue (UnixNano; 0 = none) and inDelayed track membership in the
+	// owning unit's pending-delay list. Touched only by the owning unit.
+	delayDue  int64
+	inDelayed bool
 }
 
 // Name returns the instance name (unique among siblings).
@@ -264,12 +282,13 @@ func (m *Instance) SetVar(name string, v any) {
 // (network readers, timers) call this after queueing work for Step.
 func (m *Instance) Notify() { m.wake() }
 
-// wake notifies the owning scheduler unit that new input arrived.
+// wake marks the instance runnable in its scheduler unit's work queue and
+// wakes the unit. Without a scheduler (Stepper-driven runtimes) there is no
+// one to signal: the Stepper's synchronous passes observe the queues
+// directly.
 func (m *Instance) wake() {
 	if u := m.unitPtr.Load(); u != nil {
-		u.wakeup()
-	} else {
-		m.rt.wakeIdle()
+		u.markDirty(m)
 	}
 }
 

@@ -164,6 +164,9 @@ type compiledDef struct {
 	// whenIdx[t] is the IP index of Trans t's when-clause, or -1.
 	whenIdx  []int
 	hasTrans bool
+	// hasDelay reports whether any transition carries a delay clause, so
+	// instances without one skip all delay bookkeeping.
+	hasDelay bool
 	ipIdx    map[string]int
 }
 
@@ -206,6 +209,9 @@ func (d *ModuleDef) compile() (*compiledDef, error) {
 		t := &d.Trans[ti]
 		c.all = append(c.all, ti)
 		c.whenIdx[ti] = -1
+		if t.Delay != nil {
+			c.hasDelay = true
+		}
 		if t.When != (When{}) {
 			idx, ok := c.ipIdx[t.When.IP]
 			if !ok {

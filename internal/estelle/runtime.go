@@ -135,17 +135,11 @@ type Runtime struct {
 	stats Stats
 	// events counts enqueue operations; the quiescence detector uses it.
 	events atomic.Int64
-	// idleWake is closed and replaced to wake a scheduler-less waiter.
-	idleWakeMu sync.Mutex
-	idleWake   chan struct{}
 }
 
 // NewRuntime returns an empty runtime.
 func NewRuntime(opts ...Option) *Runtime {
-	r := &Runtime{
-		clock:    realClock{},
-		idleWake: make(chan struct{}),
-	}
+	r := &Runtime{clock: realClock{}}
 	for _, o := range opts {
 		o(r)
 	}
@@ -178,21 +172,6 @@ func (r *Runtime) noteError(err error) {
 	r.mu.Unlock()
 }
 
-// wakeIdle signals anything blocked waiting for events when no scheduler is
-// attached (the Stepper's WaitEvent).
-func (r *Runtime) wakeIdle() {
-	r.idleWakeMu.Lock()
-	close(r.idleWake)
-	r.idleWake = make(chan struct{})
-	r.idleWakeMu.Unlock()
-}
-
-func (r *Runtime) idleWakeChan() <-chan struct{} {
-	r.idleWakeMu.Lock()
-	defer r.idleWakeMu.Unlock()
-	return r.idleWake
-}
-
 // Systems returns the system-module instances in creation order.
 func (r *Runtime) Systems() []*Instance {
 	r.mu.Lock()
@@ -204,15 +183,21 @@ func (r *Runtime) Systems() []*Instance {
 
 // Instances returns all live instances in creation order.
 func (r *Runtime) Instances() []*Instance {
+	return r.liveInstances(nil)
+}
+
+// liveInstances appends all live instances in creation order to buf[:0],
+// letting steady-state callers (the Stepper) reuse one snapshot buffer.
+func (r *Runtime) liveInstances(buf []*Instance) []*Instance {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*Instance, 0, len(r.instances))
+	buf = buf[:0]
 	for _, m := range r.instances {
 		if !m.dead.Load() {
-			out = append(out, m)
+			buf = append(buf, m)
 		}
 	}
-	return out
+	return buf
 }
 
 // AddSystem instantiates def as an independent system module (systemprocess
@@ -264,14 +249,17 @@ func (r *Runtime) newInstance(def *ModuleDef, name string, parent *Instance) (*I
 	id := r.nextID
 	r.mu.Unlock()
 	inst := &Instance{
-		id:           id,
-		name:         fmt.Sprintf("%s#%d", name, id),
-		def:          def,
-		cdef:         cdef,
-		rt:           r,
-		parent:       parent,
-		ips:          make(map[string]*IP, len(def.IPs)),
-		enabledSince: make(map[int]time.Time),
+		id:     id,
+		name:   fmt.Sprintf("%s#%d", name, id),
+		def:    def,
+		cdef:   cdef,
+		rt:     r,
+		parent: parent,
+		ips:    make(map[string]*IP, len(def.IPs)),
+	}
+	if cdef.hasDelay {
+		inst.enabledSince = make(map[int]time.Time)
+		inst.delayStamp = make([]uint64, len(def.Trans))
 	}
 	inst.ipList = make([]*IP, len(def.IPs))
 	inst.headCache = make([]*Interaction, len(def.IPs))
@@ -445,7 +433,7 @@ func (c *Ctx) Output(ipName, msg string, args ...any) {
 		}
 	}
 	c.inst.rt.events.Add(1)
-	ip.send(&Interaction{Name: msg, Args: args})
+	ip.send(newInteraction(msg, args))
 }
 
 // Init creates a child module instance (Estelle `init`) and runs its Init.

@@ -1,7 +1,9 @@
 package estelle
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,7 +75,11 @@ func MapGroupedConnections(k int) MappingFunc {
 	}
 }
 
-// unit is a group of module instances scheduled by one goroutine.
+// unit is a group of module instances scheduled by one goroutine. Units are
+// event-driven: a pass visits only instances marked runnable (pending input,
+// Notify, matured delays) in the dirty work queue, never the full instance
+// list — the decentralized answer to the paper's §5.2 "scheduler runtime
+// percentage of up to 80%" observation.
 type unit struct {
 	key   string
 	sched *Scheduler
@@ -81,7 +87,14 @@ type unit struct {
 	mu        sync.Mutex
 	instances []*Instance
 	deadCount int
-	scratch   []*Instance
+	// dirty is the pending work queue: instances marked runnable since the
+	// last drain. Appended under mu by any goroutine; drained by the unit.
+	dirty []*Instance
+	// scratch holds the drained work list of the current pass (unit-local).
+	scratch []*Instance
+	// delayed lists instances whose last scan reported a pending delay
+	// clause (unit-local; lazily compacted).
+	delayed []*Instance
 
 	wakeCh chan struct{}
 	// nextDue holds the earliest delay due time (UnixNano) observed on the
@@ -98,14 +111,120 @@ func (u *unit) wakeup() {
 	}
 }
 
+// markDirty queues m for the next pass (deduplicated by m.dirtyFlag) and
+// wakes the unit. Safe to call from any goroutine.
+func (u *unit) markDirty(m *Instance) {
+	if m.dirtyFlag.CompareAndSwap(false, true) {
+		u.mu.Lock()
+		u.dirty = append(u.dirty, m)
+		u.mu.Unlock()
+	}
+	u.wakeup()
+}
+
+// requeue re-marks m runnable from within the unit's own pass (after it
+// fired, worked, or was skipped by parent precedence) without a redundant
+// wakeup — the unit keeps draining until the queue is empty anyway.
+func (u *unit) requeue(m *Instance) {
+	if m.dirtyFlag.CompareAndSwap(false, true) {
+		u.mu.Lock()
+		u.dirty = append(u.dirty, m)
+		u.mu.Unlock()
+	}
+}
+
+// noteDelay records m's earliest pending delay due time (zero = none).
+// Called only by the unit goroutine during a pass.
+func (u *unit) noteDelay(m *Instance, due time.Time) {
+	if due.IsZero() {
+		m.delayDue = 0
+		return
+	}
+	m.delayDue = due.UnixNano()
+	if !m.inDelayed {
+		m.inDelayed = true
+		u.delayed = append(u.delayed, m)
+	}
+}
+
+// minDelayDue returns the earliest pending delay over the unit's delayed
+// instances (zero if none), compacting the list as it goes.
+func (u *unit) minDelayDue() time.Time {
+	live := u.delayed[:0]
+	var min int64
+	for _, m := range u.delayed {
+		if m.dead.Load() || m.delayDue == 0 {
+			m.inDelayed = false
+			continue
+		}
+		live = append(live, m)
+		if min == 0 || m.delayDue < min {
+			min = m.delayDue
+		}
+	}
+	u.delayed = live
+	if min == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, min)
+}
+
+// wakeDelayed re-queues every instance with a pending delay clause; called
+// by the unit goroutine when its delay timer fires.
+func (u *unit) wakeDelayed() {
+	for _, m := range u.delayed {
+		if m.delayDue != 0 && !m.dead.Load() {
+			u.requeue(m)
+		}
+	}
+}
+
+// wakeMatured re-queues delayed instances whose due time has passed. The
+// unit calls it on every scheduling iteration so a busy unit (one that
+// never reaches the idle branch where the delay timer is armed) still
+// fires matured delay-clause transitions promptly.
+func (u *unit) wakeMatured(now time.Time) {
+	if len(u.delayed) == 0 {
+		return
+	}
+	nowNano := now.UnixNano()
+	for _, m := range u.delayed {
+		if m.delayDue != 0 && m.delayDue <= nowNano && !m.dead.Load() {
+			u.requeue(m)
+		}
+	}
+}
+
+// wakeupAll marks every live instance of the unit runnable — the full-scan
+// fallback used when virtual time jumps (ManualClock advance).
+func (u *unit) wakeupAll() {
+	u.mu.Lock()
+	for _, m := range u.instances {
+		if !m.dead.Load() && m.dirtyFlag.CompareAndSwap(false, true) {
+			u.dirty = append(u.dirty, m)
+		}
+	}
+	u.mu.Unlock()
+	u.wakeup()
+}
+
+// add registers a (possibly dynamically created) instance with the unit and
+// queues it for its first pass. The CAS keeps the queue duplicate-free
+// against senders that saw unitPtr and called markDirty first.
 func (u *unit) add(m *Instance) {
 	u.mu.Lock()
 	u.instances = append(u.instances, m)
+	if m.dirtyFlag.CompareAndSwap(false, true) {
+		u.dirty = append(u.dirty, m)
+	}
 	u.mu.Unlock()
+	u.wakeup()
 }
 
-// snapshot copies the live instance list into the unit's scratch buffer.
-func (u *unit) snapshot() []*Instance {
+// takeDirty drains the pending work queue into the unit's scratch buffer in
+// creation order (parents precede children, as tree precedence requires),
+// clearing each instance's dirty flag so concurrent arrivals re-queue.
+func (u *unit) takeDirty() []*Instance {
 	u.mu.Lock()
 	if u.deadCount > len(u.instances)/2 && len(u.instances) > 16 {
 		live := u.instances[:0]
@@ -117,9 +236,23 @@ func (u *unit) snapshot() []*Instance {
 		u.instances = live
 		u.deadCount = 0
 	}
-	u.scratch = append(u.scratch[:0], u.instances...)
+	u.scratch = append(u.scratch[:0], u.dirty...)
+	u.dirty = u.dirty[:0]
 	u.mu.Unlock()
+	for _, m := range u.scratch {
+		m.dirtyFlag.Store(false)
+	}
+	slices.SortFunc(u.scratch, func(a, b *Instance) int {
+		return cmp.Compare(a.id, b.id)
+	})
 	return u.scratch
+}
+
+// dirtyLen reports the pending work queue length.
+func (u *unit) dirtyLen() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.dirty)
 }
 
 // SchedOption configures a Scheduler.
@@ -246,13 +379,16 @@ func (s *Scheduler) adopt(m *Instance) {
 	s.mu.Unlock()
 	m.firedPass = 0
 	m.childRanPass = 0
+	m.delayDue = 0
+	m.inDelayed = false
+	// Clear any stale dirty flag from a previously stopped scheduler before
+	// the unit becomes reachable through unitPtr.
+	m.dirtyFlag.Store(false)
 	m.unitPtr.Store(u)
 	u.add(m)
 	if created {
 		s.wg.Add(1)
 		go s.runUnit(u)
-	} else {
-		u.wakeup()
 	}
 }
 
@@ -286,21 +422,21 @@ func (s *Scheduler) runUnit(u *unit) {
 				rt.stats.SyncWaitNanos.Add(time.Since(w0).Nanoseconds())
 			}
 		}
-		fired := 0
-		var nextDue time.Time
 		for i := 0; i < s.batch; i++ {
-			u.passID++
-			f, due := scanInstances(rt, u.snapshot(), u, u.passID, rt.clock.Now())
-			fired += f
-			nextDue = due
-			if f == 0 {
+			work := u.takeDirty()
+			if len(work) == 0 {
 				break
 			}
+			u.passID++
+			scanInstances(rt, work, u, u.passID, rt.clock.Now())
 		}
 		if s.tokens != nil {
 			s.tokens <- struct{}{}
 		}
-		if fired > 0 {
+		// Matured delay clauses must not starve while the unit stays busy:
+		// the idle-branch timer below never arms in that case.
+		u.wakeMatured(rt.clock.Now())
+		if u.dirtyLen() > 0 {
 			continue
 		}
 		// Drain any buffered wake token before idling: it may announce
@@ -312,6 +448,7 @@ func (s *Scheduler) runUnit(u *unit) {
 		default:
 		}
 		// Nothing to do: go idle until woken, a delay matures, or stop.
+		nextDue := u.minDelayDue()
 		if nextDue.IsZero() {
 			u.nextDue.Store(0)
 		} else {
@@ -336,6 +473,7 @@ func (s *Scheduler) runUnit(u *unit) {
 			s.pendingWakes.Add(-1)
 		case <-timerCh:
 			s.idleUnits.Add(-1)
+			u.wakeDelayed()
 		case <-s.stopCh:
 			s.idleUnits.Add(-1)
 			if timer != nil {
@@ -389,12 +527,14 @@ func (s *Scheduler) earliestDue() time.Time {
 	return time.Unix(0, min)
 }
 
+// wakeAll re-queues every instance of every unit — used when virtual time
+// jumps, which can enable transitions no event announced.
 func (s *Scheduler) wakeAll() {
 	s.mu.Lock()
 	units := append([]*unit(nil), s.unitList...)
 	s.mu.Unlock()
 	for _, u := range units {
-		u.wakeup()
+		u.wakeupAll()
 	}
 }
 
@@ -461,6 +601,8 @@ func (s *Scheduler) WaitQuiescent(timeout time.Duration) error {
 type Stepper struct {
 	rt     *Runtime
 	passID uint64
+	// scratch is the reused live-instance snapshot buffer.
+	scratch []*Instance
 }
 
 // NewStepper returns a stepper for rt. The runtime must not have an active
@@ -471,7 +613,8 @@ func NewStepper(rt *Runtime) *Stepper { return &Stepper{rt: rt} }
 // fired and the earliest pending delay due time.
 func (st *Stepper) Step() (int, time.Time) {
 	st.passID++
-	return scanInstances(st.rt, st.rt.Instances(), nil, st.passID, st.rt.clock.Now())
+	st.scratch = st.rt.liveInstances(st.scratch)
+	return scanInstances(st.rt, st.scratch, nil, st.passID, st.rt.clock.Now())
 }
 
 // RunUntilIdle steps until no transition fires. With a ManualClock it

@@ -24,10 +24,12 @@ func (m *Instance) selectTransition(now time.Time) (int, *Interaction, time.Time
 	bestPrio := 0
 	var bestMsg *Interaction
 	var nextDue time.Time
-	ctx := Ctx{inst: m}
-	// delayedSeen tracks delay-clause transitions that are otherwise
-	// enabled this scan, to expire stale enabledSince entries after.
-	var delayedSeen []int
+	m.ectx = Ctx{inst: m}
+	ctx := &m.ectx
+	// scanSeq stamps this scan; delay-clause transitions seen enabled are
+	// stamped in delayStamp so stale enabledSince entries can be expired in
+	// O(delayed) afterwards, with no per-scan scratch allocation.
+	m.scanSeq++
 
 	// Snapshot queue heads once per scan so every candidate transition is
 	// judged against the same global situation: without this, a message
@@ -64,12 +66,12 @@ func (m *Instance) selectTransition(now time.Time) (int, *Interaction, time.Time
 			}
 		}
 		ctx.Msg = msg
-		if t.Provided != nil && !t.Provided(&ctx) {
+		if t.Provided != nil && !t.Provided(ctx) {
 			continue
 		}
 		if t.Delay != nil {
-			if d := t.Delay(&ctx); d > 0 {
-				delayedSeen = append(delayedSeen, ti)
+			if d := t.Delay(ctx); d > 0 {
+				m.delayStamp[ti] = m.scanSeq
 				since, ok := m.enabledSince[ti]
 				if !ok {
 					since = now
@@ -88,25 +90,21 @@ func (m *Instance) selectTransition(now time.Time) (int, *Interaction, time.Time
 	}
 	// Expire delay timers of transitions that are no longer enabled
 	// (Estelle: the delay clock restarts when the transition is disabled).
+	// A transition is still enabled iff this scan stamped it.
 	if len(m.enabledSince) > 0 {
 		for ti := range m.enabledSince {
-			found := false
-			for _, s := range delayedSeen {
-				if s == ti {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if m.delayStamp[ti] != m.scanSeq {
 				delete(m.enabledSince, ti)
 			}
 		}
 	}
+	ctx.Msg = nil
 	return best, bestMsg, nextDue
 }
 
 // fire executes transition ti, consuming msg if the transition has a
-// when-clause.
+// when-clause. The consumed interaction is returned to the pool after the
+// action runs, so actions must not retain ctx.Msg past the call.
 func (m *Instance) fire(ti int, msg *Interaction) {
 	t := &m.def.Trans[ti]
 	fromState := m.State()
@@ -114,13 +112,15 @@ func (m *Instance) fire(ti int, msg *Interaction) {
 		// Only the owning unit pops, so the head is still msg.
 		m.ipList[wi].popHead()
 	}
-	ctx := Ctx{inst: m, Msg: msg}
+	m.ectx = Ctx{inst: m, Msg: msg}
+	ctx := &m.ectx
 	if t.Action != nil {
-		t.Action(&ctx)
+		t.Action(ctx)
 	}
 	if to := m.cdef.toIdx[ti]; to >= 0 && !ctx.stateOverride {
 		m.state = to
 	}
+	ctx.Msg = nil
 	// A state change (or consumed input) may disable delayed transitions;
 	// restart all delay clocks, matching Estelle's continuously-enabled
 	// requirement.
@@ -143,6 +143,9 @@ func (m *Instance) fire(ti int, msg *Interaction) {
 			Msg:        msgName,
 		})
 	}
+	if msg != nil {
+		msg.Release()
+	}
 }
 
 // scanInstances performs one scheduling pass over insts (creation order:
@@ -153,9 +156,12 @@ func (m *Instance) fire(ti int, msg *Interaction) {
 //   - activity exclusion: at most one child of an activity/systemactivity
 //     parent fires per pass.
 //
-// When u is non-nil, precedence applies only between instances of the same
-// unit (the mapper co-locates every pair the rules can relate). Returns the
-// number of fired transitions and the earliest delay due time.
+// When u is non-nil, insts is the unit's drained work queue: precedence
+// applies only between instances of the same unit (the mapper co-locates
+// every pair the rules can relate), instances that fired, worked, or were
+// skipped by precedence are re-queued for the next pass, and pending delay
+// due times are recorded on the unit. Returns the number of fired
+// transitions and the earliest delay due time.
 func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now time.Time) (int, time.Time) {
 	fired := 0
 	var nextDue time.Time
@@ -167,9 +173,15 @@ func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now t
 		}
 		if p := m.parent; p != nil && (u == nil || p.unitPtr.Load() == u) {
 			if p.firedPass == passID {
+				if u != nil {
+					u.requeue(m)
+				}
 				continue
 			}
 			if p.def.Attr.activityLike() && p.childRanPass == passID {
+				if u != nil {
+					u.requeue(m)
+				}
 				continue
 			}
 		}
@@ -182,6 +194,9 @@ func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now t
 			rt.stats.ScanNanos.Add(time.Since(t0).Nanoseconds())
 		}
 		if ti < 0 {
+			if u != nil {
+				u.noteDelay(m, due)
+			}
 			if !due.IsZero() && (nextDue.IsZero() || due.Before(nextDue)) {
 				nextDue = due
 			}
@@ -190,12 +205,12 @@ func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now t
 				ext = m.def.External
 			}
 			if ext != nil {
-				ctx := Ctx{inst: m}
+				m.ectx = Ctx{inst: m}
 				var e0 time.Time
 				if timing {
 					e0 = time.Now()
 				}
-				worked := ext.Step(&ctx)
+				worked := ext.Step(&m.ectx)
 				if timing {
 					rt.stats.ExecNanos.Add(time.Since(e0).Nanoseconds())
 				}
@@ -205,6 +220,9 @@ func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now t
 						p.childRanPass = passID
 					}
 					fired++
+					if u != nil {
+						u.requeue(m)
+					}
 				}
 			}
 			continue
@@ -222,6 +240,10 @@ func scanInstances(rt *Runtime, insts []*Instance, u *unit, passID uint64, now t
 			rt.stats.ExecNanos.Add(time.Since(e0).Nanoseconds())
 		}
 		fired++
+		if u != nil {
+			m.delayDue = 0 // firing restarts all delay clocks
+			u.requeue(m)
+		}
 	}
 	return fired, nextDue
 }

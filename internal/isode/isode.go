@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"xmovie/internal/presentation"
 	"xmovie/internal/session"
@@ -38,6 +39,16 @@ type Provider struct {
 	contexts map[int64]string
 	// pendingRelease holds release user data when RecvData hit an FN.
 	releaseData []byte
+
+	// sendMu serializes the data-phase send path: stream goroutines emit
+	// events concurrently with the control loop, and both share the
+	// per-connection encode buffers below (reused so a steady association
+	// allocates nothing per data unit).
+	sendMu  sync.Mutex
+	td      presentation.TD
+	dt      session.SPDU
+	ppduBuf []byte
+	spduBuf []byte
 }
 
 // Contexts returns the negotiated presentation contexts (id -> abstract
@@ -171,18 +182,28 @@ func Accept(conn transport.Conn, decide func(cp *presentation.CP) AcceptDecision
 	return p, cp, nil
 }
 
-// Data sends presentation user data on a negotiated context.
+// Data sends presentation user data on a negotiated context. The TD PPDU
+// and DT SPDU are built with the append encoders into per-connection
+// buffers, so the steady data phase is allocation-free. Safe for
+// concurrent use.
 func (p *Provider) Data(ctxID int64, data []byte) error {
 	if _, ok := p.contexts[ctxID]; !ok {
 		return fmt.Errorf("isode: context %d not negotiated", ctxID)
 	}
-	td := &presentation.PPDU{TD: &presentation.TD{ContextID: ctxID, Data: data}}
-	enc, err := td.Encode()
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.td = presentation.TD{ContextID: ctxID, Data: data}
+	var err error
+	p.ppduBuf, err = (&presentation.PPDU{TD: &p.td}).Append(p.ppduBuf[:0])
+	p.td.Data = nil
 	if err != nil {
 		return err
 	}
-	dt := (&session.SPDU{Type: session.SPDUData}).With(session.PIUserData, enc)
-	return sendSPDU(p.conn, dt)
+	p.dt.Type = session.SPDUData
+	p.dt.Params = append(p.dt.Params[:0], session.Param{PI: session.PIUserData, Value: p.ppduBuf})
+	p.spduBuf = p.dt.Encode(p.spduBuf[:0])
+	p.dt.Params[0].Value = nil
+	return p.conn.Send(p.spduBuf)
 }
 
 // RecvData blocks for the next inbound data unit. On an orderly release

@@ -24,6 +24,9 @@ type IsodeClient struct {
 	mu     sync.Mutex
 	prov   *isode.Provider
 	invoke int64
+	// encBuf is the per-association request encode buffer (guarded by mu);
+	// Provider.Data copies it into its own wire buffer before sending.
+	encBuf []byte
 }
 
 // DialIsode establishes an MCAM association over conn.
@@ -42,11 +45,12 @@ func (c *IsodeClient) Call(req *Request) (*Response, error) {
 	defer c.mu.Unlock()
 	c.invoke++
 	req.InvokeID = c.invoke
-	enc, err := (&PDU{Request: req}).Encode()
+	var err error
+	c.encBuf, err = (&PDU{Request: req}).Append(c.encBuf[:0])
 	if err != nil {
 		return nil, err
 	}
-	if err := c.prov.Data(ContextID, enc); err != nil {
+	if err := c.prov.Data(ContextID, c.encBuf); err != nil {
 		return nil, fmt.Errorf("mcam: send: %w", err)
 	}
 	for {
@@ -125,14 +129,24 @@ func ServeIsode(conn transport.Conn, env *ServerEnv) error {
 	if err != nil {
 		return err
 	}
+	// Stream goroutines push events straight onto the association, so the
+	// reused event encode buffer needs its own lock; Provider.Data copies
+	// it into the wire buffer (under its send mutex) before sending.
+	var evMu sync.Mutex
+	var evBuf []byte
 	h := newHandler(env, func(e Event) {
-		// Stream goroutines push events straight onto the association;
-		// transport Send is serialized internally.
-		if enc, err := (&PDU{Event: &e}).Encode(); err == nil {
-			_ = prov.Data(ContextID, enc)
+		evMu.Lock()
+		defer evMu.Unlock()
+		var err error
+		evBuf, err = (&PDU{Event: &e}).Append(evBuf[:0])
+		if err == nil {
+			_ = prov.Data(ContextID, evBuf)
 		}
 	})
 	defer h.close()
+	// encBuf is the per-association response encode buffer; Provider.Data
+	// copies it into its own wire buffer before sending.
+	var encBuf []byte
 	for {
 		ctxID, data, err := prov.RecvData()
 		switch {
@@ -147,17 +161,17 @@ func ServeIsode(conn transport.Conn, env *ServerEnv) error {
 		pdu, err := Decode(data)
 		if err != nil || pdu.Request == nil {
 			resp := &Response{Status: StatusProtocolError, Diagnostic: "expected request"}
-			if enc, encErr := (&PDU{Response: resp}).Encode(); encErr == nil {
-				_ = prov.Data(ContextID, enc)
+			if encBuf, err = (&PDU{Response: resp}).Append(encBuf[:0]); err == nil {
+				_ = prov.Data(ContextID, encBuf)
 			}
 			continue
 		}
 		resp := h.execute(pdu.Request)
-		enc, err := (&PDU{Response: resp}).Encode()
+		encBuf, err = (&PDU{Response: resp}).Append(encBuf[:0])
 		if err != nil {
 			continue
 		}
-		if err := prov.Data(ContextID, enc); err != nil {
+		if err := prov.Data(ContextID, encBuf); err != nil {
 			return err
 		}
 	}

@@ -257,8 +257,17 @@ func valuesToAttrs(v any) []Attr {
 	return out
 }
 
-// Encode produces the BER encoding of the PDU.
+// Encode produces the BER encoding of the PDU via the append fast path
+// (see pdu_append.go). The schema-driven encoder below remains the
+// reference implementation; the two are proven byte-identical by test.
 func (p *PDU) Encode() ([]byte, error) {
+	return p.Append(nil)
+}
+
+// encodeSchema produces the BER encoding through the generic schema codec —
+// the slow, verified reference path the paper's ASN.1 tooling corresponds
+// to. Tests compare Append against it.
+func (p *PDU) encodeSchema() ([]byte, error) {
 	var c asn1ber.Choice
 	switch {
 	case p.Request != nil:

@@ -66,28 +66,41 @@ func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 	return append(dst, p.Payload...), nil
 }
 
-// Unmarshal decodes a datagram. The payload aliases data.
-func Unmarshal(data []byte) (*Packet, error) {
+// Unmarshal decodes a datagram into p, overwriting it. The payload aliases
+// data. The allocation-free form of the package-level Unmarshal.
+func (p *Packet) Unmarshal(data []byte) error {
 	if len(data) < HeaderSize {
-		return nil, fmt.Errorf("%w: %d octets", ErrBadPacket, len(data))
+		return fmt.Errorf("%w: %d octets", ErrBadPacket, len(data))
 	}
 	if binary.BigEndian.Uint16(data[0:]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadPacket)
+		return fmt.Errorf("%w: bad magic", ErrBadPacket)
 	}
 	if data[2] != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrBadPacket, data[2])
+		return fmt.Errorf("%w: version %d", ErrBadPacket, data[2])
 	}
-	return &Packet{
-		Flags:    data[3],
-		StreamID: binary.BigEndian.Uint32(data[4:]),
-		Seq:      binary.BigEndian.Uint32(data[8:]),
-		TSMicro:  binary.BigEndian.Uint64(data[12:]),
-		Payload:  data[HeaderSize:],
-	}, nil
+	p.Flags = data[3]
+	p.StreamID = binary.BigEndian.Uint32(data[4:])
+	p.Seq = binary.BigEndian.Uint32(data[8:])
+	p.TSMicro = binary.BigEndian.Uint64(data[12:])
+	p.Payload = data[HeaderSize:]
+	return nil
+}
+
+// Unmarshal decodes a datagram. The payload aliases data.
+func Unmarshal(data []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := p.Unmarshal(data); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // PacketConn is the datagram substrate MTP runs over: a netsim endpoint, a
 // UDP socket, or anything message-oriented and unreliable.
+//
+// Send must not retain p after it returns (senders reuse their marshal
+// buffer); Recv's result is only guaranteed valid until the next Recv call
+// on the same conn (receivers may reuse one receive buffer).
 type PacketConn interface {
 	Send(p []byte) error
 	Recv() ([]byte, error)

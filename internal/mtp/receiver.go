@@ -3,10 +3,13 @@ package mtp
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
-// Frame is one in-order delivered media frame.
+// Frame is one in-order delivered media frame. The Payload is only valid
+// for the duration of the deliver callback — the receiver recycles packet
+// buffers — so consumers that keep frame data must copy it.
 type Frame struct {
 	Seq     uint32
 	TS      time.Duration
@@ -47,9 +50,33 @@ type ReceiverConfig struct {
 	ExpectedStreamID uint32
 }
 
+// packetPool recycles reorder-buffer packets (struct + payload backing
+// array) so a steady stream allocates nothing per packet.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// clonePacket copies p into a pooled packet; the pooled payload backing
+// array is reused across streams.
+func clonePacket(p *Packet) *Packet {
+	cp := packetPool.Get().(*Packet)
+	cp.Flags = p.Flags
+	cp.StreamID = p.StreamID
+	cp.Seq = p.Seq
+	cp.TSMicro = p.TSMicro
+	cp.Payload = append(cp.Payload[:0], p.Payload...)
+	return cp
+}
+
+func releasePacket(p *Packet) {
+	packetPool.Put(p)
+}
+
 // ReceiveStream consumes packets from conn until an EOS marker (or conn
 // error), delivering frames in sequence order to deliver (which may be
 // nil). Frames lost on the path are skipped — MTP never retransmits.
+//
+// The hot path is copy-free: an in-order packet's payload is handed to
+// deliver directly from the conn's receive buffer; only out-of-order
+// packets are buffered, in pooled packets recycled after delivery.
 func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (RecvStats, error) {
 	var stats RecvStats
 	if cfg.Window == 0 {
@@ -64,6 +91,20 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 	var lastTS uint64
 	haveLast := false
 
+	deliverPacket := func(p *Packet) {
+		if deliver != nil {
+			deliver(Frame{
+				Seq:     p.Seq,
+				TS:      time.Duration(p.TSMicro) * time.Microsecond,
+				Key:     p.Flags&FlagKey != 0,
+				Payload: p.Payload,
+			})
+		}
+		stats.Delivered++
+		stats.Bytes += int64(len(p.Payload))
+	}
+
+	// flush drains consecutively buffered packets starting at next.
 	flush := func() {
 		for {
 			p, ok := pending[next]
@@ -71,28 +112,21 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 				return
 			}
 			delete(pending, next)
-			if deliver != nil {
-				deliver(Frame{
-					Seq:     p.Seq,
-					TS:      time.Duration(p.TSMicro) * time.Microsecond,
-					Key:     p.Flags&FlagKey != 0,
-					Payload: p.Payload,
-				})
-			}
-			stats.Delivered++
-			stats.Bytes += int64(len(p.Payload))
+			deliverPacket(p)
+			releasePacket(p)
 			next++
 		}
 	}
 
+	var pktBuf Packet
 	for {
 		data, err := conn.Recv()
 		if err != nil {
 			stats.Elapsed = time.Since(start)
 			return stats, fmt.Errorf("mtp: recv: %w", err)
 		}
-		p, err := Unmarshal(data)
-		if err != nil {
+		p := &pktBuf
+		if err := p.Unmarshal(data); err != nil {
 			// Not an MTP packet; ignore, as a real receiver must on a
 			// shared port.
 			continue
@@ -107,7 +141,7 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 			}
 			// Everything before EOS that never arrived is lost.
 			if int64(next) < eosSeq {
-				flushUpTo(uint32(eosSeq), pending, &stats, deliver, &next)
+				flushUpTo(uint32(eosSeq), pending, &stats, deliverPacket, &next)
 			}
 			stats.Elapsed = time.Since(start)
 			return stats, nil
@@ -127,8 +161,9 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 
 		switch {
 		case p.Seq == next:
-			cp := clonePacket(p)
-			pending[p.Seq] = cp
+			// In-order: deliver straight from the receive buffer.
+			deliverPacket(p)
+			next++
 			flush()
 		case p.Seq > next:
 			if _, dup := pending[p.Seq]; dup {
@@ -152,7 +187,7 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 
 // flushUpTo delivers buffered packets below the EOS sequence, counting the
 // holes as lost.
-func flushUpTo(eos uint32, pending map[uint32]*Packet, stats *RecvStats, deliver func(Frame), next *uint32) {
+func flushUpTo(eos uint32, pending map[uint32]*Packet, stats *RecvStats, deliverPacket func(*Packet), next *uint32) {
 	keys := make([]uint32, 0, len(pending))
 	for k := range pending {
 		if k < eos {
@@ -164,28 +199,14 @@ func flushUpTo(eos uint32, pending map[uint32]*Packet, stats *RecvStats, deliver
 		stats.Lost += int(k - *next)
 		p := pending[k]
 		delete(pending, k)
-		if deliver != nil {
-			deliver(Frame{
-				Seq:     p.Seq,
-				TS:      time.Duration(p.TSMicro) * time.Microsecond,
-				Key:     p.Flags&FlagKey != 0,
-				Payload: p.Payload,
-			})
-		}
-		stats.Delivered++
-		stats.Bytes += int64(len(p.Payload))
+		deliverPacket(p)
+		releasePacket(p)
 		*next = k + 1
 	}
 	if *next < eos {
 		stats.Lost += int(eos - *next)
 		*next = eos
 	}
-}
-
-func clonePacket(p *Packet) *Packet {
-	cp := *p
-	cp.Payload = append([]byte(nil), p.Payload...)
-	return &cp
 }
 
 func lowestKey(m map[uint32]*Packet) uint32 {

@@ -2,6 +2,7 @@ package mtp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -32,6 +33,15 @@ type SendStats struct {
 	Elapsed time.Duration
 }
 
+// sendBufPool recycles per-stream marshal buffers across SendStream calls
+// (per-frame sends within one call already reuse one buffer).
+var sendBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, HeaderSize+16*1024)
+		return &b
+	},
+}
+
 // SendStream transmits frames over conn, paced to cfg.FrameRate, and
 // terminates the stream with EOS markers. It blocks until done.
 func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, error) {
@@ -51,7 +61,12 @@ func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, 
 		period = time.Second / time.Duration(cfg.FrameRate)
 	}
 	start := time.Now()
-	buf := make([]byte, 0, HeaderSize+16*1024)
+	bufp := sendBufPool.Get().(*[]byte)
+	buf := *bufp
+	defer func() {
+		*bufp = buf[:0]
+		sendBufPool.Put(bufp)
+	}()
 	seq := cfg.StartSeq
 	for i, frame := range frames {
 		if period > 0 {

@@ -53,15 +53,14 @@ func (u *UDPConn) Send(p []byte) error {
 	return err
 }
 
-// Recv implements PacketConn.
+// Recv implements PacketConn. The result aliases the conn's receive buffer
+// and is valid until the next Recv.
 func (u *UDPConn) Recv() ([]byte, error) {
 	n, err := u.c.Read(u.buf)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
-	copy(out, u.buf[:n])
-	return out, nil
+	return u.buf[:n], nil
 }
 
 // Close releases the socket.
@@ -80,16 +79,15 @@ var _ PacketConn = (*UDPListener)(nil)
 // Addr returns the bound address.
 func (u *UDPListener) Addr() string { return u.c.LocalAddr().String() }
 
-// Recv implements PacketConn, learning the peer from inbound traffic.
+// Recv implements PacketConn, learning the peer from inbound traffic. The
+// result aliases the conn's receive buffer and is valid until the next Recv.
 func (u *UDPListener) Recv() ([]byte, error) {
 	n, peer, err := u.c.ReadFromUDP(u.buf)
 	if err != nil {
 		return nil, err
 	}
 	u.peer = peer
-	out := make([]byte, n)
-	copy(out, u.buf[:n])
-	return out, nil
+	return u.buf[:n], nil
 }
 
 // Send implements PacketConn toward the learned peer.

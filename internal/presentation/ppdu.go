@@ -119,8 +119,16 @@ type PPDU struct {
 	ARP *ARP
 }
 
-// Encode produces the BER encoding of the PPDU.
+// Encode produces the BER encoding of the PPDU via the append fast path
+// (see ppdu_append.go). The schema-driven encoder below remains the
+// reference implementation; the two are proven byte-identical by test.
 func (p *PPDU) Encode() ([]byte, error) {
+	return p.Append(nil)
+}
+
+// encodeSchema produces the BER encoding through the generic schema codec —
+// the verified reference path tests compare Append against.
+func (p *PPDU) encodeSchema() ([]byte, error) {
 	var c asn1ber.Choice
 	switch {
 	case p.CP != nil:

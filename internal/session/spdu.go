@@ -99,17 +99,24 @@ func (s *SPDU) With(pi byte, value []byte) *SPDU {
 var ErrBadSPDU = errors.New("session: malformed SPDU")
 
 // Encode appends the wire form: SI octet, BER length of the parameter
-// field, then PI/BER-length/value triples.
+// field, then PI/BER-length/value triples. The parameter field is sized
+// up front so everything is written straight into dst — no intermediate
+// buffer, no allocation beyond dst's growth.
 func (s *SPDU) Encode(dst []byte) []byte {
-	var params []byte
-	for _, p := range s.Params {
-		params = append(params, p.PI)
-		params = asn1ber.AppendLength(params, len(p.Value))
-		params = append(params, p.Value...)
+	plen := 0
+	for i := range s.Params {
+		n := len(s.Params[i].Value)
+		plen += asn1ber.SizeTLV(n)
 	}
 	dst = append(dst, byte(s.Type))
-	dst = asn1ber.AppendLength(dst, len(params))
-	return append(dst, params...)
+	dst = asn1ber.AppendLength(dst, plen)
+	for i := range s.Params {
+		p := &s.Params[i]
+		dst = append(dst, p.PI)
+		dst = asn1ber.AppendLength(dst, len(p.Value))
+		dst = append(dst, p.Value...)
+	}
+	return dst
 }
 
 // Parse decodes one SPDU occupying the whole of data.

@@ -178,12 +178,15 @@ func (b *connBody) Step(ctx *estelle.Ctx) bool {
 		case "TConResp":
 			// Called side completed; nothing to send at this level.
 		case "TDatReq":
+			// Conn.Send does not retain the buffer, so the interaction can
+			// be recycled right after.
 			if err := b.conn.Send(in.Bytes(0)); err != nil {
 				ctx.Output("U", "TDisInd")
 			}
 		case "TDisReq":
 			_ = b.conn.Close()
 		}
+		in.Release()
 	}
 	for {
 		select {

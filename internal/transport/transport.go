@@ -16,10 +16,11 @@ import (
 
 // Conn is a reliable, ordered, message-preserving transport connection.
 type Conn interface {
-	// Send transmits one message.
+	// Send transmits one message. Implementations must not retain p after
+	// Send returns, so callers may reuse their encode buffers.
 	Send(p []byte) error
 	// Recv blocks for the next message; it returns io.EOF after the peer
-	// closes.
+	// closes. The result is owned by the caller.
 	Recv() ([]byte, error)
 	// Close tears the connection down in both directions.
 	Close() error
