@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
-	bench-smoke bench-guard ci
+	bench-smoke bench-guard bench-trajectory load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -58,5 +58,23 @@ bench-guard:
 	mkdir -p bench-out
 	$(GO) run ./cmd/mcambench -json -outdir bench-out e4 hot
 
+# Benchmark trajectory: every experiment and hot-path micro-benchmark plus
+# the load-harness smoke profile (1000 concurrent sessions over the
+# in-memory pipe, all-open barrier), each emitting BENCH_<name>.json into
+# bench-out/. Exits nonzero on allocation-guard regressions or any
+# load-harness error, so the trajectory doubles as a gate.
+bench-trajectory:
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcambench -json -outdir bench-out
+	$(GO) run ./cmd/mcamload -profile smoke -json -outdir bench-out
+
+# Load smoke: the mcamload soak profile under the race detector — 256
+# sessions at 64-way concurrency over every stack×transport combination,
+# 30s wall-clock cap. Exactly what the CI load-soak job runs.
+load-smoke:
+	mkdir -p bench-out
+	$(GO) run -race ./cmd/mcamload -profile soak -json -outdir bench-out
+
 # Everything CI checks, locally.
-ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard
+ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
+	bench-trajectory load-smoke

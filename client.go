@@ -28,6 +28,16 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	return &Client{inner: inner}, nil
 }
 
+// NewClientConn builds a client over an existing transport connection (e.g.
+// one end of a Pipe served by Server.ServeConn).
+func NewClientConn(conn Conn, cfg ClientConfig) (*Client, error) {
+	inner, err := core.NewClientConn(conn, core.ClientConfig{Stack: cfg.Stack})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: inner}, nil
+}
+
 // Close releases the association.
 func (c *Client) Close() error { return c.inner.Close() }
 

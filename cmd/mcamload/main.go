@@ -1,0 +1,171 @@
+// Command mcamload is the MCAM load-generation harness: it drives N
+// concurrent client sessions through mixed browse/order/play scenarios
+// against an in-process server, over both control stacks (generated and
+// hand-coded) and both transports (in-memory pipe and TPKT over TCP), and
+// reports sessions/sec, per-operation latency percentiles, and error
+// counts.
+//
+// With -json the aggregate result is written as BENCH_mcamload.json in the
+// same shape cmd/mcambench emits, so CI archives the scaling trajectory
+// alongside the hot-path benchmarks.
+//
+// Profiles:
+//
+//	-profile smoke  1000 sessions at 1000-way concurrency over the
+//	                in-memory pipe on both stacks — the "thousands of
+//	                concurrent sessions" acceptance gate.
+//	-profile soak   256 sessions at 64-way concurrency over every
+//	                stack×transport combination — sized to finish well
+//	                under 30s even with -race instrumentation (the CI
+//	                load-soak job).
+//
+// Individual flags override profile values.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xmovie/internal/core"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", "preset: smoke or soak (flags override)")
+		sessions   = flag.Int("sessions", 256, "total sessions per stack×transport combination")
+		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
+		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
+		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,mixed")
+		movies     = flag.Int("movies", 32, "seeded catalogue size")
+		frames     = flag.Int("frames", 250, "frames per seeded movie (25 fps pacing)")
+		maxTime    = flag.Duration("maxtime", 0, "abort combos still running past this wall-clock budget (0 = none)")
+		holdAll    = flag.Bool("hold", false, "barrier: all sessions connect before any proceeds (needs concurrent >= sessions)")
+		jsonOut    = flag.Bool("json", false, "also write BENCH_mcamload.json")
+		outDir     = flag.String("outdir", "bench-out", "directory for -json output")
+	)
+	flag.Parse()
+
+	// Profiles are defaults, not overrides: apply them only to flags the
+	// user did not set explicitly.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch *profile {
+	case "smoke":
+		if !set["sessions"] {
+			*sessions = 1000
+		}
+		if !set["concurrent"] {
+			*concurrent = 1000
+		}
+		if !set["transports"] {
+			*transports = "pipe"
+		}
+		if !set["maxtime"] {
+			*maxTime = 3 * time.Minute
+		}
+		if !set["hold"] {
+			*holdAll = true
+		}
+	case "soak":
+		if !set["sessions"] {
+			*sessions = 256
+		}
+		if !set["concurrent"] {
+			*concurrent = 64
+		}
+		if !set["transports"] {
+			*transports = "pipe,tcp"
+		}
+		if !set["maxtime"] {
+			*maxTime = 30 * time.Second
+		}
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "mcamload: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	cfg := loadConfig{
+		Sessions:   *sessions,
+		Concurrent: *concurrent,
+		Movies:     *movies,
+		Frames:     *frames,
+		Hold:       *holdAll,
+	}
+	for _, s := range strings.Split(*stacks, ",") {
+		switch strings.TrimSpace(s) {
+		case "generated":
+			cfg.Stacks = append(cfg.Stacks, core.StackGenerated)
+		case "handcoded":
+			cfg.Stacks = append(cfg.Stacks, core.StackHandcoded)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "mcamload: unknown stack %q\n", s)
+			os.Exit(2)
+		}
+	}
+	for _, tr := range strings.Split(*transports, ",") {
+		switch tr = strings.TrimSpace(tr); tr {
+		case "pipe", "tcp":
+			cfg.Transports = append(cfg.Transports, tr)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "mcamload: unknown transport %q\n", tr)
+			os.Exit(2)
+		}
+	}
+	for _, sc := range strings.Split(*scenarios, ",") {
+		switch sc = strings.TrimSpace(sc); sc {
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioMixed:
+			cfg.Scenarios = append(cfg.Scenarios, sc)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "mcamload: unknown scenario %q\n", sc)
+			os.Exit(2)
+		}
+	}
+	if len(cfg.Stacks) == 0 || len(cfg.Transports) == 0 || len(cfg.Scenarios) == 0 {
+		fmt.Fprintln(os.Stderr, "mcamload: need at least one stack, transport and scenario")
+		os.Exit(2)
+	}
+	if cfg.Hold && cfg.Concurrent < cfg.Sessions {
+		fmt.Fprintf(os.Stderr, "mcamload: -hold needs -concurrent (%d) >= -sessions (%d): every session must be open at once\n",
+			cfg.Concurrent, cfg.Sessions)
+		os.Exit(2)
+	}
+	var deadline time.Time
+	if *maxTime > 0 {
+		deadline = time.Now().Add(*maxTime)
+	}
+
+	report := runAll(cfg, deadline, os.Stdout)
+	fmt.Print(report.Table())
+
+	if *jsonOut {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(report.BenchJSON(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		path := filepath.Join(*outDir, "BENCH_mcamload.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if !report.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// comboResult aggregates one stack×transport run: completion counts, wall
+// time, and per-operation latency samples.
+type comboResult struct {
+	stack     string
+	transport string
+
+	mu        sync.Mutex
+	completed int
+	skipped   int
+	errs      []string
+	ops       map[string][]time.Duration
+	sessions  []time.Duration
+
+	wall time.Duration
+	peak int64
+}
+
+func newComboResult(stack, transport string) *comboResult {
+	return &comboResult{stack: stack, transport: transport, ops: make(map[string][]time.Duration)}
+}
+
+func (c *comboResult) op(name string, d time.Duration) {
+	c.mu.Lock()
+	c.ops[name] = append(c.ops[name], d)
+	c.mu.Unlock()
+}
+
+func (c *comboResult) session(d time.Duration) {
+	c.mu.Lock()
+	c.sessions = append(c.sessions, d)
+	c.mu.Unlock()
+}
+
+func (c *comboResult) done() {
+	c.mu.Lock()
+	c.completed++
+	c.mu.Unlock()
+}
+
+func (c *comboResult) skip(n int) {
+	c.mu.Lock()
+	c.skipped += n
+	c.mu.Unlock()
+}
+
+// addErr records a session failure (capped so a systemic failure doesn't
+// produce megabytes of identical messages).
+func (c *comboResult) addErr(msg string) {
+	c.mu.Lock()
+	if len(c.errs) < 1000 {
+		c.errs = append(c.errs, msg)
+	}
+	c.mu.Unlock()
+}
+
+// fail records a setup failure that aborted the combo.
+func (c *comboResult) fail(msg string) { c.addErr(msg) }
+
+func (c *comboResult) name() string { return c.stack + "/" + c.transport }
+
+func (c *comboResult) opCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.ops {
+		n += len(d)
+	}
+	return n
+}
+
+func (c *comboResult) sessionsPerSec() float64 {
+	if c.wall <= 0 {
+		return 0
+	}
+	return float64(c.completed) / c.wall.Seconds()
+}
+
+// allOps merges every op's samples (for the combo-level percentile row).
+func (c *comboResult) allOps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []time.Duration
+	for _, d := range c.ops {
+		all = append(all, d...)
+	}
+	return all
+}
+
+// percentile returns the nearest-rank p-th percentile (p in [0,100]) of
+// durs, sorting in place. Zero for an empty sample set.
+func percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	rank := int(p/100*float64(len(durs))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(durs) {
+		rank = len(durs) - 1
+	}
+	return durs[rank]
+}
+
+func micros(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d.Nanoseconds())/1e3)
+}
+
+// Report is the aggregate outcome of a harness run.
+type Report struct {
+	cfg    loadConfig
+	combos []*comboResult
+}
+
+// OK reports whether every combo completed every session without errors.
+func (r *Report) OK() bool {
+	for _, c := range r.combos {
+		if len(c.errs) > 0 || c.skipped > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// header is the combo-summary row shape shared by Table and BenchJSON.
+var header = []string{
+	"combo", "sessions", "concurrent", "sessions/s", "ops",
+	"p50(µs)", "p95(µs)", "p99(µs)", "peak", "errors", "skipped",
+}
+
+func (r *Report) rows() [][]string {
+	var rows [][]string
+	for _, c := range r.combos {
+		all := c.allOps()
+		p50, p95, p99 := percentile(all, 50), percentile(all, 95), percentile(all, 99)
+		rows = append(rows, []string{
+			c.name(),
+			fmt.Sprint(c.completed),
+			fmt.Sprint(r.cfg.Concurrent),
+			fmt.Sprintf("%.0f", c.sessionsPerSec()),
+			fmt.Sprint(c.opCount()),
+			micros(p50), micros(p95), micros(p99),
+			fmt.Sprint(c.peak),
+			fmt.Sprint(len(c.errs)),
+			fmt.Sprint(c.skipped),
+		})
+	}
+	return rows
+}
+
+// notes carries the per-operation latency breakdown and any error samples.
+func (r *Report) notes() []string {
+	var notes []string
+	notes = append(notes, fmt.Sprintf("scenario mix: %s; catalogue %d movies × %d frames",
+		strings.Join(r.cfg.Scenarios, ","), r.cfg.Movies, r.cfg.Frames))
+	for _, c := range r.combos {
+		c.mu.Lock()
+		names := make([]string, 0, len(c.ops))
+		for name := range c.ops {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d := c.ops[name]
+			notes = append(notes, fmt.Sprintf("%s %-8s n=%-6d p50=%sµs p95=%sµs p99=%sµs",
+				c.name(), name, len(d),
+				micros(percentile(d, 50)), micros(percentile(d, 95)), micros(percentile(d, 99))))
+		}
+		sess := append([]time.Duration(nil), c.sessions...)
+		if len(sess) > 0 {
+			notes = append(notes, fmt.Sprintf("%s session  n=%-6d p50=%sµs p95=%sµs p99=%sµs",
+				c.name(), len(sess),
+				micros(percentile(sess, 50)), micros(percentile(sess, 95)), micros(percentile(sess, 99))))
+		}
+		for i, e := range c.errs {
+			if i >= 5 {
+				notes = append(notes, fmt.Sprintf("%s ... %d more errors", c.name(), len(c.errs)-i))
+				break
+			}
+			notes = append(notes, fmt.Sprintf("%s ERROR: %s", c.name(), e))
+		}
+		c.mu.Unlock()
+	}
+	return notes
+}
+
+// Table renders the human-readable report.
+func (r *Report) Table() string {
+	var b strings.Builder
+	rows := append([][]string{header}, r.rows()...)
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	b.WriteString("mcamload — concurrent-session load harness\n")
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.notes() {
+		b.WriteString("  " + n + "\n")
+	}
+	return b.String()
+}
+
+// benchJSON mirrors cmd/mcambench's experiment JSON shape so the trajectory
+// artifacts are uniform.
+type benchJSON struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title,omitempty"`
+	Shape  string     `json:"shape"`
+	Error  string     `json:"error,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// BenchJSON builds the BENCH_mcamload.json payload.
+func (r *Report) BenchJSON() benchJSON {
+	out := benchJSON{
+		Name:   "mcamload",
+		Title:  "Concurrent-session load harness (sessions/sec, op latency percentiles)",
+		Shape:  "ok",
+		Header: header,
+		Rows:   r.rows(),
+		Notes:  r.notes(),
+	}
+	if !r.OK() {
+		out.Shape = "error"
+		out.Error = "load harness recorded errors or skipped sessions"
+	}
+	return out
+}

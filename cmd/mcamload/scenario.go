@@ -1,0 +1,309 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"xmovie/internal/core"
+	"xmovie/internal/directory"
+	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+	"xmovie/internal/transport"
+)
+
+// Scenario names. A session runs one scenario; the configured mix is cycled
+// over session indices.
+const (
+	scenarioBrowse = "browse"
+	scenarioOrder  = "order"
+	scenarioPlay   = "play"
+	scenarioMixed  = "mixed"
+)
+
+// loadConfig is the resolved harness configuration.
+type loadConfig struct {
+	Sessions   int
+	Concurrent int
+	Movies     int
+	Frames     int
+	Stacks     []core.StackKind
+	Transports []string
+	Scenarios  []string
+	// Hold makes every session dial and then wait until all Sessions are
+	// simultaneously open before running its operations — proving the
+	// server really sustains that many concurrent sessions (the combo's
+	// peak equals Sessions) rather than fast sessions finishing before
+	// slow ones start. Requires Concurrent >= Sessions.
+	Hold bool
+}
+
+// holdPoint is the all-sessions-open barrier used when loadConfig.Hold is
+// set.
+type holdPoint struct {
+	target int
+	mu     sync.Mutex
+	n      int
+	ch     chan struct{}
+}
+
+func newHoldPoint(target int) *holdPoint {
+	return &holdPoint{target: target, ch: make(chan struct{})}
+}
+
+// arrive reports this session connected and blocks until every session is.
+func (h *holdPoint) arrive() error {
+	h.mu.Lock()
+	h.n++
+	if h.n == h.target {
+		close(h.ch)
+	}
+	h.mu.Unlock()
+	select {
+	case <-h.ch:
+		return nil
+	case <-time.After(sessionTimeout):
+		return fmt.Errorf("hold barrier: only %d/%d sessions connected", h.count(), h.target)
+	}
+}
+
+func (h *holdPoint) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// sessionTimeout bounds any single blocking step inside a session so a
+// wedged association shows up as an error, not a hang.
+const sessionTimeout = 60 * time.Second
+
+// runAll executes every stack×transport combination and aggregates a
+// report.
+func runAll(cfg loadConfig, deadline time.Time, logw io.Writer) *Report {
+	rep := &Report{cfg: cfg}
+	for _, stack := range cfg.Stacks {
+		for _, tr := range cfg.Transports {
+			res := runCombo(cfg, stack, tr, deadline)
+			rep.combos = append(rep.combos, res)
+			fmt.Fprintf(logw, "[%s/%s] %d sessions (%d-way) in %.2fs: %.0f sessions/s, %d ops, %d errors%s\n",
+				res.stack, res.transport, res.completed, cfg.Concurrent,
+				res.wall.Seconds(), res.sessionsPerSec(), res.opCount(), len(res.errs),
+				map[bool]string{true: fmt.Sprintf(", %d SKIPPED (deadline)", res.skipped), false: ""}[res.skipped > 0])
+		}
+	}
+	return rep
+}
+
+// seedEnv builds one combo's server environment: a sharded movie store
+// seeded with the catalogue, a striped directory mirror, and a SimNet for
+// stream targets.
+func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
+	store := moviedb.NewShardedStore(0)
+	for i := 0; i < cfg.Movies; i++ {
+		m := moviedb.Synthesize(moviedb.SynthConfig{
+			Name:      fmt.Sprintf("cat-%03d", i),
+			Frames:    cfg.Frames,
+			FrameRate: 25,
+			FrameSize: 64,
+		})
+		if err := store.Create(m); err != nil {
+			return nil, nil, err
+		}
+	}
+	sim := mcam.NewSimNet()
+	base := directory.MustParseDN("c=DE/o=xmovie")
+	env := &mcam.ServerEnv{
+		Store:   store,
+		Dialer:  sim,
+		DUA:     directory.NewDUA(directory.NewDSA("load", base)),
+		DirBase: base,
+	}
+	return env, sim, nil
+}
+
+// runCombo drives cfg.Sessions sessions against a fresh server over one
+// stack×transport pair.
+func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Time) *comboResult {
+	res := newComboResult(stack.String(), tr)
+	env, sim, err := seedEnv(cfg)
+	if err != nil {
+		res.fail(fmt.Sprintf("seed: %v", err))
+		return res
+	}
+	defer sim.Close()
+	addr := ""
+	if tr == "tcp" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := core.NewServer(core.ServerConfig{Addr: addr, Stack: stack, Env: env})
+	if err != nil {
+		res.fail(fmt.Sprintf("server: %v", err))
+		return res
+	}
+	defer srv.Close()
+
+	var hold *holdPoint
+	if cfg.Hold {
+		hold = newHoldPoint(cfg.Sessions)
+	}
+	start := time.Now()
+	sem := make(chan struct{}, cfg.Concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		if hold == nil && !deadline.IsZero() && time.Now().After(deadline) {
+			// (With a hold barrier sessions block on each other, so
+			// skipping any would wedge the rest; the barrier's own timeout
+			// is the backstop instead.)
+			res.skip(cfg.Sessions - i)
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			scenario := cfg.Scenarios[i%len(cfg.Scenarios)]
+			if err := runSession(cfg, srv, sim, stack, tr, scenario, i, hold, res); err != nil {
+				res.addErr(fmt.Sprintf("session %d (%s): %v", i, scenario, err))
+			} else {
+				res.done()
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	st := srv.Stats()
+	if st.Rejected > 0 {
+		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
+	}
+	res.peak = st.Peak
+	// With the all-open barrier the concurrency claim is asserted, not
+	// inferred: every session was open at once or the combo fails.
+	if hold != nil && st.Peak < int64(cfg.Sessions) {
+		res.addErr(fmt.Sprintf("hold barrier: peak active sessions %d < %d", st.Peak, cfg.Sessions))
+	}
+	return res
+}
+
+// dial opens the session's control connection over the combo transport.
+func dial(srv *core.Server, stack core.StackKind, tr string) (*core.Client, error) {
+	ccfg := core.ClientConfig{Stack: stack, CallTimeout: sessionTimeout}
+	if tr == "tcp" {
+		return core.Dial(srv.Addr(), ccfg)
+	}
+	cliEnd, srvEnd := transport.Pipe(0)
+	if err := srv.ServeConn(srvEnd); err != nil {
+		cliEnd.Close()
+		return nil, err
+	}
+	return core.NewClientConn(cliEnd, ccfg)
+}
+
+// runSession is one complete client session: dial, run the scenario's
+// operations (each timed into the combo's histograms), release.
+func runSession(cfg loadConfig, srv *core.Server, sim *mcam.SimNet, stack core.StackKind, tr, scenario string, i int, hold *holdPoint, res *comboResult) error {
+	t0 := time.Now()
+	client, err := dial(srv, stack, tr)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	res.op("dial", time.Since(t0))
+	closed := false
+	defer func() {
+		if !closed {
+			client.Close()
+		}
+	}()
+	if hold != nil {
+		if err := hold.arrive(); err != nil {
+			return err
+		}
+	}
+
+	feature := fmt.Sprintf("cat-%03d", i%cfg.Movies)
+	call := func(opName string, req *mcam.Request) error {
+		t := time.Now()
+		resp, err := client.Call(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", opName, err)
+		}
+		if !resp.OK() {
+			return fmt.Errorf("%s: %s (%s)", opName, resp.Status, resp.Diagnostic)
+		}
+		res.op(opName, time.Since(t))
+		return nil
+	}
+
+	if scenario == scenarioBrowse || scenario == scenarioMixed {
+		if err := call("list", &mcam.Request{Op: mcam.OpListMovies}); err != nil {
+			return err
+		}
+		if err := call("query", &mcam.Request{Op: mcam.OpQueryAttributes, Movie: feature}); err != nil {
+			return err
+		}
+	}
+	if scenario == scenarioOrder || scenario == scenarioMixed {
+		mine := fmt.Sprintf("order-%s-%s-%05d", res.stack, res.transport, i)
+		if err := call("create", &mcam.Request{Op: mcam.OpCreate, Movie: mine,
+			Attrs: []mcam.Attr{{Name: "title", Value: mine}}}); err != nil {
+			return err
+		}
+		if err := call("select", &mcam.Request{Op: mcam.OpSelect, Movie: mine}); err != nil {
+			return err
+		}
+		if err := call("modify", &mcam.Request{Op: mcam.OpModifyAttributes,
+			Attrs: []mcam.Attr{{Name: "year", Value: "1994"}}}); err != nil {
+			return err
+		}
+		if err := call("delete", &mcam.Request{Op: mcam.OpDelete, Movie: mine}); err != nil {
+			return err
+		}
+	}
+	if scenario == scenarioPlay || scenario == scenarioMixed {
+		if err := call("select", &mcam.Request{Op: mcam.OpSelect, Movie: feature}); err != nil {
+			return err
+		}
+		addr := fmt.Sprintf("sess-%s-%s-%05d/video", res.stack, res.transport, i)
+		end, err := sim.Listen(addr, netsim.Config{})
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		recvDone := make(chan mtp.RecvStats, 1)
+		go func() {
+			st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+			recvDone <- st
+		}()
+		t := time.Now()
+		resp, err := client.Call(&mcam.Request{Op: mcam.OpPlay, StreamAddr: addr})
+		if err != nil || !resp.OK() {
+			return fmt.Errorf("play: %+v, %v", resp, err)
+		}
+		res.op("play", time.Since(t))
+		id := resp.StreamID
+		if err := call("pause", &mcam.Request{Op: mcam.OpPause, StreamID: id}); err != nil {
+			return err
+		}
+		if err := call("resume", &mcam.Request{Op: mcam.OpResume, StreamID: id}); err != nil {
+			return err
+		}
+		if err := call("stop", &mcam.Request{Op: mcam.OpStop, StreamID: id}); err != nil {
+			return err
+		}
+		select {
+		case <-recvDone:
+		case <-time.After(sessionTimeout):
+			return fmt.Errorf("stream did not terminate after stop")
+		}
+	}
+	t := time.Now()
+	closed = true
+	if err := client.Close(); err != nil {
+		return fmt.Errorf("release: %w", err)
+	}
+	res.op("release", time.Since(t))
+	res.session(time.Since(t0))
+	return nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmovie/internal/estelle"
+	"xmovie/internal/mcam"
+	"xmovie/internal/transport"
+)
+
+// Admission errors returned by ServeConn.
+var (
+	// ErrServerFull reports that the session limit was reached.
+	ErrServerFull = errors.New("core: session limit reached")
+	// ErrServerClosed reports that the server is closed or draining.
+	ErrServerClosed = errors.New("core: server closed")
+)
+
+// DefaultMaxSessions bounds concurrent sessions when ServerConfig.MaxSessions
+// is zero. The bound is admission control, not a hard resource ceiling: each
+// admitted session costs a few goroutines and queues, so an unbounded server
+// would fall over under connection floods rather than shed load.
+const DefaultMaxSessions = 16384
+
+// defaultTeardownGrace is how long the connection manager waits, after a
+// session's transport has gone, for the entity's own release/abort
+// transitions to run before forcing stream teardown.
+const defaultTeardownGrace = 5 * time.Second
+
+// SessionStats counts connection-manager activity. Snapshot via
+// Server.Stats.
+type SessionStats struct {
+	// Accepted counts sessions admitted past the MaxSessions bound.
+	Accepted int64
+	// Rejected counts connections refused at admission (limit or closed).
+	Rejected int64
+	// Completed counts sessions fully torn down.
+	Completed int64
+	// Active is the number of currently admitted sessions.
+	Active int64
+	// Peak is the high-water mark of Active.
+	Peak int64
+}
+
+// managedConn wraps a transport.Conn and closes done exactly once when the
+// connection is finished — peer EOF, a receive error, or a local Close. The
+// connection manager keys session teardown off that signal: by the time the
+// transport is gone, everything the entity had to say is on the wire (or
+// lost with it), so releasing the entity cannot cut off a response.
+type managedConn struct {
+	transport.Conn
+	once sync.Once
+	done chan struct{}
+}
+
+func newManagedConn(c transport.Conn) *managedConn {
+	return &managedConn{Conn: c, done: make(chan struct{})}
+}
+
+func (c *managedConn) signal() { c.once.Do(func() { close(c.done) }) }
+
+// Recv implements transport.Conn, signalling on the first receive error.
+func (c *managedConn) Recv() ([]byte, error) {
+	p, err := c.Conn.Recv()
+	if err != nil {
+		c.signal()
+	}
+	return p, err
+}
+
+// Close implements transport.Conn.
+func (c *managedConn) Close() error {
+	err := c.Conn.Close()
+	c.signal()
+	return err
+}
+
+// session is one admitted control connection.
+type srvSession struct {
+	id   int64
+	conn *managedConn
+	// dead is closed when the server MCA reports release or abort
+	// (generated stack only).
+	dead     chan struct{}
+	deadOnce sync.Once
+	// force is the generated-stack handle for tearing down the session's
+	// streams when the entity never reached its own release path. Set
+	// during entity Init, before the reaper goroutine starts.
+	force interface{ Shutdown() }
+}
+
+// Server is an MCAM server entity behind a connection manager: it admits
+// control connections up to a bound, serves each over the configured stack
+// against one shared ServerEnv (the multiprocessor "server machine" of
+// Fig. 2), tracks per-session lifecycle so entity resources are reclaimed
+// when connections end, and supports graceful drain.
+type Server struct {
+	cfg   ServerConfig
+	lis   *transport.Listener
+	grace time.Duration
+
+	rt    *estelle.Runtime
+	sched *estelle.Scheduler
+
+	mu       sync.Mutex
+	sessions map[int64]*srvSession
+	nextID   int64
+	closed   bool
+	// drainCh is non-nil while a Drain waits for sessions; closed when the
+	// last session finishes.
+	drainCh chan struct{}
+	peak    int64
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+
+	// wg counts the accept loop plus one token per admitted session,
+	// released in finish.
+	wg sync.WaitGroup
+}
+
+// NewServer creates and starts a server. With a non-empty cfg.Addr it
+// listens for TPKT connections; with an empty Addr the server is in-memory
+// only and sessions are fed through ServeConn (tests and the load harness).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("core: ServerConfig.Env is required")
+	}
+	if cfg.Stack == 0 {
+		cfg.Stack = StackGenerated
+	}
+	if cfg.Dispatch == 0 {
+		cfg.Dispatch = estelle.DispatchTable
+	}
+	if cfg.Mapping == nil {
+		cfg.Mapping = estelle.MapPerGroupRoot
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	s := &Server{
+		cfg:      cfg,
+		grace:    defaultTeardownGrace,
+		sessions: make(map[int64]*srvSession),
+	}
+	if cfg.TeardownGrace > 0 {
+		s.grace = cfg.TeardownGrace
+	}
+	if cfg.Stack == StackGenerated {
+		s.rt = estelle.NewRuntime()
+		opts := []estelle.SchedOption{}
+		if cfg.Processors > 0 {
+			opts = append(opts, estelle.WithProcessors(cfg.Processors))
+		}
+		s.sched = estelle.NewScheduler(s.rt, cfg.Mapping, opts...)
+		if err := s.sched.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Addr != "" {
+		lis, err := transport.Listen(cfg.Addr)
+		if err != nil {
+			if s.sched != nil {
+				s.sched.Stop()
+			}
+			return nil, err
+		}
+		s.lis = lis
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" for in-memory-only servers).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr()
+}
+
+// Runtime exposes the generated stack's runtime (nil for handcoded), for
+// statistics.
+func (s *Server) Runtime() *estelle.Runtime { return s.rt }
+
+// Stats snapshots the connection-manager counters.
+func (s *Server) Stats() SessionStats {
+	s.mu.Lock()
+	active := int64(len(s.sessions))
+	peak := s.peak
+	s.mu.Unlock()
+	return SessionStats{
+		Accepted:  s.accepted.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Active:    active,
+		Peak:      peak,
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		_ = s.ServeConn(conn) // rejected connections are closed inside
+	}
+}
+
+// admit registers a new session under the admission bound. The session's
+// wg token is taken here, under the same lock that Drain uses to set
+// closed, so a draining server can never miss an in-flight session.
+func (s *Server) admit(conn transport.Conn) (*srvSession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.rejected.Add(1)
+		return nil, ErrServerClosed
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.rejected.Add(1)
+		return nil, ErrServerFull
+	}
+	s.nextID++
+	sess := &srvSession{
+		id:   s.nextID,
+		conn: newManagedConn(conn),
+		dead: make(chan struct{}),
+	}
+	s.sessions[sess.id] = sess
+	if n := int64(len(s.sessions)); n > s.peak {
+		s.peak = n
+	}
+	s.accepted.Add(1)
+	s.wg.Add(1)
+	return sess, nil
+}
+
+// finish retires a session: exactly once per admitted session.
+func (s *Server) finish(sess *srvSession) {
+	s.completed.Add(1)
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	if s.closed && len(s.sessions) == 0 && s.drainCh != nil {
+		close(s.drainCh)
+		s.drainCh = nil
+	}
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// ServeConn admits conn as a new session and serves it asynchronously over
+// the configured stack. It is the entry point for in-memory transports
+// (pipes); the accept loop feeds TCP connections through the same path. On
+// admission failure the connection is closed and the error returned.
+func (s *Server) ServeConn(conn transport.Conn) error {
+	sess, err := s.admit(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if s.cfg.Stack == StackHandcoded {
+		go func() {
+			_ = mcam.ServeIsode(sess.conn, s.cfg.Env)
+			sess.conn.Close()
+			s.finish(sess)
+		}()
+		return nil
+	}
+	hooks := mcam.ServerHooks{
+		OnDead: func() { sess.deadOnce.Do(func() { close(sess.dead) }) },
+		OnBody: func(f interface{ Shutdown() }) { sess.force = f },
+	}
+	inst, err := s.rt.AddSystem(
+		serverConnDef(s.cfg.Env, sess.conn, s.cfg.Dispatch, hooks),
+		fmt.Sprintf("conn%d", sess.id))
+	if err != nil {
+		sess.conn.Close()
+		s.finish(sess)
+		return err
+	}
+	// The reaper returns the session's entity subtree to the runtime once
+	// the transport is gone. Orderly path: the client saw its release
+	// confirm before closing, and the MCA is already Dead. Abrupt path:
+	// the disconnect indication reaches the MCA within a few passes; if it
+	// never does, the grace expires and streams are torn down directly.
+	go func() {
+		<-sess.conn.done
+		select {
+		case <-sess.dead:
+		case <-time.After(s.grace):
+			if sess.force != nil {
+				sess.force.Shutdown()
+			}
+		}
+		s.rt.Release(inst)
+		s.finish(sess)
+	}()
+	return nil
+}
+
+// Drain performs a graceful shutdown: stop admitting, give active sessions
+// up to timeout to complete on their own, then force-close the remainder
+// and tear the server down. Drain(0) is an immediate shutdown; Close is
+// equivalent to it.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var drained chan struct{}
+	if timeout > 0 && len(s.sessions) > 0 {
+		drained = make(chan struct{})
+		s.drainCh = drained
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	if drained != nil {
+		timer := time.NewTimer(timeout)
+		select {
+		case <-drained:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	s.mu.Lock()
+	s.drainCh = nil
+	for _, sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+	return err
+}
+
+// Close stops accepting and tears the server down immediately, force-closing
+// any active sessions.
+func (s *Server) Close() error { return s.Drain(0) }

@@ -12,12 +12,15 @@
 //     executed by the runtime's scheduler;
 //   - StackHandcoded: MCAM directly over the hand-coded ISODE-equivalent
 //     library, one goroutine per association.
+//
+// The Server side is a connection manager (connmgr.go): bounded admission,
+// per-session entity lifecycle, and graceful drain, scaling the paper's
+// one-user working system to thousands of concurrent sessions.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"xmovie/internal/estelle"
@@ -30,8 +33,8 @@ import (
 // Client-side timeouts: the control plane is low-rate and reliable, so
 // generous bounds only guard against wedged associations.
 const (
-	dialTimeout = 30 * time.Second
-	callTimeout = 30 * time.Second
+	defaultDialTimeout = 30 * time.Second
+	defaultCallTimeout = 30 * time.Second
 )
 
 // StackKind selects the control-protocol stack implementation.
@@ -91,12 +94,18 @@ func ClientEntityDef(conn transport.Conn, dispatch estelle.Dispatch) *estelle.Mo
 // ServerConnDef builds the per-connection server entity: server MCA +
 // presentation + session + transport interface over an accepted conn.
 func ServerConnDef(env *mcam.ServerEnv, conn transport.Conn, dispatch estelle.Dispatch) *estelle.ModuleDef {
+	return serverConnDef(env, conn, dispatch, mcam.ServerHooks{})
+}
+
+// serverConnDef is ServerConnDef with connection-manager lifecycle hooks
+// wired into the MCA.
+func serverConnDef(env *mcam.ServerEnv, conn transport.Conn, dispatch estelle.Dispatch, hooks mcam.ServerHooks) *estelle.ModuleDef {
 	return &estelle.ModuleDef{
 		Name:      "MCAMServerConn",
 		Attr:      estelle.SystemProcess,
 		GroupRoot: true,
 		Init: func(ctx *estelle.Ctx) {
-			mca := ctx.MustInit(mcam.ServerModuleDef(env, dispatch), "mca")
+			mca := ctx.MustInit(mcam.HookedServerModuleDef(env, dispatch, hooks), "mca")
 			pres := ctx.MustInit(presentation.ProtocolMachineDef(dispatch), "pres")
 			sess := ctx.MustInit(session.ProtocolMachineDef(dispatch), "sess")
 			prov := ctx.MustInit(transport.ConnProviderDef(conn, true), "prov")
@@ -119,7 +128,8 @@ func mustWire(ctx *estelle.Ctx, pairs ...[2]*estelle.IP) {
 
 // ServerConfig configures a Server.
 type ServerConfig struct {
-	// Addr is the TPKT listen address, e.g. "127.0.0.1:0".
+	// Addr is the TPKT listen address, e.g. "127.0.0.1:0". Empty means no
+	// listener: an in-memory server fed through ServeConn.
 	Addr string
 	// Stack selects generated or hand-coded control plane (default
 	// generated).
@@ -135,118 +145,14 @@ type ServerConfig struct {
 	// Processors limits the generated stack to P virtual processors
 	// (0 = unlimited).
 	Processors int
-}
-
-// Server is an MCAM server entity: it accepts control connections and
-// serves each over the configured stack, all sharing one ServerEnv — the
-// multiprocessor "server machine" of Fig. 2.
-type Server struct {
-	cfg ServerConfig
-	lis *transport.Listener
-
-	rt    *estelle.Runtime
-	sched *estelle.Scheduler
-
-	mu     sync.Mutex
-	conns  []*estelle.Instance
-	closed bool
-	wg     sync.WaitGroup
-}
-
-// NewServer creates and starts a server listening on cfg.Addr.
-func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Env == nil {
-		return nil, fmt.Errorf("core: ServerConfig.Env is required")
-	}
-	if cfg.Stack == 0 {
-		cfg.Stack = StackGenerated
-	}
-	if cfg.Dispatch == 0 {
-		cfg.Dispatch = estelle.DispatchTable
-	}
-	if cfg.Mapping == nil {
-		cfg.Mapping = estelle.MapPerGroupRoot
-	}
-	lis, err := transport.Listen(cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{cfg: cfg, lis: lis}
-	if cfg.Stack == StackGenerated {
-		s.rt = estelle.NewRuntime()
-		opts := []estelle.SchedOption{}
-		if cfg.Processors > 0 {
-			opts = append(opts, estelle.WithProcessors(cfg.Processors))
-		}
-		s.sched = estelle.NewScheduler(s.rt, cfg.Mapping, opts...)
-		if err := s.sched.Start(); err != nil {
-			lis.Close()
-			return nil, err
-		}
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.lis.Addr() }
-
-// Runtime exposes the generated stack's runtime (nil for handcoded), for
-// statistics.
-func (s *Server) Runtime() *estelle.Runtime { return s.rt }
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for connID := 1; ; connID++ {
-		conn, err := s.lis.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if closed {
-			conn.Close()
-			return
-		}
-		switch s.cfg.Stack {
-		case StackHandcoded:
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				_ = mcam.ServeIsode(conn, s.cfg.Env)
-			}()
-		default:
-			inst, err := s.rt.AddSystem(
-				ServerConnDef(s.cfg.Env, conn, s.cfg.Dispatch),
-				fmt.Sprintf("conn%d", connID))
-			if err != nil {
-				conn.Close()
-				continue
-			}
-			s.mu.Lock()
-			s.conns = append(s.conns, inst)
-			s.mu.Unlock()
-		}
-	}
-}
-
-// Close stops accepting and tears the server down.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	s.mu.Unlock()
-	err := s.lis.Close()
-	s.wg.Wait()
-	if s.sched != nil {
-		s.sched.Stop()
-	}
-	return err
+	// MaxSessions bounds concurrently admitted sessions (0 =
+	// DefaultMaxSessions). Connections beyond the bound are closed at
+	// admission.
+	MaxSessions int
+	// TeardownGrace overrides how long a dead connection's entity may take
+	// to run its own release path before streams are torn down forcibly
+	// (0 = 5s). Mainly for tests.
+	TeardownGrace time.Duration
 }
 
 // ErrBadStack reports an unsupported stack kind.
@@ -264,7 +170,8 @@ type Client struct {
 	// Hand-coded-stack state.
 	iso *mcam.IsodeClient
 
-	conn transport.Conn
+	conn        transport.Conn
+	callTimeout time.Duration
 }
 
 // ClientConfig configures Dial.
@@ -275,6 +182,9 @@ type ClientConfig struct {
 	Dispatch estelle.Dispatch
 	// CalledSelector names the server entity (default "mcam-server").
 	CalledSelector string
+	// CallTimeout bounds Dial's association setup and each Call
+	// (default 30s).
+	CallTimeout time.Duration
 }
 
 // Dial connects to an MCAM server at the TPKT address addr.
@@ -298,7 +208,13 @@ func NewClientConn(conn transport.Conn, cfg ClientConfig) (*Client, error) {
 	if cfg.CalledSelector == "" {
 		cfg.CalledSelector = "mcam-server"
 	}
-	c := &Client{stack: cfg.Stack, conn: conn}
+	dialTimeout := defaultDialTimeout
+	callTimeout := defaultCallTimeout
+	if cfg.CallTimeout > 0 {
+		dialTimeout = cfg.CallTimeout
+		callTimeout = cfg.CallTimeout
+	}
+	c := &Client{stack: cfg.Stack, conn: conn, callTimeout: callTimeout}
 	switch cfg.Stack {
 	case StackHandcoded:
 		iso, err := mcam.DialIsode(conn, cfg.CalledSelector)
@@ -344,7 +260,7 @@ func (c *Client) Call(req *mcam.Request) (*mcam.Response, error) {
 	if c.iso != nil {
 		return c.iso.Call(req)
 	}
-	return c.app.Call(req, callTimeout)
+	return c.app.Call(req, c.callTimeout)
 }
 
 // Close releases the association and tears the entity down.
@@ -353,7 +269,7 @@ func (c *Client) Close() error {
 	if c.iso != nil {
 		err = c.iso.Close()
 	} else {
-		err = c.app.Release(callTimeout)
+		err = c.app.Release(c.callTimeout)
 		c.sched.Stop()
 	}
 	_ = c.conn.Close()

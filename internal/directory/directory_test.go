@@ -3,6 +3,7 @@ package directory
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -313,5 +314,66 @@ func TestDNPrefixPropertyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDSAConcurrentSessions drives the striped entry map from many
+// goroutines the way MCAM server sessions do (mirror attributes on create,
+// read and search while browsing). `go test -race` is the real assertion;
+// the final state check catches lost updates.
+func TestDSAConcurrentSessions(t *testing.T) {
+	d := NewDSA("load", MustParseDN("c=DE/o=uni"))
+	dua := NewDUA(d)
+	const workers = 32
+	const perWorker = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				dn := MustParseDN(fmt.Sprintf("c=DE/o=uni/cn=w%02d-m%02d", w, i))
+				if err := dua.Add(&Entry{DN: dn, Attrs: map[string][]string{
+					"objectClass": {"movie"},
+					"title":       {dn[len(dn)-1].Value},
+				}}); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := dua.Modify(dn, map[string][]string{"year": {"1994"}}, nil); err != nil {
+					errs[w] = err
+					return
+				}
+				if e, err := dua.Read(dn); err != nil || e.Get("year") != "1994" {
+					errs[w] = fmt.Errorf("read %s = %v, %v", dn, e, err)
+					return
+				}
+				if _, err := dua.Search(MustParseDN("c=DE/o=uni"), ScopeSubtree, Eq("objectClass", "movie")); err != nil {
+					errs[w] = err
+					return
+				}
+				if i%4 == 3 {
+					if err := dua.Remove(dn); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	got, err := dua.Search(MustParseDN("c=DE/o=uni"), ScopeSubtree, Eq("objectClass", "movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workers * perWorker * 3 / 4
+	if len(got) != want {
+		t.Errorf("surviving entries = %d, want %d", len(got), want)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"xmovie/internal/stripe"
 )
 
 // Errors returned by directory operations.
@@ -28,15 +30,29 @@ type Agent interface {
 // MaxHops bounds chaining depth.
 const MaxHops = 8
 
+// dsaStripes is the entry-map stripe count (power of two). Striping lets
+// thousands of concurrent sessions read and mirror attributes without
+// serializing on one DSA-wide mutex; only Remove (rare) locks every stripe.
+const dsaStripes = 32
+
+// dsaStripe is one independently locked slice of the entry map.
+type dsaStripe struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
 // DSA is one directory system agent mastering a naming context (a DN
 // prefix). Requests outside the context chain to the superior or to a
-// subordinate DSA whose context covers the name.
+// subordinate DSA whose context covers the name. Entries are striped by DN
+// hash; per-entry operations take exactly one stripe lock.
 type DSA struct {
 	name    string
 	context DN
 
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	stripes [dsaStripes]dsaStripe
+
+	// cfgMu guards the chaining topology, which changes only at setup time.
+	cfgMu sync.RWMutex
 	// subordinates maps a context prefix (string form) to the DSA
 	// mastering it.
 	subordinates map[string]Agent
@@ -45,16 +61,25 @@ type DSA struct {
 
 var _ Agent = (*DSA)(nil)
 
+// stripeFor returns the stripe index of an entry key (FNV-1a over the DN's
+// string form).
+func stripeFor(key string) int {
+	return int(stripe.FNV32a(key) & (dsaStripes - 1))
+}
+
 // NewDSA creates a DSA mastering the given naming context. The context
 // entry itself is created implicitly.
 func NewDSA(name string, context DN) *DSA {
 	d := &DSA{
 		name:         name,
 		context:      context,
-		entries:      make(map[string]*Entry),
 		subordinates: make(map[string]Agent),
 	}
-	d.entries[context.String()] = &Entry{DN: context, Attrs: map[string][]string{
+	for i := range d.stripes {
+		d.stripes[i].entries = make(map[string]*Entry)
+	}
+	key := context.String()
+	d.stripes[stripeFor(key)].entries[key] = &Entry{DN: context, Attrs: map[string][]string{
 		"objectClass": {"namingContext"},
 		"masteredBy":  {name},
 	}}
@@ -69,9 +94,9 @@ func (d *DSA) Context() DN { return d.context }
 
 // SetSuperior wires the chaining parent.
 func (d *DSA) SetSuperior(sup Agent) {
-	d.mu.Lock()
+	d.cfgMu.Lock()
 	d.superior = sup
-	d.mu.Unlock()
+	d.cfgMu.Unlock()
 }
 
 // AddSubordinate registers a child DSA mastering context ctx (which must
@@ -80,9 +105,9 @@ func (d *DSA) AddSubordinate(ctx DN, sub Agent) error {
 	if !ctx.HasPrefix(d.context) {
 		return fmt.Errorf("directory: %s is not under %s", ctx, d.context)
 	}
-	d.mu.Lock()
+	d.cfgMu.Lock()
 	d.subordinates[ctx.String()] = sub
-	d.mu.Unlock()
+	d.cfgMu.Unlock()
 	return nil
 }
 
@@ -92,8 +117,8 @@ func (d *DSA) route(dn DN) (Agent, error) {
 	if dn.HasPrefix(d.context) {
 		// Inside our context — but a subordinate may master a deeper
 		// prefix.
-		d.mu.RLock()
-		defer d.mu.RUnlock()
+		d.cfgMu.RLock()
+		defer d.cfgMu.RUnlock()
 		for ctxStr, sub := range d.subordinates {
 			subCtx := MustParseDN(ctxStr)
 			if dn.HasPrefix(subCtx) {
@@ -102,9 +127,9 @@ func (d *DSA) route(dn DN) (Agent, error) {
 		}
 		return nil, nil
 	}
-	d.mu.RLock()
+	d.cfgMu.RLock()
 	sup := d.superior
-	d.mu.RUnlock()
+	d.cfgMu.RUnlock()
 	if sup == nil {
 		return nil, fmt.Errorf("%w: %s (context %s)", ErrNoSuchContext, dn, d.context)
 	}
@@ -131,9 +156,11 @@ func (d *DSA) Read(dn DN, hops int) (*Entry, error) {
 		}
 		return agent.Read(dn, h)
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	e, ok := d.entries[dn.String()]
+	key := dn.String()
+	st := &d.stripes[stripeFor(key)]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
 	}
@@ -157,26 +184,33 @@ func (d *DSA) Search(base DN, scope Scope, filter Filter, hops int) ([]*Entry, e
 	if filter == nil {
 		filter = All()
 	}
+	// Stripe-by-stripe scan: each stripe is read-locked in turn, so the
+	// result is consistent per stripe but not an atomic snapshot across
+	// the whole DSA — concurrent adds and removes may or may not appear.
 	var out []*Entry
-	d.mu.RLock()
-	for _, e := range d.entries {
-		switch scope {
-		case ScopeBase:
-			if !e.DN.Equal(base) {
-				continue
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.RLock()
+		for _, e := range st.entries {
+			switch scope {
+			case ScopeBase:
+				if !e.DN.Equal(base) {
+					continue
+				}
+			case ScopeOneLevel:
+				if len(e.DN) != len(base)+1 || !e.DN.HasPrefix(base) {
+					continue
+				}
+			default: // ScopeSubtree
+				if !e.DN.HasPrefix(base) {
+					continue
+				}
 			}
-		case ScopeOneLevel:
-			if len(e.DN) != len(base)+1 || !e.DN.HasPrefix(base) {
-				continue
-			}
-		default: // ScopeSubtree
-			if !e.DN.HasPrefix(base) {
-				continue
+			if filter.Match(e) {
+				out = append(out, e.clone())
 			}
 		}
-		if filter.Match(e) {
-			out = append(out, e.clone())
-		}
+		st.mu.RUnlock()
 	}
 	// Chain subtree searches into subordinate contexts under the base,
 	// clipping the base to each subordinate's context (as X.518 subrequest
@@ -187,14 +221,15 @@ func (d *DSA) Search(base DN, scope Scope, filter Filter, hops int) ([]*Entry, e
 	}
 	var subs []subSearch
 	if scope == ScopeSubtree {
+		d.cfgMu.RLock()
 		for ctxStr, sub := range d.subordinates {
 			subCtx := MustParseDN(ctxStr)
 			if subCtx.HasPrefix(base) {
 				subs = append(subs, subSearch{agent: sub, base: subCtx})
 			}
 		}
+		d.cfgMu.RUnlock()
 	}
-	d.mu.RUnlock()
 	for _, s := range subs {
 		h, err := checkHops(hops)
 		if err != nil {
@@ -223,19 +258,39 @@ func (d *DSA) Add(e *Entry, hops int) error {
 		}
 		return agent.Add(e, h)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	key := e.DN.String()
-	if _, ok := d.entries[key]; ok {
+	ti := stripeFor(key)
+	parent := e.DN.Parent()
+	pi := -1
+	var parentKey string
+	if len(parent) >= len(d.context) {
+		parentKey = parent.String()
+		pi = stripeFor(parentKey)
+	}
+	// Lock the target stripe and (when distinct) the parent's stripe in
+	// ascending index order, so the existence check and the insert are one
+	// atomic step without a DSA-wide lock.
+	lo, hi := ti, pi
+	if pi == -1 || pi == ti {
+		lo, hi = ti, -1
+	} else if pi < ti {
+		lo, hi = pi, ti
+	}
+	d.stripes[lo].mu.Lock()
+	defer d.stripes[lo].mu.Unlock()
+	if hi >= 0 {
+		d.stripes[hi].mu.Lock()
+		defer d.stripes[hi].mu.Unlock()
+	}
+	if _, ok := d.stripes[ti].entries[key]; ok {
 		return fmt.Errorf("%w: %s", ErrEntryExists, e.DN)
 	}
-	parent := e.DN.Parent()
-	if len(parent) >= len(d.context) {
-		if _, ok := d.entries[parent.String()]; !ok {
+	if pi >= 0 {
+		if _, ok := d.stripes[pi].entries[parentKey]; !ok {
 			return fmt.Errorf("%w: parent %s", ErrNoSuchEntry, parent)
 		}
 	}
-	d.entries[key] = e.clone()
+	d.stripes[ti].entries[key] = e.clone()
 	return nil
 }
 
@@ -252,18 +307,24 @@ func (d *DSA) Remove(dn DN, hops int) error {
 		}
 		return agent.Remove(dn, h)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// The has-children check must see every stripe, so Remove — the one
+	// rare whole-DSA operation — write-locks all stripes in index order.
+	for i := range d.stripes {
+		d.stripes[i].mu.Lock()
+		defer d.stripes[i].mu.Unlock()
+	}
 	key := dn.String()
-	if _, ok := d.entries[key]; !ok {
+	if _, ok := d.stripes[stripeFor(key)].entries[key]; !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
 	}
-	for _, e := range d.entries {
-		if len(e.DN) == len(dn)+1 && e.DN.HasPrefix(dn) {
-			return fmt.Errorf("directory: %s has children", dn)
+	for i := range d.stripes {
+		for _, e := range d.stripes[i].entries {
+			if len(e.DN) == len(dn)+1 && e.DN.HasPrefix(dn) {
+				return fmt.Errorf("directory: %s has children", dn)
+			}
 		}
 	}
-	delete(d.entries, key)
+	delete(d.stripes[stripeFor(key)].entries, key)
 	return nil
 }
 
@@ -281,9 +342,11 @@ func (d *DSA) Modify(dn DN, set map[string][]string, del []string, hops int) err
 		}
 		return agent.Modify(dn, set, del, h)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	e, ok := d.entries[dn.String()]
+	key := dn.String()
+	st := &d.stripes[stripeFor(key)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchEntry, dn)
 	}

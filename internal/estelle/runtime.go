@@ -124,8 +124,11 @@ type Runtime struct {
 	mu      sync.Mutex
 	systems []*Instance
 	// instances lists all live instances in creation order (parents before
-	// children).
+	// children). Released instances stay until compactLocked trims them, so
+	// long-lived runtimes serving many short sessions don't grow without
+	// bound.
 	instances []*Instance
+	deadCount int
 	nextID    int64
 	errs      []error
 	// sched is the active scheduler, notified of dynamic instance
@@ -202,7 +205,9 @@ func (r *Runtime) liveInstances(buf []*Instance) []*Instance {
 
 // AddSystem instantiates def as an independent system module (systemprocess
 // or systemactivity). The instance's Init runs immediately on the caller's
-// goroutine.
+// goroutine, and only then is the subtree handed to an active scheduler:
+// adopting first would let unit goroutines scan half-initialised instances
+// (body, external, IP wiring) while Init is still writing them.
 func (r *Runtime) AddSystem(def *ModuleDef, name string) (*Instance, error) {
 	if !def.Attr.system() {
 		return nil, fmt.Errorf("estelle: AddSystem(%s): attribute %s is not a system attribute",
@@ -214,12 +219,14 @@ func (r *Runtime) AddSystem(def *ModuleDef, name string) (*Instance, error) {
 	}
 	r.mu.Lock()
 	r.systems = append(r.systems, inst)
+	r.mu.Unlock()
+	r.runInit(inst)
+	r.mu.Lock()
 	sched := r.sched
 	r.mu.Unlock()
 	if sched != nil {
-		sched.adopt(inst)
+		sched.adoptTree(inst)
 	}
-	r.runInit(inst)
 	return inst, nil
 }
 
@@ -378,11 +385,52 @@ func (r *Runtime) Release(inst *Instance) {
 	}
 	inst.dead.Store(true)
 	r.mu.Lock()
+	if p := inst.parent; p != nil && !p.dead.Load() {
+		// Unlink from a surviving parent so repeated init/release cycles
+		// don't grow the child list.
+		for i, c := range p.children {
+			if c == inst {
+				p.children = append(p.children[:i], p.children[i+1:]...)
+				break
+			}
+		}
+	}
+	r.deadCount++
+	r.compactLocked()
 	sched := r.sched
 	r.mu.Unlock()
 	if sched != nil {
 		sched.discard(inst)
 	}
+}
+
+// compactLocked trims released instances from the bookkeeping slices once
+// they dominate, keeping creation order. Caller holds r.mu.
+func (r *Runtime) compactLocked() {
+	if r.deadCount <= len(r.instances)/2 || len(r.instances) < 64 {
+		return
+	}
+	live := r.instances[:0]
+	for _, m := range r.instances {
+		if !m.dead.Load() {
+			live = append(live, m)
+		}
+	}
+	for i := len(live); i < len(r.instances); i++ {
+		r.instances[i] = nil
+	}
+	r.instances = live
+	liveSys := r.systems[:0]
+	for _, m := range r.systems {
+		if !m.dead.Load() {
+			liveSys = append(liveSys, m)
+		}
+	}
+	for i := len(liveSys); i < len(r.systems); i++ {
+		r.systems[i] = nil
+	}
+	r.systems = liveSys
+	r.deadCount = 0
 }
 
 // Ctx is the execution context handed to Init functions, transition guards
@@ -436,20 +484,24 @@ func (c *Ctx) Output(ipName, msg string, args ...any) {
 	ip.send(newInteraction(msg, args))
 }
 
-// Init creates a child module instance (Estelle `init`) and runs its Init.
+// Init creates a child module instance (Estelle `init`), runs its Init, and
+// — when the creator is already scheduled — adopts the finished subtree.
+// During an Init cascade the creator has no unit yet; the outermost
+// AddSystem/Init adopts the whole tree once every Init has run, so no unit
+// goroutine ever scans a half-initialised instance.
 func (c *Ctx) Init(def *ModuleDef, name string) (*Instance, error) {
 	child, err := c.inst.rt.newInstance(def, name, c.inst)
 	if err != nil {
 		return nil, err
 	}
 	r := c.inst.rt
+	r.runInit(child)
 	r.mu.Lock()
 	sched := r.sched
 	r.mu.Unlock()
-	if sched != nil {
-		sched.adopt(child)
+	if sched != nil && c.inst.unitPtr.Load() != nil {
+		sched.adoptTree(child)
 	}
-	r.runInit(child)
 	return child, nil
 }
 

@@ -87,6 +87,10 @@ type unit struct {
 	mu        sync.Mutex
 	instances []*Instance
 	deadCount int
+	// retired marks a unit whose goroutine has exited because every adopted
+	// instance was released. Guarded by mu; wake attempts on a retired unit
+	// are dropped so the pending-wake accounting stays balanced.
+	retired bool
 	// dirty is the pending work queue: instances marked runnable since the
 	// last drain. Appended under mu by any goroutine; drained by the unit.
 	dirty []*Instance
@@ -103,7 +107,13 @@ type unit struct {
 	passID  uint64
 }
 
-func (u *unit) wakeup() {
+// wakeupLocked sends a wake token unless the unit has retired. Callers hold
+// u.mu, which orders every wake against tryRetire's final drain: a waker
+// either lands its token before the drain or observes retired and drops it.
+func (u *unit) wakeupLocked() {
+	if u.retired {
+		return
+	}
 	select {
 	case u.wakeCh <- struct{}{}:
 		u.sched.pendingWakes.Add(1)
@@ -111,15 +121,32 @@ func (u *unit) wakeup() {
 	}
 }
 
+func (u *unit) wakeup() {
+	u.mu.Lock()
+	u.wakeupLocked()
+	u.mu.Unlock()
+}
+
 // markDirty queues m for the next pass (deduplicated by m.dirtyFlag) and
-// wakes the unit. Safe to call from any goroutine.
+// wakes the unit. Safe to call from any goroutine. A retired unit must not
+// take the queue entry: setting the flag there would strand m (the fresh
+// unit's add CAS would fail and nothing would ever drain the retired
+// queue). Instead the wake is redirected to m's current unit, or dropped —
+// in which case re-adoption's own first-pass queueing picks the work up.
 func (u *unit) markDirty(m *Instance) {
-	if m.dirtyFlag.CompareAndSwap(false, true) {
-		u.mu.Lock()
-		u.dirty = append(u.dirty, m)
+	u.mu.Lock()
+	if u.retired {
 		u.mu.Unlock()
+		if nu := m.unitPtr.Load(); nu != nil && nu != u {
+			nu.markDirty(m)
+		}
+		return
 	}
-	u.wakeup()
+	if m.dirtyFlag.CompareAndSwap(false, true) {
+		u.dirty = append(u.dirty, m)
+	}
+	u.wakeupLocked()
+	u.mu.Unlock()
 }
 
 // requeue re-marks m runnable from within the unit's own pass (after it
@@ -204,21 +231,28 @@ func (u *unit) wakeupAll() {
 			u.dirty = append(u.dirty, m)
 		}
 	}
+	u.wakeupLocked()
 	u.mu.Unlock()
-	u.wakeup()
 }
 
 // add registers a (possibly dynamically created) instance with the unit and
 // queues it for its first pass. The CAS keeps the queue duplicate-free
-// against senders that saw unitPtr and called markDirty first.
-func (u *unit) add(m *Instance) {
+// against senders that saw unitPtr and called markDirty first. It reports
+// false when the unit retired between the caller's lookup and the add; the
+// caller must then re-resolve a fresh unit.
+func (u *unit) add(m *Instance) bool {
 	u.mu.Lock()
+	if u.retired {
+		u.mu.Unlock()
+		return false
+	}
 	u.instances = append(u.instances, m)
 	if m.dirtyFlag.CompareAndSwap(false, true) {
 		u.dirty = append(u.dirty, m)
 	}
+	u.wakeupLocked()
 	u.mu.Unlock()
-	u.wakeup()
+	return true
 }
 
 // takeDirty drains the pending work queue into the unit's scratch buffer in
@@ -367,29 +401,86 @@ func (s *Scheduler) adopt(m *Instance) {
 			s.rt.stats.MappingOverrides.Add(1)
 		}
 	}
+	for {
+		s.mu.Lock()
+		u, ok := s.units[key]
+		created := false
+		if !ok {
+			u = &unit{key: key, sched: s, wakeCh: make(chan struct{}, 1)}
+			s.units[key] = u
+			s.unitList = append(s.unitList, u)
+			created = true
+		}
+		s.mu.Unlock()
+		m.firedPass = 0
+		m.childRanPass = 0
+		m.delayDue = 0
+		m.inDelayed = false
+		// Clear any stale dirty flag from a previously stopped scheduler
+		// before the unit becomes reachable through unitPtr.
+		m.dirtyFlag.Store(false)
+		m.unitPtr.Store(u)
+		if !u.add(m) {
+			// The unit retired between lookup and add; the key is free
+			// again, so the next round creates a fresh unit.
+			continue
+		}
+		if created {
+			s.wg.Add(1)
+			go s.runUnit(u)
+		}
+		return
+	}
+}
+
+// adoptTree adopts root and its live descendants in creation order (parents
+// before children, as tree precedence requires). Callers ensure every Init
+// in the subtree has completed, so no unit scans a half-built instance.
+func (s *Scheduler) adoptTree(root *Instance) {
+	s.adopt(root)
+	for _, c := range root.Children() {
+		s.adoptTree(c)
+	}
+}
+
+// tryRetire ends a unit whose every adopted instance has been released and
+// whose work queue is empty: the key is freed, the goroutine exits, and any
+// buffered wake token is reclaimed. Only the unit's own goroutine calls it.
+// Without retirement, a server creating one entity subtree per connection
+// would keep one goroutine and one unit alive per session ever served.
+func (s *Scheduler) tryRetire(u *unit) bool {
 	s.mu.Lock()
-	u, ok := s.units[key]
-	created := false
-	if !ok {
-		u = &unit{key: key, sched: s, wakeCh: make(chan struct{}, 1)}
-		s.units[key] = u
-		s.unitList = append(s.unitList, u)
-		created = true
+	u.mu.Lock()
+	if len(u.instances) == 0 || len(u.dirty) > 0 {
+		u.mu.Unlock()
+		s.mu.Unlock()
+		return false
 	}
+	for _, m := range u.instances {
+		if !m.dead.Load() {
+			u.mu.Unlock()
+			s.mu.Unlock()
+			return false
+		}
+	}
+	u.retired = true
+	// Reclaim a wake token buffered after the caller's last drain. Later
+	// wakers hold u.mu and observe retired, so none can follow.
+	select {
+	case <-u.wakeCh:
+		s.pendingWakes.Add(-1)
+	default:
+	}
+	delete(s.units, u.key)
+	for i, x := range s.unitList {
+		if x == u {
+			s.unitList = append(s.unitList[:i], s.unitList[i+1:]...)
+			break
+		}
+	}
+	u.mu.Unlock()
 	s.mu.Unlock()
-	m.firedPass = 0
-	m.childRanPass = 0
-	m.delayDue = 0
-	m.inDelayed = false
-	// Clear any stale dirty flag from a previously stopped scheduler before
-	// the unit becomes reachable through unitPtr.
-	m.dirtyFlag.Store(false)
-	m.unitPtr.Store(u)
-	u.add(m)
-	if created {
-		s.wg.Add(1)
-		go s.runUnit(u)
-	}
+	return true
 }
 
 // discard notes that an instance died so its unit can compact.
@@ -446,6 +537,11 @@ func (s *Scheduler) runUnit(u *unit) {
 			s.pendingWakes.Add(-1)
 			continue
 		default:
+		}
+		// A unit whose instances have all been released ends here instead
+		// of idling forever.
+		if s.tryRetire(u) {
+			return
 		}
 		// Nothing to do: go idle until woken, a delay matures, or stop.
 		nextDue := u.minDelayDue()

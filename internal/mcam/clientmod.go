@@ -123,6 +123,19 @@ func ClientModuleDef(dispatch estelle.Dispatch) *estelle.ModuleDef {
 				},
 			},
 			{
+				// Data racing our release request (typically a stream event
+				// emitted while the FN was in flight) is still delivered as
+				// an event; anything else is dropped. Without this the
+				// PDatInd wedges the P queue ahead of PRelCnf and the
+				// release never confirms.
+				Name: "releasing-data", From: []string{"Releasing"}, When: estelle.On("P", "PDatInd"),
+				Action: func(ctx *estelle.Ctx) {
+					if pdu, err := Decode(ctx.Msg.Bytes(1)); err == nil && pdu.Event != nil {
+						ctx.Output("U", "AEvent", pdu.Event)
+					}
+				},
+			},
+			{
 				Name: "relcnf", From: []string{"Releasing"}, When: estelle.On("P", "PRelCnf"),
 				To: "Dead",
 				Action: func(ctx *estelle.Ctx) {

@@ -3,6 +3,7 @@ package mcam
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"xmovie/internal/directory"
 	"xmovie/internal/equipment"
@@ -33,6 +34,9 @@ type handler struct {
 	// control operations address the selected movie).
 	selected string
 	nextID   int64
+	// closeOnce makes close idempotent: the association's own release path
+	// and the connection manager's forced teardown may both reach it.
+	closeOnce sync.Once
 }
 
 // newHandler creates the per-association handler; events receives stream
@@ -43,8 +47,9 @@ func newHandler(env *ServerEnv, events func(Event)) *handler {
 	return h
 }
 
-// close releases the association's resources.
-func (h *handler) close() { h.spa.drain() }
+// close releases the association's resources. Safe to call more than once
+// and from goroutines other than the association's own.
+func (h *handler) close() { h.closeOnce.Do(h.spa.drain) }
 
 func fail(req *Request, st Status, format string, args ...any) *Response {
 	return &Response{

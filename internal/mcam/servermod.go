@@ -61,12 +61,36 @@ func (b *serverBody) Step(ctx *estelle.Ctx) bool {
 	}
 }
 
+// Shutdown forcibly releases the association's stream resources. It is the
+// connection manager's last resort for sessions whose transport vanished
+// before the release/abort transitions could run; safe from any goroutine
+// and idempotent.
+func (b *serverBody) Shutdown() { b.h.close() }
+
+// ServerHooks lets the entity that owns a server MCA observe its lifecycle.
+// All callbacks run on the MCA's scheduler goroutine and must not block.
+type ServerHooks struct {
+	// OnDead fires when the MCA leaves service (orderly release or abort).
+	// It may fire more than once (e.g. abort after release); callers
+	// needing once-semantics guard themselves.
+	OnDead func()
+	// OnBody receives the association's serverBody right after Init so the
+	// connection manager can force a teardown later (Shutdown).
+	OnBody func(interface{ Shutdown() })
+}
+
 // ServerModuleDef returns the server-side Movie Control Agent for one
 // association: the module the paper's server entity creates per incoming
 // connection ("the server... creates the same Estelle modules", §4.1).
 // Each instance builds its own handler (and external event body) over the
 // shared environment, so one def serves many parallel connections.
 func ServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch) *estelle.ModuleDef {
+	return HookedServerModuleDef(env, dispatch, ServerHooks{})
+}
+
+// HookedServerModuleDef is ServerModuleDef with lifecycle hooks; the
+// connection manager in internal/core uses them to track session death.
+func HookedServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch, hooks ServerHooks) *estelle.ModuleDef {
 	def := &estelle.ModuleDef{
 		Name:     "MCAServer",
 		Attr:     estelle.Process,
@@ -80,6 +104,9 @@ func ServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch) *estelle.ModuleD
 			body.h = newHandler(env, body.pushEvent)
 			ctx.SetBody(body)
 			ctx.SetExternal(body)
+			if hooks.OnBody != nil {
+				hooks.OnBody(body)
+			}
 		},
 		Trans: []estelle.Trans{
 			{
@@ -117,6 +144,9 @@ func ServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch) *estelle.ModuleD
 				Action: func(ctx *estelle.Ctx) {
 					ctx.Body().(*serverBody).h.close()
 					ctx.Output("P", "PRelResp")
+					if hooks.OnDead != nil {
+						hooks.OnDead()
+					}
 				},
 			},
 			{
@@ -124,6 +154,9 @@ func ServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch) *estelle.ModuleD
 				Action: func(ctx *estelle.Ctx) {
 					if b := ctx.Body().(*serverBody); b.h != nil {
 						b.h.close()
+					}
+					if hooks.OnDead != nil {
+						hooks.OnDead()
 					}
 				},
 			},

@@ -1,0 +1,79 @@
+package moviedb
+
+import (
+	"sort"
+
+	"xmovie/internal/stripe"
+)
+
+// DefaultShards is the stripe count NewShardedStore uses for shards <= 0:
+// enough stripes that thousands of concurrent sessions rarely collide on
+// one lock, small enough that List's merge stays cheap.
+const DefaultShards = 64
+
+// ShardedStore is a Store striped over independent MemStore shards, keyed
+// by movie name. Per-movie operations touch exactly one shard's lock, so
+// sessions operating on different movies proceed in parallel instead of
+// serializing on a single store mutex; only List crosses shards.
+type ShardedStore struct {
+	shards []*MemStore
+	mask   uint32
+}
+
+var _ Store = (*ShardedStore)(nil)
+
+// NewShardedStore returns an empty store striped over the given number of
+// shards, rounded up to a power of two (<= 0 selects DefaultShards).
+func NewShardedStore(shards int) *ShardedStore {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &ShardedStore{shards: make([]*MemStore, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewMemStore()
+	}
+	return s
+}
+
+// Shards returns the stripe count.
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+// shard selects the stripe for a movie name (FNV-1a).
+func (s *ShardedStore) shard(name string) *MemStore {
+	return s.shards[stripe.FNV32a(name)&s.mask]
+}
+
+// Create implements Store.
+func (s *ShardedStore) Create(m *Movie) error { return s.shard(m.Name).Create(m) }
+
+// Get implements Store.
+func (s *ShardedStore) Get(name string) (*Movie, error) { return s.shard(name).Get(name) }
+
+// Delete implements Store.
+func (s *ShardedStore) Delete(name string) error { return s.shard(name).Delete(name) }
+
+// SetAttrs implements Store.
+func (s *ShardedStore) SetAttrs(name string, updates Attributes) error {
+	return s.shard(name).SetAttrs(name, updates)
+}
+
+// AppendFrames implements Store.
+func (s *ShardedStore) AppendFrames(name string, frames [][]byte) error {
+	return s.shard(name).AppendFrames(name, frames)
+}
+
+// List implements Store: a merge over the shards' (individually sorted)
+// listings. The result is a consistent-per-shard, not globally atomic,
+// snapshot — names created or deleted concurrently may or may not appear.
+func (s *ShardedStore) List() []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.List()...)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -263,6 +263,15 @@ func ProtocolMachineDef(dispatch estelle.Dispatch) *estelle.ModuleDef {
 					ctx.Output("S", "SRelResp")
 				},
 			},
+			// Release collision: user data racing an already-indicated
+			// release (an MCA stream event emitted while the peer's FN was
+			// in flight) is discarded. Without this, the stale PDatReq
+			// wedges the queue ahead of PRelResp and the release never
+			// completes.
+			{
+				Name: "relresp-drop-p", From: []string{"WaitRelResp"}, When: estelle.On("P", "PDatReq"),
+				Action: func(*estelle.Ctx) {},
+			},
 			{
 				Name: "s-relcnf", From: []string{"WaitRel"}, When: estelle.On("S", "SRelCnf"), To: "Closed",
 				Action: func(ctx *estelle.Ctx) {

@@ -1,0 +1,19 @@
+// Package stripe holds the shared string-hash behind the striped-lock
+// containers (the sharded movie store and the striped directory DSA), so
+// the stripe selectors cannot drift apart.
+package stripe
+
+// FNV32a is the allocation-free 32-bit FNV-1a hash of s. Callers mask the
+// result with a power-of-two stripe count.
+func FNV32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}

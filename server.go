@@ -1,13 +1,17 @@
 package xmovie
 
 import (
+	"time"
+
 	"xmovie/internal/core"
 )
 
 // ServerConfig configures ListenAndServe.
 type ServerConfig struct {
 	// Addr is the control-plane listen address (TPKT over TCP), e.g.
-	// "127.0.0.1:0".
+	// "127.0.0.1:0". Empty means no listener: an in-memory server fed
+	// through Server.ServeConn (tests, embedded deployments, the load
+	// harness).
 	Addr string
 	// Stack selects the control stack (default StackGenerated).
 	Stack StackKind
@@ -17,12 +21,20 @@ type ServerConfig struct {
 	// Processors limits the generated stack to P virtual processors
 	// (0 = unlimited), modelling the paper's multiprocessor sizing.
 	Processors int
+	// MaxSessions bounds concurrently admitted control sessions
+	// (0 = core.DefaultMaxSessions). Connections beyond the bound are
+	// refused at admission.
+	MaxSessions int
 }
 
-// Server is a running MCAM server entity. One server accepts any number of
-// control connections, creating the per-connection Estelle modules (or
-// hand-coded handlers) dynamically, exactly as the paper's server machine
-// does.
+// SessionStats counts connection-manager activity (admissions, rejections,
+// active/peak sessions).
+type SessionStats = core.SessionStats
+
+// Server is a running MCAM server entity. One server admits any number of
+// control connections up to its session bound, creating the per-connection
+// Estelle modules (or hand-coded handlers) dynamically, exactly as the
+// paper's server machine does — and reclaiming them when sessions end.
 type Server struct {
 	inner *core.Server
 }
@@ -30,10 +42,11 @@ type Server struct {
 // ListenAndServe starts an MCAM server.
 func ListenAndServe(cfg ServerConfig) (*Server, error) {
 	inner, err := core.NewServer(core.ServerConfig{
-		Addr:       cfg.Addr,
-		Stack:      cfg.Stack,
-		Env:        cfg.Env,
-		Processors: cfg.Processors,
+		Addr:        cfg.Addr,
+		Stack:       cfg.Stack,
+		Env:         cfg.Env,
+		Processors:  cfg.Processors,
+		MaxSessions: cfg.MaxSessions,
 	})
 	if err != nil {
 		return nil, err
@@ -41,8 +54,20 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 	return &Server{inner: inner}, nil
 }
 
-// Addr returns the bound control-plane address.
+// Addr returns the bound control-plane address ("" when the server has no
+// listener).
 func (s *Server) Addr() string { return s.inner.Addr() }
 
-// Close stops the server.
+// ServeConn admits an in-memory transport connection (e.g. one end of a
+// Pipe) as a control session.
+func (s *Server) ServeConn(conn Conn) error { return s.inner.ServeConn(conn) }
+
+// Stats snapshots the connection-manager counters.
+func (s *Server) Stats() SessionStats { return s.inner.Stats() }
+
+// Drain stops admitting new sessions, waits up to timeout for active ones
+// to complete, then force-closes the remainder and shuts down.
+func (s *Server) Drain(timeout time.Duration) error { return s.inner.Drain(timeout) }
+
+// Close stops the server immediately, force-closing active sessions.
 func (s *Server) Close() error { return s.inner.Close() }

@@ -20,6 +20,7 @@ import (
 	"xmovie/internal/core"
 	"xmovie/internal/mcam"
 	"xmovie/internal/moviedb"
+	"xmovie/internal/transport"
 )
 
 // Specs holds the Estelle formal specifications this repository is built
@@ -53,6 +54,8 @@ type (
 	Movie = moviedb.Movie
 	// Store is a movie repository.
 	Store = moviedb.Store
+	// Conn is a reliable, ordered control-plane transport connection.
+	Conn = transport.Conn
 )
 
 // Operation codes.
@@ -99,6 +102,14 @@ const (
 
 // NewMemStore returns an empty in-memory movie store.
 func NewMemStore() *moviedb.MemStore { return moviedb.NewMemStore() }
+
+// NewShardedStore returns an empty striped-lock movie store sized for many
+// concurrent sessions (shards 0 = a sensible default).
+func NewShardedStore(shards int) *moviedb.ShardedStore { return moviedb.NewShardedStore(shards) }
+
+// Pipe returns two connected in-memory transport endpoints; hand one to
+// Server.ServeConn and the other to NewClientConn.
+func Pipe() (Conn, Conn) { return transport.Pipe(0) }
 
 // Synthesize builds a deterministic synthetic movie (the stand-in for
 // digitized movie material).
