@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
-	bench-smoke bench-guard bench-trajectory load-smoke ci
+	bench-smoke bench-guard bench-trajectory load-smoke load-stream ci
 
 build:
 	$(GO) build ./...
@@ -50,10 +50,11 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Hot-path guard: allocation-regression tests (pooled runtime cycle,
-# append-path codecs, MTP stream) + append-vs-schema byte-identity proofs,
-# then the mcambench -json smoke emitting BENCH_*.json into bench-out/.
+# append-path codecs, MTP stream paths — including the FrameSource send
+# path) + append-vs-schema byte-identity proofs, then the mcambench -json
+# smoke emitting BENCH_*.json into bench-out/.
 bench-guard:
-	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestAppendMatchesSchemaEncoder' \
+	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestAppendMatchesSchemaEncoder' \
 		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp
 	mkdir -p bench-out
 	$(GO) run ./cmd/mcambench -json -outdir bench-out e4 hot
@@ -75,6 +76,18 @@ load-smoke:
 	mkdir -p bench-out
 	$(GO) run -race ./cmd/mcamload -profile soak -json -outdir bench-out
 
+# Stream-scenario load: the data-plane harness under the race detector.
+# Every session plays a 125-frame movie paced at 250 fps over a lossy path
+# whose bandwidth sustains only half that rate, with a mid-stream
+# pause/resume; per-stream receive throughput and the adaptive sender's
+# dropped/late frame counts land in BENCH_mcamload_stream.json. Runs in
+# the CI load-soak job next to load-smoke.
+load-stream:
+	mkdir -p bench-out
+	$(GO) run -race ./cmd/mcamload -scenarios stream -sessions 64 -concurrent 32 \
+		-movies 16 -frames 125 -fps 250 -maxtime 90s \
+		-json -out mcamload_stream -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
-	bench-trajectory load-smoke
+	bench-trajectory load-smoke load-stream

@@ -166,6 +166,18 @@ func (c *Client) Stop(streamID int64) (int64, error) {
 	return resp.Position, nil
 }
 
+// SeekTo repositions the active stream streamID to position — live, without
+// restarting the transmission; the receiver resynchronizes on the MTP sync
+// flag. With streamID 0 (or a finished stream) it validates the position
+// against the selected movie for a later PlayFrom.
+func (c *Client) SeekTo(streamID, position int64) (int64, error) {
+	resp, err := c.do(&Request{Op: OpSeek, StreamID: streamID, Position: position})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Position, nil
+}
+
 // AwaitEvent blocks for the next stream event (generated stack only; the
 // hand-coded client delivers events through mcam.IsodeClient.OnEvent).
 func (c *Client) AwaitEvent(timeout time.Duration) (Event, error) {

@@ -41,9 +41,11 @@ func main() {
 		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
 		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
 		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
-		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,mixed")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,mixed")
 		movies     = flag.Int("movies", 32, "seeded catalogue size")
-		frames     = flag.Int("frames", 250, "frames per seeded movie (25 fps pacing)")
+		frames     = flag.Int("frames", 250, "frames per seeded movie")
+		fps        = flag.Int("fps", 25, "seeded movies' frame rate (pacing of every play)")
+		outName    = flag.String("out", "mcamload", "basename of the -json report (BENCH_<out>.json)")
 		maxTime    = flag.Duration("maxtime", 0, "abort combos still running past this wall-clock budget (0 = none)")
 		holdAll    = flag.Bool("hold", false, "barrier: all sessions connect before any proceeds (needs concurrent >= sessions)")
 		jsonOut    = flag.Bool("json", false, "also write BENCH_mcamload.json")
@@ -96,6 +98,7 @@ func main() {
 		Concurrent: *concurrent,
 		Movies:     *movies,
 		Frames:     *frames,
+		FPS:        *fps,
 		Hold:       *holdAll,
 	}
 	for _, s := range strings.Split(*stacks, ",") {
@@ -122,7 +125,7 @@ func main() {
 	}
 	for _, sc := range strings.Split(*scenarios, ",") {
 		switch sc = strings.TrimSpace(sc); sc {
-		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioMixed:
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioMixed:
 			cfg.Scenarios = append(cfg.Scenarios, sc)
 		case "":
 		default:
@@ -152,13 +155,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
 			os.Exit(1)
 		}
-		data, err := json.MarshalIndent(report.BenchJSON(), "", "  ")
+		data, err := json.MarshalIndent(report.BenchJSON(*outName), "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
 			os.Exit(1)
 		}
 		data = append(data, '\n')
-		path := filepath.Join(*outDir, "BENCH_mcamload.json")
+		path := filepath.Join(*outDir, "BENCH_"+*outName+".json")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "mcamload: %v\n", err)
 			os.Exit(1)

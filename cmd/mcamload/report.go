@@ -6,10 +6,32 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"xmovie/internal/mtp"
+	"xmovie/internal/spa"
 )
 
+// streamAgg accumulates receiver-side data-plane metrics across a combo's
+// stream-scenario sessions.
+type streamAgg struct {
+	n         int
+	delivered int64
+	lost      int64
+	bytes     int64
+	elapsed   time.Duration
+}
+
+// throughputMBps is the aggregate received throughput in MB/s (per-stream
+// elapsed times summed, so it is a per-stream average, not a combo rate).
+func (s streamAgg) throughputMBps() float64 {
+	if s.elapsed <= 0 {
+		return 0
+	}
+	return float64(s.bytes) / 1e6 / s.elapsed.Seconds()
+}
+
 // comboResult aggregates one stack×transport run: completion counts, wall
-// time, and per-operation latency samples.
+// time, per-operation latency samples, and data-plane metrics.
 type comboResult struct {
 	stack     string
 	transport string
@@ -20,9 +42,13 @@ type comboResult struct {
 	errs      []string
 	ops       map[string][]time.Duration
 	sessions  []time.Duration
+	streams   streamAgg
 
 	wall time.Duration
 	peak int64
+	// serverStreams is the server-side totals snapshot: frames actually
+	// transmitted, dropped by adaptive delivery, late, and feedback seen.
+	serverStreams spa.Totals
 }
 
 func newComboResult(stack, transport string) *comboResult {
@@ -38,6 +64,17 @@ func (c *comboResult) op(name string, d time.Duration) {
 func (c *comboResult) session(d time.Duration) {
 	c.mu.Lock()
 	c.sessions = append(c.sessions, d)
+	c.mu.Unlock()
+}
+
+// stream records one stream-scenario session's receiver statistics.
+func (c *comboResult) stream(st mtp.RecvStats) {
+	c.mu.Lock()
+	c.streams.n++
+	c.streams.delivered += int64(st.Delivered)
+	c.streams.lost += int64(st.Lost)
+	c.streams.bytes += st.Bytes
+	c.streams.elapsed += st.Elapsed
 	c.mu.Unlock()
 }
 
@@ -183,6 +220,19 @@ func (r *Report) notes() []string {
 				c.name(), len(sess),
 				micros(percentile(sess, 50)), micros(percentile(sess, 95)), micros(percentile(sess, 99))))
 		}
+		if c.streams.n > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"%s stream   n=%-6d delivered=%d lost=%d recvMB/s=%.2f",
+				c.name(), c.streams.n, c.streams.delivered, c.streams.lost,
+				c.streams.throughputMBps()))
+		}
+		if c.serverStreams.Streams > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"%s spa      streams=%d frames=%d dropped=%d late=%d feedback=%d bytes=%d",
+				c.name(), c.serverStreams.Streams, c.serverStreams.Frames,
+				c.serverStreams.Dropped, c.serverStreams.Late,
+				c.serverStreams.Feedback, c.serverStreams.Bytes))
+		}
 		for i, e := range c.errs {
 			if i >= 5 {
 				notes = append(notes, fmt.Sprintf("%s ... %d more errors", c.name(), len(c.errs)-i))
@@ -232,10 +282,10 @@ type benchJSON struct {
 	Notes  []string   `json:"notes,omitempty"`
 }
 
-// BenchJSON builds the BENCH_mcamload.json payload.
-func (r *Report) BenchJSON() benchJSON {
+// BenchJSON builds the BENCH_<name>.json payload.
+func (r *Report) BenchJSON(name string) benchJSON {
 	out := benchJSON{
-		Name:   "mcamload",
+		Name:   name,
 		Title:  "Concurrent-session load harness (sessions/sec, op latency percentiles)",
 		Shape:  "ok",
 		Header: header,

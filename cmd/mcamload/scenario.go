@@ -12,6 +12,7 @@ import (
 	"xmovie/internal/moviedb"
 	"xmovie/internal/mtp"
 	"xmovie/internal/netsim"
+	"xmovie/internal/spa"
 	"xmovie/internal/transport"
 )
 
@@ -22,7 +23,14 @@ const (
 	scenarioOrder  = "order"
 	scenarioPlay   = "play"
 	scenarioMixed  = "mixed"
+	// scenarioStream plays a movie end to end over a congested, lossy
+	// path with a mid-stream pause/resume, measuring data-plane
+	// throughput and the adaptive sender's frame dropping.
+	scenarioStream = "stream"
 )
+
+// streamFrameSize is the seeded catalogue's frame payload size in bytes.
+const streamFrameSize = 64
 
 // loadConfig is the resolved harness configuration.
 type loadConfig struct {
@@ -30,6 +38,8 @@ type loadConfig struct {
 	Concurrent int
 	Movies     int
 	Frames     int
+	// FPS is the seeded movies' frame rate — the pacing of every play.
+	FPS        int
 	Stacks     []core.StackKind
 	Transports []string
 	Scenarios  []string
@@ -98,16 +108,18 @@ func runAll(cfg loadConfig, deadline time.Time, logw io.Writer) *Report {
 }
 
 // seedEnv builds one combo's server environment: a sharded movie store
-// seeded with the catalogue, a striped directory mirror, and a SimNet for
-// stream targets.
+// seeded with the lazily generated catalogue (no frame materialization —
+// the play path streams through chunked FrameSources), a striped directory
+// mirror, a SimNet for stream targets, adaptive delivery enabled, and
+// server-wide data-plane totals.
 func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
 	store := moviedb.NewShardedStore(0)
 	for i := 0; i < cfg.Movies; i++ {
-		m := moviedb.Synthesize(moviedb.SynthConfig{
+		m := moviedb.SynthesizeLazy(moviedb.SynthConfig{
 			Name:      fmt.Sprintf("cat-%03d", i),
 			Frames:    cfg.Frames,
-			FrameRate: 25,
-			FrameSize: 64,
+			FrameRate: cfg.FPS,
+			FrameSize: streamFrameSize,
 		})
 		if err := store.Create(m); err != nil {
 			return nil, nil, err
@@ -115,11 +127,22 @@ func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
 	}
 	sim := mcam.NewSimNet()
 	base := directory.MustParseDN("c=DE/o=xmovie")
+	// Adaptive delivery needs receivers that emit feedback; only the
+	// stream scenario's do, so the window stays off for mixes without it
+	// (a windowed sender facing a silent receiver stops after one window).
+	window := 0
+	for _, sc := range cfg.Scenarios {
+		if sc == scenarioStream {
+			window = 64
+		}
+	}
 	env := &mcam.ServerEnv{
-		Store:   store,
-		Dialer:  sim,
-		DUA:     directory.NewDUA(directory.NewDSA("load", base)),
-		DirBase: base,
+		Store:        store,
+		Dialer:       sim,
+		DUA:          directory.NewDUA(directory.NewDSA("load", base)),
+		DirBase:      base,
+		StreamWindow: window,
+		StreamTotals: &spa.Totals{},
 	}
 	return env, sim, nil
 }
@@ -175,6 +198,7 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 	}
 	wg.Wait()
 	res.wall = time.Since(start)
+	res.serverStreams = env.StreamTotals.Snapshot()
 	st := srv.Stats()
 	if st.Rejected > 0 {
 		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
@@ -262,6 +286,11 @@ func runSession(cfg loadConfig, srv *core.Server, sim *mcam.SimNet, stack core.S
 			return err
 		}
 	}
+	if scenario == scenarioStream {
+		if err := runStreamSession(cfg, sim, client, res, feature, i); err != nil {
+			return err
+		}
+	}
 	if scenario == scenarioPlay || scenario == scenarioMixed {
 		if err := call("select", &mcam.Request{Op: mcam.OpSelect, Movie: feature}); err != nil {
 			return err
@@ -305,5 +334,71 @@ func runSession(cfg loadConfig, srv *core.Server, sim *mcam.SimNet, stack core.S
 	}
 	res.op("release", time.Since(t))
 	res.session(time.Since(t0))
+	return nil
+}
+
+// runStreamSession is the data-plane scenario: play a whole movie over a
+// lossy path whose bandwidth sustains only about half the frame rate, with
+// a mid-stream pause/resume, and record per-stream throughput and frame
+// accounting. The receiver emits MTP feedback, so the server's adaptive
+// sender drops frames at their deadlines instead of queueing — the counts
+// land in the combo's stream metrics and the server-wide totals.
+func runStreamSession(cfg loadConfig, sim *mcam.SimNet, client *core.Client, res *comboResult, movie string, i int) error {
+	addr := fmt.Sprintf("stream-%s-%s-%05d/video", res.stack, res.transport, i)
+	// Half the stream's nominal bit rate, plus loss: congestion by
+	// construction.
+	shape := netsim.Config{
+		LossProb:   0.05,
+		Seed:       int64(i + 1),
+		BitsPerSec: int64(cfg.FPS) * streamFrameSize * 8 / 2,
+	}
+	end, err := sim.Listen(addr, shape)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	recvDone := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{Window: 32, FeedbackEvery: 8}, nil)
+		recvDone <- st
+	}()
+	t := time.Now()
+	resp, err := client.Call(&mcam.Request{Op: mcam.OpPlay, Movie: movie, StreamAddr: addr})
+	if err != nil {
+		return fmt.Errorf("play: %w", err)
+	}
+	if !resp.OK() {
+		return fmt.Errorf("play: %s (%s)", resp.Status, resp.Diagnostic)
+	}
+	res.op("play", time.Since(t))
+	id := resp.StreamID
+
+	// Mid-stream pause/resume: the stream must survive it and the paused
+	// interval must not burn the pacing schedule.
+	time.Sleep(10 * time.Millisecond)
+	t = time.Now()
+	if r, err := client.Call(&mcam.Request{Op: mcam.OpPause, StreamID: id}); err != nil || !r.OK() {
+		return fmt.Errorf("pause: %+v, %v", r, err)
+	}
+	res.op("pause", time.Since(t))
+	time.Sleep(10 * time.Millisecond)
+	t = time.Now()
+	if r, err := client.Call(&mcam.Request{Op: mcam.OpResume, StreamID: id}); err != nil || !r.OK() {
+		return fmt.Errorf("resume: %+v, %v", r, err)
+	}
+	res.op("resume", time.Since(t))
+
+	select {
+	case st := <-recvDone:
+		if st.Delivered == 0 {
+			return fmt.Errorf("stream delivered nothing (stats %+v)", st)
+		}
+		if st.Delivered+st.Lost != cfg.Frames {
+			return fmt.Errorf("stream accounting: delivered %d + lost %d != %d",
+				st.Delivered, st.Lost, cfg.Frames)
+		}
+		res.stream(st)
+	case <-time.After(sessionTimeout):
+		return fmt.Errorf("stream did not terminate")
+	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
+	"xmovie/internal/spa"
 	"xmovie/internal/transport"
 )
 
@@ -143,6 +144,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.Env.StreamTotals == nil {
+		// Every server aggregates its data-plane outcome counters so
+		// operators (and the load harness) can read frames sent, dropped
+		// and late across all sessions; callers may share their own
+		// Totals across servers instead.
+		cfg.Env.StreamTotals = &spa.Totals{}
+	}
 	s := &Server{
 		cfg:      cfg,
 		grace:    defaultTeardownGrace,
@@ -202,6 +210,13 @@ func (s *Server) Stats() SessionStats {
 		Active:    active,
 		Peak:      peak,
 	}
+}
+
+// StreamStats snapshots the server's aggregated data-plane counters:
+// frames sent, dropped by adaptive delivery, late sends, bytes and
+// feedback reports across every session's Stream Provider Agent.
+func (s *Server) StreamStats() spa.Totals {
+	return s.cfg.Env.StreamTotals.Snapshot()
 }
 
 func (s *Server) acceptLoop() {

@@ -1,0 +1,23 @@
+package equipment
+
+import (
+	"xmovie/internal/mtp"
+)
+
+// Playback runs an MTP receiver over conn and renders every delivered
+// frame on the sink device — the client side of the paper's playback path
+// (stream → speaker/display). It blocks until the stream's EOS marker (or
+// a conn error) and returns the reception statistics.
+//
+// The deliver path is zero-copy: the frame payload handed to Sink.Render
+// aliases the receiver's buffers and is only valid for the duration of the
+// call, which suits rendering devices — they consume the frame (count it,
+// checksum it, paint it) without retaining the bytes.
+func Playback(conn mtp.PacketConn, sink Sink, cfg mtp.ReceiverConfig) (mtp.RecvStats, error) {
+	return mtp.ReceiveStream(conn, cfg, func(f mtp.Frame) {
+		// A powered-off or failing device drops the frame; reception
+		// statistics still count it as delivered, which matches a real
+		// monitor going dark mid-stream.
+		_ = sink.Render(f.Payload)
+	})
+}

@@ -1,0 +1,66 @@
+package equipment
+
+import (
+	"testing"
+
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+func TestPlaybackRendersStream(t *testing.T) {
+	cfg := moviedb.SynthConfig{Name: "showing", Frames: 80, FrameSize: 300, ChunkFrames: 8}
+	movie := moviedb.SynthesizeLazy(cfg)
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+
+	display := NewDisplay("wall")
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := Playback(b, display, mtp.ReceiverConfig{})
+		done <- st
+	}()
+	sender := mtp.NewStreamSender(a, mtp.StreamConfig{StreamID: 1})
+	if _, err := sender.Run(movie.Open()); err != nil {
+		t.Fatal(err)
+	}
+	st := <-done
+	if st.Delivered != 80 || display.Rendered() != 80 {
+		t.Fatalf("delivered %d, rendered %d", st.Delivered, display.Rendered())
+	}
+	// The sink saw exactly the movie's bytes: its checksum matches a
+	// direct rendering of the eagerly synthesized twin.
+	ref := NewDisplay("ref")
+	for _, f := range moviedb.Synthesize(cfg).Frames {
+		if err := ref.Render(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if display.Checksum() != ref.Checksum() {
+		t.Fatalf("checksum %x != reference %x", display.Checksum(), ref.Checksum())
+	}
+}
+
+func TestPlaybackSurvivesDeadSink(t *testing.T) {
+	movie := moviedb.SynthesizeLazy(moviedb.SynthConfig{Name: "dark", Frames: 20, FrameSize: 64})
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+	speaker := NewSpeaker("boom")
+	if err := speaker.Set("power", "off"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := Playback(b, speaker, mtp.ReceiverConfig{})
+		done <- st
+	}()
+	sender := mtp.NewStreamSender(a, mtp.StreamConfig{StreamID: 2})
+	if _, err := sender.Run(movie.Open()); err != nil {
+		t.Fatal(err)
+	}
+	st := <-done
+	// Reception proceeds to EOS; the dark device just renders nothing.
+	if st.Delivered != 20 || speaker.Rendered() != 0 {
+		t.Fatalf("delivered %d, rendered %d", st.Delivered, speaker.Rendered())
+	}
+}

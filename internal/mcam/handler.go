@@ -8,6 +8,7 @@ import (
 	"xmovie/internal/directory"
 	"xmovie/internal/equipment"
 	"xmovie/internal/moviedb"
+	"xmovie/internal/spa"
 )
 
 // ServerEnv bundles the services one MCAM server association operates on —
@@ -23,13 +24,24 @@ type ServerEnv struct {
 	DirBase directory.DN
 	// EUA, when non-nil, serves Record captures.
 	EUA *equipment.EUA
+	// StreamWindow, when > 0, enables MTP's credit-based adaptive delivery
+	// for every play: at most StreamWindow frames in flight beyond the
+	// receiver's reported progress, with congested frames dropped at their
+	// deadlines. Requires receivers that emit feedback
+	// (mtp.ReceiverConfig.FeedbackEvery); 0 keeps the send-everything
+	// behaviour.
+	StreamWindow int
+	// StreamTotals, when non-nil, accumulates finished streams' data-plane
+	// counters across every association sharing this environment.
+	StreamTotals *spa.Totals
 }
 
 // handler executes MCAM requests against a ServerEnv. One handler serves
-// one association; it owns the association's SPA and selection state.
+// one association; it owns the association's Stream Provider Agent and
+// selection state.
 type handler struct {
 	env *ServerEnv
-	spa *spa
+	spa *spa.Agent
 	// selected tracks the movie opened by Select (MCAM's access model:
 	// control operations address the selected movie).
 	selected string
@@ -43,13 +55,18 @@ type handler struct {
 // lifecycle notifications and must be safe to call from stream goroutines.
 func newHandler(env *ServerEnv, events func(Event)) *handler {
 	h := &handler{env: env, nextID: 1}
-	h.spa = newSPA(env.Dialer, events)
+	h.spa = spa.New(spa.Config{
+		Dialer: env.Dialer,
+		Events: func(e spa.Event) { events(convertEvent(e)) },
+		Window: env.StreamWindow,
+		Totals: env.StreamTotals,
+	})
 	return h
 }
 
 // close releases the association's resources. Safe to call more than once
 // and from goroutines other than the association's own.
-func (h *handler) close() { h.closeOnce.Do(h.spa.drain) }
+func (h *handler) close() { h.closeOnce.Do(h.spa.Drain) }
 
 func fail(req *Request, st Status, format string, args ...any) *Response {
 	return &Response{
@@ -101,17 +118,17 @@ func (h *handler) execute(req *Request) *Response {
 	case OpRecord:
 		return h.record(req)
 	case OpPause:
-		if err := h.spa.pauseStream(req.StreamID); err != nil {
+		if err := h.spa.Pause(req.StreamID); err != nil {
 			return fail(req, StatusStreamError, "%v", err)
 		}
 		return ok(req)
 	case OpResume:
-		if err := h.spa.resumeStream(req.StreamID); err != nil {
+		if err := h.spa.Resume(req.StreamID); err != nil {
 			return fail(req, StatusStreamError, "%v", err)
 		}
 		return ok(req)
 	case OpStop:
-		pos, err := h.spa.stopStream(req.StreamID)
+		pos, err := h.spa.Stop(req.StreamID)
 		if err != nil {
 			return fail(req, StatusStreamError, "%v", err)
 		}
@@ -172,7 +189,7 @@ func (h *handler) selectMovie(req *Request) *Response {
 	}
 	h.selected = m.Name
 	resp := ok(req)
-	resp.Length = int64(len(m.Frames))
+	resp.Length = m.FrameCount()
 	resp.FrameRate = int64(m.FrameRate)
 	return resp
 }
@@ -203,7 +220,7 @@ func (h *handler) query(req *Request) *Response {
 		resp.Attrs = append(resp.Attrs, Attr{Name: k, Value: v})
 	}
 	sortAttrs(resp.Attrs)
-	resp.Length = int64(len(m.Frames))
+	resp.Length = m.FrameCount()
 	resp.FrameRate = int64(m.FrameRate)
 	return resp
 }
@@ -243,12 +260,19 @@ func (h *handler) play(req *Request) *Response {
 		id = h.nextID
 		h.nextID++
 	}
-	if err := h.spa.play(id, req.StreamAddr, m.Frames, m.FrameRate, req.Position, req.Count); err != nil {
+	// The play path is lazy end to end: the movie is opened as a
+	// FrameSource (one chunk window resident for lazy content, no
+	// materialization) and handed to the SPA, which paces it over MTP.
+	if err := h.spa.Play(id, req.StreamAddr, m.Open(), spa.PlayOptions{
+		FrameRate: m.FrameRate,
+		From:      req.Position,
+		Count:     req.Count,
+	}); err != nil {
 		return fail(req, StatusStreamError, "%v", err)
 	}
 	resp := ok(req)
 	resp.StreamID = id
-	resp.Length = int64(len(m.Frames))
+	resp.Length = m.FrameCount()
 	resp.FrameRate = int64(m.FrameRate)
 	return resp
 }
@@ -280,18 +304,26 @@ func (h *handler) record(req *Request) *Response {
 		return fail(req, storeStatus(err), "%v", err)
 	}
 	resp := ok(req)
-	resp.Length = int64(len(m.Frames))
+	resp.Length = m.FrameCount()
 	return resp
 }
 
 func (h *handler) seek(req *Request) *Response {
-	// Seek on an active stream: stop it and report where to restart; the
-	// client issues a new Play from the target position. (MTP streams are
-	// stateless on the wire, so seek = stop + play-from.)
+	// Seek on an active stream is live: the SPA repositions the running
+	// transmission in place and the MTP sync flag resynchronizes the
+	// receiver — no stop/replay round trip.
 	if req.StreamID != 0 {
-		if _, err := h.spa.stopStream(req.StreamID); err != nil {
-			return fail(req, StatusStreamError, "%v", err)
+		err := h.spa.SeekStream(req.StreamID, req.Position)
+		if err == nil {
+			resp := ok(req)
+			resp.Position = req.Position
+			return resp
 		}
+		if !errors.Is(err, spa.ErrNoStream) {
+			return fail(req, StatusBadState, "%v", err)
+		}
+		// Stream already finished: fall through to the stateless
+		// position check so the client can replay from there.
 	}
 	name, errResp := h.target(req)
 	if errResp != nil {
@@ -301,8 +333,8 @@ func (h *handler) seek(req *Request) *Response {
 	if err != nil {
 		return fail(req, storeStatus(err), "%v", err)
 	}
-	if req.Position < 0 || req.Position > int64(len(m.Frames)) {
-		return fail(req, StatusBadState, "position %d outside 0..%d", req.Position, len(m.Frames))
+	if req.Position < 0 || req.Position > m.FrameCount() {
+		return fail(req, StatusBadState, "position %d outside 0..%d", req.Position, m.FrameCount())
 	}
 	resp := ok(req)
 	resp.Position = req.Position

@@ -2,295 +2,50 @@ package mcam
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
-	"xmovie/internal/mtp"
-	"xmovie/internal/netsim"
+	"xmovie/internal/spa"
 )
 
-// StreamDialer opens the MTP packet path from a Stream Provider Agent to
-// the address a client put in its Play request. Implementations: UDPDialer
-// for real sockets, SimNet for in-process simulated paths.
-type StreamDialer interface {
-	DialStream(addr string) (mtp.PacketConn, error)
-}
-
-// UDPDialer dials "host:port" UDP stream addresses.
-type UDPDialer struct{}
-
-var _ StreamDialer = UDPDialer{}
-
-// DialStream implements StreamDialer.
-func (UDPDialer) DialStream(addr string) (mtp.PacketConn, error) {
-	return mtp.DialUDP(addr)
-}
-
-// SimNet is an in-process stream network: clients register a receiving
-// endpoint under a name; the server's SPA dials that name. It substitutes
-// the paper's FDDI segment between server and clients, with per-path
-// shaping via netsim.
-type SimNet struct {
-	mu    sync.Mutex
-	paths map[string]*netsim.Endpoint
-	links []*netsim.Link
-}
-
-var _ StreamDialer = (*SimNet)(nil)
+// The stream machinery lives in internal/spa — the Stream Provider Agent
+// subsystem that owns concurrent stream lifecycles. These aliases keep the
+// historical mcam names working for callers that wire servers together.
+type (
+	// StreamDialer opens the MTP packet path from the server's SPA to the
+	// address a client put in its Play request.
+	StreamDialer = spa.StreamDialer
+	// UDPDialer dials "host:port" UDP stream addresses.
+	UDPDialer = spa.UDPDialer
+	// SimNet is the in-process simulated stream network.
+	SimNet = spa.SimNet
+)
 
 // NewSimNet returns an empty simulated stream network.
-func NewSimNet() *SimNet { return &SimNet{paths: make(map[string]*netsim.Endpoint)} }
+func NewSimNet() *SimNet { return spa.NewSimNet() }
 
-// Listen creates a shaped path named addr and returns the client-side
-// (receiving) endpoint. The server-side endpoint is handed out by
-// DialStream.
-func (n *SimNet) Listen(addr string, toClient netsim.Config) (*netsim.Endpoint, error) {
-	serverEnd, clientEnd, link := netsim.NewLink(toClient, netsim.Config{})
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.paths[addr]; ok {
-		link.Close()
-		return nil, fmt.Errorf("mcam: stream address %q in use", addr)
+// convertEvent maps an SPA lifecycle event onto the MCAM Event PDU. Final
+// transmission counters ride in the detail string, so clients see the
+// adaptive path's decisions (frames dropped, late sends) on the control
+// association.
+func convertEvent(e spa.Event) Event {
+	out := Event{StreamID: e.StreamID, Position: e.Position, Detail: e.Detail}
+	switch e.Kind {
+	case spa.EventStarted:
+		out.Kind = EventStreamStarted
+	case spa.EventProgress:
+		out.Kind = EventStreamProgress
+	case spa.EventCompleted:
+		out.Kind = EventStreamCompleted
+	case spa.EventAborted:
+		out.Kind = EventStreamAborted
 	}
-	n.paths[addr] = serverEnd
-	n.links = append(n.links, link)
-	return clientEnd, nil
-}
-
-// DialStream implements StreamDialer.
-func (n *SimNet) DialStream(addr string) (mtp.PacketConn, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ep, ok := n.paths[addr]
-	if !ok {
-		return nil, fmt.Errorf("mcam: unknown stream address %q", addr)
-	}
-	return ep, nil
-}
-
-// Close tears down all simulated links.
-func (n *SimNet) Close() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, l := range n.links {
-		l.Close()
-	}
-	n.links = nil
-	n.paths = make(map[string]*netsim.Endpoint)
-}
-
-// streamState tracks one active playback in a Stream Provider Agent.
-type streamState struct {
-	id     int64
-	cancel chan struct{} // closed by stop
-	pause  chan struct{} // non-nil when paused; closed by resume
-	mu     sync.Mutex
-	pos    int64
-	done   bool
-}
-
-// spa is the Stream Provider Agent of one MCAM association: it runs paced
-// MTP transmissions and reports lifecycle events.
-type spa struct {
-	dialer StreamDialer
-	events func(Event)
-
-	mu      sync.Mutex
-	streams map[int64]*streamState
-	wg      sync.WaitGroup
-}
-
-func newSPA(dialer StreamDialer, events func(Event)) *spa {
-	return &spa{dialer: dialer, events: events, streams: make(map[int64]*streamState)}
-}
-
-// play starts an asynchronous paced transmission of frames[from:from+count].
-func (s *spa) play(id int64, addr string, frames [][]byte, frameRate int, from, count int64) error {
-	if s.dialer == nil {
-		return fmt.Errorf("mcam: server has no stream dialer")
-	}
-	conn, err := s.dialer.DialStream(addr)
-	if err != nil {
-		return err
-	}
-	if from < 0 || from > int64(len(frames)) {
-		return fmt.Errorf("mcam: play position %d out of range", from)
-	}
-	end := int64(len(frames))
-	if count > 0 && from+count < end {
-		end = from + count
-	}
-	st := &streamState{id: id, cancel: make(chan struct{}), pos: from}
-	s.mu.Lock()
-	if _, dup := s.streams[id]; dup {
-		s.mu.Unlock()
-		return fmt.Errorf("mcam: stream %d already active", id)
-	}
-	s.streams[id] = st
-	s.mu.Unlock()
-
-	s.wg.Add(1)
-	go s.run(st, conn, frames[from:end], frameRate, from)
-	return nil
-}
-
-// run transmits frame by frame so pause/stop take effect at frame
-// granularity. Pacing lives here (not in the per-frame sender calls): each
-// frame departs at start + i*period, with pause time shifting the schedule.
-func (s *spa) run(st *streamState, conn mtp.PacketConn, frames [][]byte, frameRate int, base int64) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.streams, st.id)
-		s.mu.Unlock()
-	}()
-	s.events(Event{Kind: EventStreamStarted, StreamID: st.id, Position: base})
-	cfg := mtp.SenderConfig{StreamID: uint32(st.id), EOSRepeats: -1}
-	var period time.Duration
-	if frameRate > 0 {
-		period = time.Second / time.Duration(frameRate)
-	}
-	start := time.Now()
-	var pausedTotal time.Duration
-	aborted := false
-	for i, frame := range frames {
-		select {
-		case <-st.cancel:
-			aborted = true
-		default:
-		}
-		if aborted {
-			break
-		}
-		st.mu.Lock()
-		pauseCh := st.pause
-		st.mu.Unlock()
-		if pauseCh != nil {
-			pauseStart := time.Now()
-			select {
-			case <-pauseCh: // resumed
-				pausedTotal += time.Since(pauseStart)
-			case <-st.cancel:
-				aborted = true
-			}
-			if aborted {
-				break
-			}
-		}
-		if period > 0 {
-			due := start.Add(time.Duration(i)*period + pausedTotal)
-			if wait := time.Until(due); wait > 0 {
-				timer := time.NewTimer(wait)
-				select {
-				case <-timer.C:
-				case <-st.cancel:
-					timer.Stop()
-					aborted = true
-				}
-				if aborted {
-					break
-				}
-			}
-		}
-		cfg.StartSeq = uint32(base) + uint32(i)
-		if _, err := mtp.SendStream(conn, [][]byte{frame}, cfg); err != nil {
-			s.events(Event{Kind: EventStreamAborted, StreamID: st.id,
-				Position: base + int64(i), Detail: err.Error()})
-			return
-		}
-		st.mu.Lock()
-		st.pos = base + int64(i) + 1
-		st.mu.Unlock()
-	}
-	pos := st.position()
-	// Terminate the stream on the wire.
-	eos := mtp.SenderConfig{StreamID: uint32(st.id), StartSeq: uint32(pos), EOSRepeats: 5}
-	_, _ = mtp.SendStream(conn, nil, eos)
-	if aborted {
-		s.events(Event{Kind: EventStreamAborted, StreamID: st.id, Position: pos, Detail: "stopped"})
-		return
-	}
-	st.mu.Lock()
-	st.done = true
-	st.mu.Unlock()
-	s.events(Event{Kind: EventStreamCompleted, StreamID: st.id, Position: pos})
-}
-
-func (st *streamState) position() int64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.pos
-}
-
-func (s *spa) lookup(id int64) (*streamState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.streams[id]
-	if !ok {
-		return nil, fmt.Errorf("mcam: no active stream %d", id)
-	}
-	return st, nil
-}
-
-// pause suspends a running stream.
-func (s *spa) pauseStream(id int64) error {
-	st, err := s.lookup(id)
-	if err != nil {
-		return err
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.pause == nil {
-		st.pause = make(chan struct{})
-	}
-	return nil
-}
-
-// resume continues a paused stream.
-func (s *spa) resumeStream(id int64) error {
-	st, err := s.lookup(id)
-	if err != nil {
-		return err
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.pause != nil {
-		close(st.pause)
-		st.pause = nil
-	}
-	return nil
-}
-
-// stop cancels a stream.
-func (s *spa) stopStream(id int64) (int64, error) {
-	st, err := s.lookup(id)
-	if err != nil {
-		return 0, err
-	}
-	st.mu.Lock()
-	if st.pause != nil {
-		close(st.pause)
-		st.pause = nil
-	}
-	st.mu.Unlock()
-	select {
-	case <-st.cancel:
-	default:
-		close(st.cancel)
-	}
-	return st.position(), nil
-}
-
-// drain waits for all stream goroutines to finish (shutdown path).
-func (s *spa) drain() {
-	s.mu.Lock()
-	for _, st := range s.streams {
-		select {
-		case <-st.cancel:
-		default:
-			close(st.cancel)
+	if e.Stats != nil {
+		summary := fmt.Sprintf("sent=%d dropped=%d late=%d bytes=%d",
+			e.Stats.Sent, e.Stats.Dropped, e.Stats.Late, e.Stats.Bytes)
+		if out.Detail == "" {
+			out.Detail = summary
+		} else {
+			out.Detail += "; " + summary
 		}
 	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	return out
 }

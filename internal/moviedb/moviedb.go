@@ -64,7 +64,32 @@ type Movie struct {
 	Format    Format
 	FrameRate int // frames per second
 	Attrs     Attributes
-	Frames    [][]byte
+	// Frames holds materialized frame payloads. For lazy movies (Content
+	// non-nil) it stays nil; the data plane reads through Open either way.
+	Frames [][]byte
+	// Content, when non-nil, is the movie's lazy frame payload; it takes
+	// precedence over Frames. Content values are immutable and shared
+	// between the store and the copies Get hands out.
+	Content Content
+}
+
+// FrameCount returns the number of stored frames, materialized or lazy.
+func (m *Movie) FrameCount() int64 {
+	if m.Content != nil {
+		return m.Content.Len()
+	}
+	return int64(len(m.Frames))
+}
+
+// Open returns a fresh FrameSource over the movie's content, positioned at
+// frame 0. Every open is independent, so many streams can play the same
+// movie concurrently; lazy movies materialize at most one chunk window per
+// source.
+func (m *Movie) Open() FrameSource {
+	if m.Content != nil {
+		return m.Content.Open()
+	}
+	return SliceContent(m.Frames).Open()
 }
 
 // Duration returns the playing time in whole milliseconds.
@@ -72,13 +97,16 @@ func (m *Movie) DurationMillis() int64 {
 	if m.FrameRate <= 0 {
 		return 0
 	}
-	return int64(len(m.Frames)) * 1000 / int64(m.FrameRate)
+	return m.FrameCount() * 1000 / int64(m.FrameRate)
 }
 
 // Errors returned by stores.
 var (
 	ErrNotFound = errors.New("moviedb: no such movie")
 	ErrExists   = errors.New("moviedb: movie already exists")
+	// ErrLazyContent reports an append to a movie whose frames are served
+	// by a lazy generator rather than materialized storage.
+	ErrLazyContent = errors.New("moviedb: cannot append frames to lazy content")
 )
 
 // Store is a movie repository.
@@ -193,6 +221,9 @@ func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
 	m, ok := s.movies[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if m.Content != nil {
+		return fmt.Errorf("%w: %s", ErrLazyContent, name)
 	}
 	for _, f := range frames {
 		cp := make([]byte, len(f))

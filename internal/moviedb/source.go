@@ -1,0 +1,98 @@
+package moviedb
+
+import (
+	"fmt"
+	"io"
+)
+
+// FrameSource is a lazy, bounded-memory iterator over a movie's frames —
+// the unit the data plane streams from. A Stream Provider Agent pulls one
+// frame at a time; sources materialize at most a small chunk window, so a
+// feature-length movie never has to exist in memory as a whole.
+//
+// Sources are single-consumer: one source drives one stream. Open a movie
+// again for a second concurrent stream.
+type FrameSource interface {
+	// Len returns the total number of frames.
+	Len() int64
+	// Pos returns the index of the frame the next Next call will return.
+	Pos() int64
+	// Next returns the next frame and advances the position, or io.EOF
+	// when the movie is exhausted.
+	//
+	// The returned slice is only valid until the next Next, Seek or Close
+	// call on the same source — sources recycle their chunk buffers, so a
+	// consumer that keeps frame data must copy it. (This is the same
+	// lifetime contract the MTP layer imposes end to end.)
+	Next() ([]byte, error)
+	// Seek repositions the source so the next Next returns frame pos.
+	// pos == Len() is valid and makes the next Next return io.EOF.
+	SeekTo(pos int64) error
+	// Close releases the source's buffers. The source must not be used
+	// afterwards.
+	Close() error
+}
+
+// Content is a movie's frame payload: either materialized frames
+// (SliceContent) or a lazy generator (SynthContent). Implementations are
+// immutable after creation and safe to Open concurrently.
+type Content interface {
+	// Len returns the total number of frames.
+	Len() int64
+	// Open returns a fresh FrameSource positioned at frame 0.
+	Open() FrameSource
+}
+
+// SliceContent adapts materialized frames to Content — the thin adapter
+// that keeps the historical [][]byte movie representation working on the
+// lazy play path.
+type SliceContent [][]byte
+
+var _ Content = SliceContent(nil)
+
+// Len implements Content.
+func (c SliceContent) Len() int64 { return int64(len(c)) }
+
+// Open implements Content.
+func (c SliceContent) Open() FrameSource { return &sliceSource{frames: c} }
+
+// sliceSource iterates over already-materialized frames. Next hands out
+// the stored frame directly (the memory already exists; copying it would
+// only add cost), so the slices it returns outlive the source — a strictly
+// weaker demand on consumers than the FrameSource contract requires.
+type sliceSource struct {
+	frames [][]byte
+	pos    int64
+}
+
+func (s *sliceSource) Len() int64 { return int64(len(s.frames)) }
+func (s *sliceSource) Pos() int64 { return s.pos }
+
+func (s *sliceSource) Next() ([]byte, error) {
+	if s.pos >= int64(len(s.frames)) {
+		return nil, io.EOF
+	}
+	f := s.frames[s.pos]
+	s.pos++
+	return f, nil
+}
+
+func (s *sliceSource) SeekTo(pos int64) error {
+	if pos < 0 || pos > int64(len(s.frames)) {
+		return fmt.Errorf("moviedb: seek to %d outside 0..%d", pos, len(s.frames))
+	}
+	s.pos = pos
+	return nil
+}
+
+func (s *sliceSource) Close() error {
+	s.frames = nil
+	return nil
+}
+
+// ResidentReporter is implemented by sources that can report the peak
+// size in bytes of their resident frame buffers. Tests use it to assert
+// the chunk-window memory bound on the play path.
+type ResidentReporter interface {
+	MaxResident() int
+}

@@ -34,6 +34,20 @@ const (
 	FlagEOS byte = 1 << 0
 	// FlagKey marks an independently decodable frame.
 	FlagKey byte = 1 << 1
+	// FlagFB marks a receiver→sender feedback packet; the payload is a
+	// Feedback report (see stream.go), never media data.
+	FlagFB byte = 1 << 2
+	// FlagSync marks a deliberate sequence discontinuity: the receiver
+	// resynchronizes its expected sequence number to this packet instead
+	// of counting the gap as loss. Senders set it on the first frame of a
+	// stream that does not start at sequence 0 and on the first frame
+	// after a seek.
+	FlagSync byte = 1 << 3
+	// FlagSkip marks the gap before this packet as sender-intentional:
+	// the preceding sequence numbers were consumed by adaptive frame
+	// dropping and will never be sent. The receiver accounts them as lost
+	// immediately instead of waiting for the reorder window to give up.
+	FlagSkip byte = 1 << 4
 )
 
 // Packet is one MTP datagram.
@@ -99,9 +113,19 @@ func Unmarshal(data []byte) (*Packet, error) {
 // UDP socket, or anything message-oriented and unreliable.
 //
 // Send must not retain p after it returns (senders reuse their marshal
-// buffer); Recv's result is only guaranteed valid until the next Recv call
-// on the same conn (receivers may reuse one receive buffer).
+// buffer; receivers reuse one feedback marshal buffer across reports);
+// Recv's result is only guaranteed valid until the next Recv call on the
+// same conn (receivers may reuse one receive buffer).
 type PacketConn interface {
 	Send(p []byte) error
 	Recv() ([]byte, error)
+}
+
+// TryRecver is an optional PacketConn extension: a non-blocking receive.
+// The stream sender polls it for receiver feedback between frame sends, so
+// no dedicated reader goroutine is needed. The netsim endpoint and the UDP
+// conns implement it; the result obeys the same lifetime rule as Recv
+// (valid until the next Recv/TryRecv on the conn).
+type TryRecver interface {
+	TryRecv() ([]byte, bool)
 }

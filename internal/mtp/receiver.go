@@ -29,7 +29,12 @@ type RecvStats struct {
 	// JitterMicro is the RFC-3550-style smoothed interarrival jitter
 	// estimate, in microseconds.
 	JitterMicro int64
-	Elapsed     time.Duration
+	// Resyncs counts deliberate sequence discontinuities (FlagSync): seeks
+	// and non-zero stream starts, which are not loss.
+	Resyncs int
+	// FeedbackSent counts the feedback reports emitted toward the sender.
+	FeedbackSent int
+	Elapsed      time.Duration
 }
 
 // DeliveryRatio returns delivered / (delivered + lost).
@@ -48,6 +53,12 @@ type ReceiverConfig struct {
 	Window int
 	// ExpectedStreamID, when nonzero, discards packets of other streams.
 	ExpectedStreamID uint32
+	// FeedbackEvery, when > 0, sends a Feedback report back through conn
+	// after every FeedbackEvery delivered frames (and once at EOS): the
+	// receiver side of MTP's credit-based adaptive delivery. The report is
+	// marshalled into a buffer reused across sends, so conn.Send must not
+	// retain it (the standard PacketConn contract). 0 disables feedback.
+	FeedbackEvery int
 }
 
 // packetPool recycles reorder-buffer packets (struct + payload backing
@@ -86,10 +97,55 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 	next := uint32(0)
 	pending := make(map[uint32]*Packet)
 	eosSeq := int64(-1)
+	// syncBase remembers the last resync target so reordered duplicates of
+	// one FlagSync burst (the sender marks syncRepeats consecutive frames)
+	// do not trigger a second, backward resync.
+	syncBase := int64(-1)
 
 	var lastArrival time.Time
 	var lastTS uint64
 	haveLast := false
+
+	// Feedback: reports are marshalled into one buffer reused across
+	// sends — conn.Send must not retain it (PacketConn contract).
+	var fbBuf []byte
+	var fbSeq uint32
+	lastFBProgress := 0
+	streamID := cfg.ExpectedStreamID
+	sendFeedback := func() {
+		if cfg.FeedbackEvery <= 0 {
+			return
+		}
+		fb := Feedback{
+			NextSeq:   next,
+			Delivered: uint32(stats.Delivered),
+			Lost:      uint32(stats.Lost),
+			Window:    uint32(cfg.Window),
+		}
+		p := Packet{Flags: FlagFB, StreamID: streamID, Seq: fbSeq}
+		fbSeq++
+		var err error
+		fbBuf, err = p.Marshal(fbBuf[:0])
+		if err != nil {
+			return
+		}
+		fbBuf = fb.appendPayload(fbBuf)
+		if conn.Send(fbBuf) == nil {
+			stats.FeedbackSent++
+		}
+	}
+	// maybeFeedback reports after every FeedbackEvery frames of progress —
+	// delivered or declared lost, so feedback keeps flowing (and keeps
+	// granting credit) even when the sender is dropping heavily.
+	maybeFeedback := func() {
+		if cfg.FeedbackEvery <= 0 {
+			return
+		}
+		if progress := stats.Delivered + stats.Lost; progress-lastFBProgress >= cfg.FeedbackEvery {
+			lastFBProgress = progress
+			sendFeedback()
+		}
+	}
 
 	deliverPacket := func(p *Packet) {
 		if deliver != nil {
@@ -134,17 +190,54 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 		if cfg.ExpectedStreamID != 0 && p.StreamID != cfg.ExpectedStreamID {
 			continue
 		}
+		if p.Flags&FlagFB != 0 {
+			// Feedback travels receiver→sender; one seen here (a looped
+			// or misdirected report) is not media data.
+			continue
+		}
+		streamID = p.StreamID
 		arrival := time.Now()
 		if p.Flags&FlagEOS != 0 {
 			if eosSeq < 0 || int64(p.Seq) < eosSeq {
 				eosSeq = int64(p.Seq)
 			}
+			if p.Flags&FlagSync != 0 && int64(next) != eosSeq {
+				// The jump to EOS is deliberate (a seek straight to the
+				// end): deliver what arrived, count nothing as lost.
+				flushUpTo(uint32(eosSeq), pending, &stats, deliverPacket, &next, false)
+				stats.Resyncs++
+			}
 			// Everything before EOS that never arrived is lost.
 			if int64(next) < eosSeq {
-				flushUpTo(uint32(eosSeq), pending, &stats, deliverPacket, &next)
+				flushUpTo(uint32(eosSeq), pending, &stats, deliverPacket, &next, true)
 			}
+			sendFeedback()
 			stats.Elapsed = time.Since(start)
 			return stats, nil
+		}
+		if p.Flags&FlagSync != 0 && p.Seq != next {
+			// Deliberate discontinuity (seek, or a stream starting past
+			// zero): resynchronize instead of accounting loss, and drop
+			// whatever the reorder buffer held from before the jump —
+			// unless this packet is a reordered member of the burst we
+			// already resynchronized on.
+			d := int64(p.Seq) - syncBase
+			inBurst := syncBase >= 0 && d > -syncRepeats && d < syncRepeats
+			if !inBurst {
+				for seq, bp := range pending {
+					delete(pending, seq)
+					releasePacket(bp)
+				}
+				next = p.Seq
+				syncBase = int64(p.Seq)
+				stats.Resyncs++
+			}
+		}
+		if p.Flags&FlagSkip != 0 && int32(p.Seq-next) > 0 {
+			// The gap below this packet is sender-intentional (adaptive
+			// dropping): deliver whatever the reorder buffer holds below
+			// it, account the holes as lost, and move on at once.
+			flushUpTo(p.Seq, pending, &stats, deliverPacket, &next, true)
 		}
 		stats.Received++
 		// Interarrival jitter (RFC 3550 §6.4.1 form).
@@ -182,30 +275,37 @@ func ReceiveStream(conn PacketConn, cfg ReceiverConfig, deliver func(Frame)) (Re
 		default: // p.Seq < next
 			stats.Duplicates++
 		}
+		maybeFeedback()
 	}
 }
 
-// flushUpTo delivers buffered packets below the EOS sequence, counting the
-// holes as lost.
-func flushUpTo(eos uint32, pending map[uint32]*Packet, stats *RecvStats, deliverPacket func(*Packet), next *uint32) {
+// flushUpTo delivers buffered packets below the given sequence in order
+// and advances next to it. countLost books the holes as loss (EOS and
+// drop-gap handling); a sync-driven flush passes false — the gap was a
+// deliberate jump, not loss.
+func flushUpTo(upTo uint32, pending map[uint32]*Packet, stats *RecvStats, deliverPacket func(*Packet), next *uint32, countLost bool) {
 	keys := make([]uint32, 0, len(pending))
 	for k := range pending {
-		if k < eos {
+		if k < upTo {
 			keys = append(keys, k)
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
-		stats.Lost += int(k - *next)
+		if countLost {
+			stats.Lost += int(k - *next)
+		}
 		p := pending[k]
 		delete(pending, k)
 		deliverPacket(p)
 		releasePacket(p)
 		*next = k + 1
 	}
-	if *next < eos {
-		stats.Lost += int(eos - *next)
-		*next = eos
+	if *next < upTo {
+		if countLost {
+			stats.Lost += int(upTo - *next)
+		}
+		*next = upTo
 	}
 }
 

@@ -1,0 +1,501 @@
+package mtp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FrameSource is the lazy frame iterator the stream sender pulls from — a
+// structural subset of moviedb.FrameSource, so movie-database sources plug
+// in directly without mtp depending on the database layer.
+//
+// Next's result is only valid until the next Next/Seek call (sources
+// recycle chunk buffers); the sender marshals each frame into its own wire
+// buffer before pulling the next, so the contract composes with
+// PacketConn's.
+type FrameSource interface {
+	// Len returns the total number of frames.
+	Len() int64
+	// Pos returns the index of the frame the next Next call will return.
+	Pos() int64
+	// Next returns the next frame, or io.EOF when exhausted.
+	Next() ([]byte, error)
+	// Seek repositions the source to frame pos.
+	SeekTo(pos int64) error
+}
+
+// Feedback is the receiver→sender report carried in FlagFB packets: the
+// receiver's cumulative progress and its credit grant. It is MTP's only
+// upstream traffic — a few octets every FeedbackEvery frames — and it
+// never triggers retransmission; the sender uses it solely to decide which
+// frames not to send (XMovie-style rate adaptation: late video is worse
+// than lost video).
+//
+// Buffer lifetime: feedback packets obey the PacketConn contract like any
+// other packet. The receiver marshals reports into one buffer reused
+// across sends (conn.Send must not retain it), and the sender parses them
+// in place out of TryRecv's buffer (valid only until the next receive), so
+// neither side allocates per report.
+type Feedback struct {
+	// NextSeq is the receiver's next expected in-order sequence number —
+	// cumulative progress in sequence space.
+	NextSeq uint32
+	// Delivered and Lost are the receiver's running frame counters.
+	Delivered uint32
+	Lost      uint32
+	// Window is the receiver's credit grant: how many packets beyond
+	// NextSeq it is prepared to absorb.
+	Window uint32
+}
+
+// feedbackSize is the fixed FlagFB payload length.
+const feedbackSize = 16
+
+// syncRepeats is how many consecutive transmitted frames carry FlagSync
+// after a discontinuity, so the announcement survives loss like the EOS
+// marker does. The receiver uses the same constant to recognize reordered
+// members of one burst and not resync twice.
+const syncRepeats = 3
+
+// appendFeedbackPayload writes the 16-octet feedback encoding.
+func (fb *Feedback) appendPayload(dst []byte) []byte {
+	var b [feedbackSize]byte
+	binary.BigEndian.PutUint32(b[0:], fb.NextSeq)
+	binary.BigEndian.PutUint32(b[4:], fb.Delivered)
+	binary.BigEndian.PutUint32(b[8:], fb.Lost)
+	binary.BigEndian.PutUint32(b[12:], fb.Window)
+	return append(dst, b[:]...)
+}
+
+// ParseFeedback decodes a FlagFB packet's payload in place. It reads from
+// the packet's payload (which aliases the conn's receive buffer) and
+// copies everything it needs into the returned struct, so the result
+// outlives the buffer.
+func ParseFeedback(p *Packet) (Feedback, bool) {
+	if p.Flags&FlagFB == 0 || len(p.Payload) < feedbackSize {
+		return Feedback{}, false
+	}
+	return Feedback{
+		NextSeq:   binary.BigEndian.Uint32(p.Payload[0:]),
+		Delivered: binary.BigEndian.Uint32(p.Payload[4:]),
+		Lost:      binary.BigEndian.Uint32(p.Payload[8:]),
+		Window:    binary.BigEndian.Uint32(p.Payload[12:]),
+	}, true
+}
+
+// StreamConfig tunes one StreamSender.
+type StreamConfig struct {
+	StreamID uint32
+	// FrameRate paces transmission; 0 sends as fast as possible.
+	FrameRate int
+	// EOSRepeats re-sends the end-of-stream marker to survive loss
+	// (0 = 3; negative suppresses EOS).
+	EOSRepeats int
+	// Window enables credit-based adaptive delivery: the sender keeps at
+	// most Window transmitted frames unacknowledged by receiver feedback
+	// (capped further by the receiver's own credit grant once reported).
+	// A frame whose send slot arrives with no credit — or that is already
+	// more than one period overdue — is dropped (its sequence number is
+	// consumed, so the receiver accounts it as lost) instead of being
+	// sent late. 0 disables adaptation: every frame is sent.
+	//
+	// Window > 0 assumes the receiver emits feedback
+	// (ReceiverConfig.FeedbackEvery); lost or absent feedback shrinks the
+	// sender's view of its credit, which is exactly the congestion signal
+	// that triggers dropping.
+	Window int
+	// Sleep substitutes the pacing wait (tests); nil uses a stoppable
+	// timer wait.
+	Sleep func(time.Duration)
+}
+
+// StreamStats summarizes one stream transmission, including the adaptive
+// path's decisions.
+type StreamStats struct {
+	// Sent counts frames actually transmitted; Dropped counts frames the
+	// adaptive path skipped (no credit, or overdue). Sent + Dropped is the
+	// number of frames consumed from the source.
+	Sent    int
+	Dropped int
+	// Late counts transmitted frames that left more than one period past
+	// their deadline.
+	Late  int
+	Bytes int64
+	// Feedback counts receiver reports processed.
+	Feedback int
+	// Pos is the source position reached (next frame index).
+	Pos int64
+	// Done reports normal completion (EOF reached, not stopped/errored).
+	Done    bool
+	Elapsed time.Duration
+}
+
+// StreamSender transmits a FrameSource over MTP with live control: it can
+// be paused, resumed, repositioned and stopped from other goroutines while
+// Run is in flight, and it adapts its delivery to receiver feedback. It is
+// the transmission engine a Stream Provider Agent drives — one sender per
+// stream.
+type StreamSender struct {
+	conn PacketConn
+	cfg  StreamConfig
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	mu       sync.Mutex
+	paused   bool
+	resumeCh chan struct{} // non-nil while paused; closed by Resume/Stop
+	seekTo   int64         // pending reposition; -1 when none
+	fbNext   uint32        // latest receiver progress (next expected seq)
+	fbWindow uint32        // latest receiver credit grant (0 = none seen)
+	stats    StreamStats
+}
+
+// NewStreamSender prepares a sender; Run performs the transmission.
+func NewStreamSender(conn PacketConn, cfg StreamConfig) *StreamSender {
+	switch {
+	case cfg.EOSRepeats == 0:
+		cfg.EOSRepeats = 3
+	case cfg.EOSRepeats < 0:
+		cfg.EOSRepeats = 0
+	}
+	return &StreamSender{conn: conn, cfg: cfg, stopCh: make(chan struct{}), seekTo: -1}
+}
+
+// Pause suspends transmission at frame granularity. Idempotent.
+func (s *StreamSender) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.paused {
+		s.paused = true
+		s.resumeCh = make(chan struct{})
+	}
+}
+
+// Resume continues a paused transmission; paused time shifts the pacing
+// schedule rather than producing a burst of "late" frames. Idempotent.
+func (s *StreamSender) Resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resumeLocked()
+}
+
+func (s *StreamSender) resumeLocked() {
+	if s.paused {
+		s.paused = false
+		close(s.resumeCh)
+		s.resumeCh = nil
+	}
+}
+
+// Seek schedules a live reposition: the stream continues from frame pos
+// without restarting, and the first frame sent afterwards carries FlagSync
+// so the receiver resynchronizes instead of counting the jump as loss.
+// The position is validated against the source when the loop picks it up.
+func (s *StreamSender) SeekTo(pos int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seekTo = pos
+}
+
+// Stop aborts the transmission; Run returns after terminating the stream
+// on the wire. Safe to call from any goroutine, idempotent.
+func (s *StreamSender) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resumeLocked() // a paused stream must observe the stop
+}
+
+// Position returns the source position reached so far.
+func (s *StreamSender) Position() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Pos
+}
+
+// Stats returns a snapshot of the transmission counters.
+func (s *StreamSender) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// wait sleeps for d or until Stop; it reports false when stopped.
+func (s *StreamSender) wait(d time.Duration) bool {
+	if s.cfg.Sleep != nil {
+		s.cfg.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-s.stopCh:
+		return false
+	}
+}
+
+// stopped reports whether Stop was called.
+func (s *StreamSender) stopped() bool {
+	select {
+	case <-s.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainFeedback consumes any pending receiver reports without blocking.
+func (s *StreamSender) drainFeedback(tr TryRecver) {
+	var p Packet
+	for {
+		data, ok := tr.TryRecv()
+		if !ok {
+			return
+		}
+		if p.Unmarshal(data) != nil || p.Flags&FlagFB == 0 || p.StreamID != s.cfg.StreamID {
+			continue
+		}
+		fb, ok := ParseFeedback(&p)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		// Sequence space is monotone within a stream segment, but a seek
+		// moves it arbitrarily; accept the newest report unconditionally
+		// and let the credit check clamp negative spans.
+		s.fbNext = fb.NextSeq
+		s.fbWindow = fb.Window
+		s.stats.Feedback++
+		s.mu.Unlock()
+	}
+}
+
+// Run transmits src until EOF, Stop, or a conn error, honouring
+// pause/resume/seek and — when cfg.Window > 0 — receiver credit. It blocks
+// for the stream's duration; control methods are called from other
+// goroutines. The source is advanced in place; Seq equals source frame
+// index throughout, so StartSeq-style resumption is just opening the
+// source at the right position.
+func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
+	var period time.Duration
+	if s.cfg.FrameRate > 0 {
+		period = time.Second / time.Duration(s.cfg.FrameRate)
+	}
+	tr, _ := s.conn.(TryRecver)
+
+	bufp := sendBufPool.Get().(*[]byte)
+	buf := *bufp
+	defer func() {
+		*bufp = buf[:0]
+		sendBufPool.Put(bufp)
+	}()
+
+	start := time.Now()
+	var pausedTotal time.Duration
+	var slot int64 // pacing slot index since the current epoch
+	// A sequence discontinuity is announced on the next syncRepeats
+	// transmitted frames, not just one: FlagSync is what keeps a seek from
+	// being misread as loss, so it must survive a lossy path the same way
+	// the EOS marker does (only the first arrival resynchronizes; the
+	// rest are in-order no-ops at the receiver).
+	syncLeft := 0
+	if src.Pos() != 0 {
+		syncLeft = syncRepeats
+	}
+	// inflight tracks the sequence numbers actually transmitted and not
+	// yet covered by receiver feedback — dropped frames consume sequence
+	// space but no credit. skipPending marks that the next transmitted
+	// frame follows a drop gap.
+	var inflight []uint32
+	if s.cfg.Window > 0 {
+		inflight = make([]uint32, 0, s.cfg.Window)
+	}
+	skipPending := false
+	s.mu.Lock()
+	s.stats.Pos = src.Pos()
+	s.fbNext = uint32(src.Pos())
+	s.mu.Unlock()
+
+	finish := func(err error) (StreamStats, error) {
+		// Terminate the stream on the wire even when aborted, so the
+		// receiver does not wait for frames that will never come. A
+		// not-yet-announced discontinuity (a seek straight to EOF sends
+		// no further data frame) rides on the EOS markers as FlagSync, so
+		// the receiver ends cleanly instead of booking the jump as loss.
+		pos := src.Pos()
+		flags := FlagEOS
+		if syncLeft > 0 {
+			flags |= FlagSync
+		}
+		for i := 0; i < s.cfg.EOSRepeats; i++ {
+			p := Packet{StreamID: s.cfg.StreamID, Seq: uint32(pos), Flags: flags}
+			var merr error
+			buf, merr = p.Marshal(buf[:0])
+			if merr == nil {
+				if serr := s.conn.Send(buf); serr != nil && err == nil {
+					err = fmt.Errorf("mtp: send EOS: %w", serr)
+					break
+				}
+			}
+		}
+		s.mu.Lock()
+		s.stats.Pos = pos
+		s.stats.Elapsed = time.Since(start)
+		s.stats.Done = err == nil && !s.stopped()
+		st := s.stats
+		s.mu.Unlock()
+		return st, err
+	}
+
+	for {
+		if s.stopped() {
+			return finish(nil)
+		}
+		// Pause: block until resumed or stopped; paused time shifts the
+		// schedule.
+		s.mu.Lock()
+		resumeCh := s.resumeCh
+		s.mu.Unlock()
+		if resumeCh != nil {
+			pauseStart := time.Now()
+			select {
+			case <-resumeCh:
+				pausedTotal += time.Since(pauseStart)
+			case <-s.stopCh:
+				return finish(nil)
+			}
+			continue
+		}
+		// Seek: reposition the source and restart the pacing epoch. The
+		// next frame out carries FlagSync.
+		s.mu.Lock()
+		seekTo := s.seekTo
+		s.seekTo = -1
+		s.mu.Unlock()
+		if seekTo >= 0 {
+			if err := src.SeekTo(seekTo); err != nil {
+				return finish(fmt.Errorf("mtp: seek: %w", err))
+			}
+			start = time.Now()
+			slot = 0
+			pausedTotal = 0
+			syncLeft = syncRepeats
+			// The sync covers any drop gap, and the old in-flight frames
+			// belong to the abandoned segment.
+			skipPending = false
+			inflight = inflight[:0]
+			s.mu.Lock()
+			s.stats.Pos = seekTo
+			s.fbNext = uint32(seekTo)
+			s.mu.Unlock()
+		}
+
+		pos := src.Pos()
+		frame, err := src.Next()
+		if err == io.EOF {
+			return finish(nil)
+		}
+		if err != nil {
+			return finish(fmt.Errorf("mtp: frame source: %w", err))
+		}
+
+		// Pacing: frame slot departs at epoch + slot*period (+ pause).
+		overdue := time.Duration(0)
+		if period > 0 {
+			due := start.Add(time.Duration(slot)*period + pausedTotal)
+			now := time.Now()
+			if wait := due.Sub(now); wait > 0 {
+				if !s.wait(wait) {
+					return finish(nil)
+				}
+			} else {
+				overdue = now.Sub(due)
+			}
+		}
+		slot++
+
+		if tr != nil {
+			s.drainFeedback(tr)
+		}
+
+		// Adaptive delivery: with a window configured, at most Window
+		// transmitted frames may be unacknowledged by feedback. A frame
+		// whose slot arrives with the window full — or already a full
+		// period overdue — is dropped: its sequence number is consumed
+		// (the next transmitted frame carries FlagSkip so the receiver
+		// jumps the gap and accounts it as lost) but no credit is, so
+		// congestion throttles transmission without wedging it.
+		if s.cfg.Window > 0 {
+			s.mu.Lock()
+			fbNext, fbWindow := s.fbNext, s.fbWindow
+			s.mu.Unlock()
+			k := 0
+			for _, q := range inflight {
+				if int32(q-fbNext) >= 0 {
+					inflight[k] = q
+					k++
+				}
+			}
+			inflight = inflight[:k]
+			// The effective window is the configured one capped by the
+			// receiver's credit grant, once it has reported one.
+			window := s.cfg.Window
+			if fbWindow > 0 && int(fbWindow) < window {
+				window = int(fbWindow)
+			}
+			if len(inflight) >= window || (period > 0 && overdue > period) {
+				skipPending = true
+				s.mu.Lock()
+				s.stats.Dropped++
+				s.stats.Pos = pos + 1
+				s.mu.Unlock()
+				continue
+			}
+		}
+		if period > 0 && overdue > period {
+			s.mu.Lock()
+			s.stats.Late++
+			s.mu.Unlock()
+		}
+
+		var tsMicro uint64
+		if s.cfg.FrameRate > 0 {
+			tsMicro = uint64(pos) * uint64(time.Second/time.Microsecond) / uint64(s.cfg.FrameRate)
+		}
+		p := Packet{
+			StreamID: s.cfg.StreamID,
+			Seq:      uint32(pos),
+			TSMicro:  tsMicro,
+			Payload:  frame,
+		}
+		if syncLeft > 0 {
+			p.Flags |= FlagSync
+			syncLeft--
+		}
+		if skipPending {
+			p.Flags |= FlagSkip
+			skipPending = false
+		}
+		buf, err = p.Marshal(buf[:0])
+		if err != nil {
+			return finish(err)
+		}
+		if err := s.conn.Send(buf); err != nil {
+			return finish(fmt.Errorf("mtp: send seq %d: %w", pos, err))
+		}
+		if s.cfg.Window > 0 {
+			inflight = append(inflight, uint32(pos))
+		}
+		s.mu.Lock()
+		s.stats.Sent++
+		s.stats.Bytes += int64(len(frame))
+		s.stats.Pos = pos + 1
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,26 @@
+//go:build !unix
+
+package mtp
+
+import (
+	"net"
+	"time"
+)
+
+// tryRecvUDP has no non-blocking recv on this platform; approximate it
+// with a one-millisecond read deadline. Buffered datagrams return
+// immediately; an empty socket costs at most the deadline, which only
+// slightly loosens pacing — crucially, credit-based adaptation keeps
+// working, it never silently starves. (An already-expired deadline would
+// not do: Go fails such reads even when data is queued.)
+func tryRecvUDP(c *net.UDPConn, buf []byte) (int, bool) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+		return 0, false
+	}
+	n, err := c.Read(buf)
+	_ = c.SetReadDeadline(time.Time{})
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}

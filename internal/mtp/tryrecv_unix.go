@@ -1,0 +1,29 @@
+//go:build unix
+
+package mtp
+
+import (
+	"net"
+	"syscall"
+)
+
+// tryRecvUDP performs one non-blocking datagram read on a UDP socket: the
+// kernel is asked with MSG_DONTWAIT, so an empty socket buffer returns
+// immediately instead of blocking (a read deadline cannot do this — an
+// already-expired deadline fails the read even when data is queued).
+func tryRecvUDP(c *net.UDPConn, buf []byte) (int, bool) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return 0, false
+	}
+	n, ok := 0, false
+	rerr := rc.Read(func(fd uintptr) bool {
+		var err error
+		n, _, err = syscall.Recvfrom(int(fd), buf, syscall.MSG_DONTWAIT)
+		ok = err == nil && n > 0
+		// One attempt only: returning true tells the runtime we are done
+		// whether or not data was available.
+		return true
+	})
+	return n, ok && rerr == nil
+}

@@ -63,6 +63,19 @@ func (u *UDPConn) Recv() ([]byte, error) {
 	return u.buf[:n], nil
 }
 
+// TryRecv implements TryRecver: a genuinely non-blocking datagram read
+// (MSG_DONTWAIT on unix; always empty elsewhere, which just disables
+// feedback-driven adaptation), so stream senders can poll for receiver
+// feedback between frames without a reader goroutine. The result aliases
+// the conn's receive buffer.
+func (u *UDPConn) TryRecv() ([]byte, bool) {
+	n, ok := tryRecvUDP(u.c, u.buf)
+	if !ok || n == 0 {
+		return nil, false
+	}
+	return u.buf[:n], true
+}
+
 // Close releases the socket.
 func (u *UDPConn) Close() error { return u.c.Close() }
 

@@ -1,0 +1,369 @@
+// Package spa implements the Stream Provider Agent — the server-side
+// entity of the paper's data plane (Fig. 2) that ships movie frames over
+// MTP while the MCAM control agents only negotiate.
+//
+// An Agent owns the concurrent stream lifecycles of one association:
+// start, pause, resume, live seek, stop, per-stream statistics and a
+// graceful drain. Each stream pulls frames from a lazy FrameSource (one
+// chunk window resident, never the whole movie) and pushes them through an
+// mtp.StreamSender, which paces transmission and adapts to receiver
+// feedback by dropping frames under congestion — XMovie's rate-adaptive
+// delivery.
+package spa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xmovie/internal/mtp"
+)
+
+// ErrNoStream reports a control operation addressing a stream that is not
+// (or no longer) active.
+var ErrNoStream = errors.New("spa: no active stream")
+
+// EventKind classifies stream lifecycle notifications.
+type EventKind int
+
+// Stream event kinds, mirrored onto the MCAM Event PDU by the control
+// layer.
+const (
+	EventStarted EventKind = iota + 1
+	EventProgress
+	EventCompleted
+	EventAborted
+)
+
+// Event is a stream lifecycle notification. Events fire on the stream's
+// own goroutine; handlers must be safe for that and must not block.
+type Event struct {
+	Kind     EventKind
+	StreamID int64
+	Position int64
+	Detail   string
+	// Stats carries the final transmission counters on Completed and
+	// Aborted events (nil otherwise).
+	Stats *mtp.StreamStats
+}
+
+// Totals aggregates stream outcomes across agents — the server-wide
+// data-plane counters a load harness or operator reads. All fields are
+// updated atomically as streams finish.
+type Totals struct {
+	Streams  int64
+	Frames   int64 // frames transmitted
+	Dropped  int64 // frames skipped by adaptive delivery
+	Late     int64
+	Bytes    int64
+	Feedback int64 // receiver reports processed
+}
+
+func (t *Totals) add(st mtp.StreamStats) {
+	atomic.AddInt64(&t.Streams, 1)
+	atomic.AddInt64(&t.Frames, int64(st.Sent))
+	atomic.AddInt64(&t.Dropped, int64(st.Dropped))
+	atomic.AddInt64(&t.Late, int64(st.Late))
+	atomic.AddInt64(&t.Bytes, st.Bytes)
+	atomic.AddInt64(&t.Feedback, int64(st.Feedback))
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (t *Totals) Snapshot() Totals {
+	return Totals{
+		Streams:  atomic.LoadInt64(&t.Streams),
+		Frames:   atomic.LoadInt64(&t.Frames),
+		Dropped:  atomic.LoadInt64(&t.Dropped),
+		Late:     atomic.LoadInt64(&t.Late),
+		Bytes:    atomic.LoadInt64(&t.Bytes),
+		Feedback: atomic.LoadInt64(&t.Feedback),
+	}
+}
+
+// Config assembles an Agent.
+type Config struct {
+	// Dialer opens MTP packet paths to stream addresses. Required for
+	// Play to succeed.
+	Dialer StreamDialer
+	// Events receives lifecycle notifications; nil disables them.
+	Events func(Event)
+	// Window is the default adaptive-delivery window applied to plays
+	// that do not set their own (0 keeps adaptation off: every frame is
+	// sent, the pre-feedback behaviour).
+	Window int
+	// Totals, when non-nil, accumulates finished streams' counters —
+	// typically one shared instance per server.
+	Totals *Totals
+}
+
+// PlayOptions tune one stream.
+type PlayOptions struct {
+	// FrameRate paces the stream (frames/second); 0 sends flat out.
+	FrameRate int
+	// From is the first frame to send; Count bounds how many (0 = to the
+	// end).
+	From, Count int64
+	// Window overrides the agent's default adaptive-delivery window
+	// (< 0 forces adaptation off for this stream).
+	Window int
+	// EOSRepeats overrides the end-of-stream marker repetition
+	// (0 = 5: a stream's termination must survive lossy paths, or the
+	// receiver blocks until its own timeout).
+	EOSRepeats int
+}
+
+// StreamStats describes one active or just-finished stream.
+type StreamStats struct {
+	ID int64
+	mtp.StreamStats
+	Paused bool
+}
+
+// Agent is the Stream Provider Agent of one MCAM association.
+type Agent struct {
+	cfg Config
+
+	mu       sync.Mutex
+	streams  map[int64]*stream
+	draining bool
+	wg       sync.WaitGroup
+}
+
+type stream struct {
+	id     int64
+	sender *mtp.StreamSender
+	conn   mtp.PacketConn
+	total  int64 // movie length in frames; bounds live seeks
+	paused bool  // mirrors sender state for Stats
+}
+
+// New creates an agent.
+func New(cfg Config) *Agent {
+	return &Agent{cfg: cfg, streams: make(map[int64]*stream)}
+}
+
+// Play starts an asynchronous paced transmission of src's frames
+// [opt.From, opt.From+opt.Count) toward addr. The source is owned by the
+// agent from this point: it is advanced by the stream and closed (when it
+// implements io.Closer) once the stream finishes.
+func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions) error {
+	if a.cfg.Dialer == nil {
+		return fmt.Errorf("spa: agent has no stream dialer")
+	}
+	total := src.Len()
+	if opt.From < 0 || opt.From > total {
+		return fmt.Errorf("spa: play position %d outside 0..%d", opt.From, total)
+	}
+	conn, err := a.cfg.Dialer.DialStream(addr)
+	if err != nil {
+		return err
+	}
+	if err := src.SeekTo(opt.From); err != nil {
+		closeConn(conn)
+		return err
+	}
+	if opt.Count > 0 && opt.From+opt.Count < total {
+		src = limit(src, opt.From+opt.Count)
+	}
+	window := a.cfg.Window
+	if opt.Window > 0 {
+		window = opt.Window
+	} else if opt.Window < 0 {
+		window = 0
+	}
+	if opt.EOSRepeats == 0 {
+		opt.EOSRepeats = 5
+	}
+	sender := mtp.NewStreamSender(conn, mtp.StreamConfig{
+		StreamID:   uint32(id),
+		FrameRate:  opt.FrameRate,
+		Window:     window,
+		EOSRepeats: opt.EOSRepeats,
+	})
+	st := &stream{id: id, sender: sender, conn: conn, total: total}
+
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		closeConn(conn)
+		return fmt.Errorf("spa: agent is draining")
+	}
+	if _, dup := a.streams[id]; dup {
+		a.mu.Unlock()
+		closeConn(conn)
+		return fmt.Errorf("spa: stream %d already active", id)
+	}
+	a.streams[id] = st
+	a.wg.Add(1)
+	a.mu.Unlock()
+
+	go a.run(st, src, opt.From)
+	return nil
+}
+
+// closeConn releases a dialed packet conn when it owns a resource (UDP
+// sockets do; shared SimNet endpoints expose no Close and are left alone).
+func closeConn(conn mtp.PacketConn) {
+	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// run drives one stream to completion on its own goroutine.
+func (a *Agent) run(st *stream, src mtp.FrameSource, base int64) {
+	defer a.wg.Done()
+	a.event(Event{Kind: EventStarted, StreamID: st.id, Position: base})
+	stats, err := st.sender.Run(src)
+
+	a.mu.Lock()
+	delete(a.streams, st.id)
+	a.mu.Unlock()
+	if c, ok := src.(io.Closer); ok {
+		_ = c.Close()
+	}
+	closeConn(st.conn)
+	if a.cfg.Totals != nil {
+		a.cfg.Totals.add(stats)
+	}
+	switch {
+	case err != nil:
+		a.event(Event{Kind: EventAborted, StreamID: st.id, Position: stats.Pos,
+			Detail: err.Error(), Stats: &stats})
+	case !stats.Done:
+		a.event(Event{Kind: EventAborted, StreamID: st.id, Position: stats.Pos,
+			Detail: "stopped", Stats: &stats})
+	default:
+		a.event(Event{Kind: EventCompleted, StreamID: st.id, Position: stats.Pos, Stats: &stats})
+	}
+}
+
+func (a *Agent) event(e Event) {
+	if a.cfg.Events != nil {
+		a.cfg.Events(e)
+	}
+}
+
+func (a *Agent) lookup(id int64) (*stream, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoStream, id)
+	}
+	return st, nil
+}
+
+// Pause suspends a running stream at frame granularity.
+func (a *Agent) Pause(id int64) error {
+	st, err := a.lookup(id)
+	if err != nil {
+		return err
+	}
+	st.sender.Pause()
+	a.mu.Lock()
+	st.paused = true
+	a.mu.Unlock()
+	return nil
+}
+
+// Resume continues a paused stream; the pause interval shifts the pacing
+// schedule instead of producing a late burst.
+func (a *Agent) Resume(id int64) error {
+	st, err := a.lookup(id)
+	if err != nil {
+		return err
+	}
+	st.sender.Resume()
+	a.mu.Lock()
+	st.paused = false
+	a.mu.Unlock()
+	return nil
+}
+
+// SeekStream repositions a live stream to frame pos without restarting
+// it: the stream continues from there and the receiver resynchronizes via
+// the MTP sync flag. pos is validated against the movie length; seeking
+// to the length — or past the end of a Count-bounded play window — ends
+// the stream cleanly.
+func (a *Agent) SeekStream(id, pos int64) error {
+	st, err := a.lookup(id)
+	if err != nil {
+		return err
+	}
+	if pos < 0 || pos > st.total {
+		return fmt.Errorf("spa: seek to %d outside 0..%d", pos, st.total)
+	}
+	st.sender.SeekTo(pos)
+	return nil
+}
+
+// Stop cancels a stream and returns the position it reached. The stream's
+// terminal event fires asynchronously once the sender unwinds.
+func (a *Agent) Stop(id int64) (int64, error) {
+	st, err := a.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	st.sender.Stop()
+	return st.sender.Position(), nil
+}
+
+// Stats returns a snapshot of one active stream's counters.
+func (a *Agent) Stats(id int64) (StreamStats, error) {
+	st, err := a.lookup(id)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	a.mu.Lock()
+	paused := st.paused
+	a.mu.Unlock()
+	return StreamStats{ID: id, StreamStats: st.sender.Stats(), Paused: paused}, nil
+}
+
+// Active returns the number of in-flight streams.
+func (a *Agent) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.streams)
+}
+
+// Drain stops every stream and waits for their goroutines to unwind; the
+// agent refuses new plays afterwards. Safe to call more than once and
+// from any goroutine — the association teardown path.
+func (a *Agent) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	for _, st := range a.streams {
+		st.sender.Stop()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+// limit bounds a source to frames below end without hiding the underlying
+// SeekTo (live seeks stay movie-wide; end only caps playback).
+func limit(src mtp.FrameSource, end int64) mtp.FrameSource {
+	return &limitedSource{FrameSource: src, end: end}
+}
+
+type limitedSource struct {
+	mtp.FrameSource
+	end int64
+}
+
+func (l *limitedSource) Next() ([]byte, error) {
+	if l.FrameSource.Pos() >= l.end {
+		return nil, io.EOF
+	}
+	return l.FrameSource.Next()
+}
+
+// Close forwards to the wrapped source so the agent's cleanup reaches it.
+func (l *limitedSource) Close() error {
+	if c, ok := l.FrameSource.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

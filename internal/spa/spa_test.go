@@ -1,0 +1,233 @@
+package spa
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+// eventLog collects agent events safely across goroutines.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// await blocks until an event of the given kind arrives for the stream.
+func (l *eventLog) await(t *testing.T, kind EventKind, id int64) Event {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range l.snapshot() {
+			if e.Kind == kind && e.StreamID == id {
+				return e
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no %v event for stream %d (events %+v)", kind, id, l.snapshot())
+	return Event{}
+}
+
+// closeTracker wraps a source and records Close calls.
+type closeTracker struct {
+	moviedb.FrameSource
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *closeTracker) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.FrameSource.Close()
+}
+
+func (c *closeTracker) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func newTestAgent(t *testing.T) (*Agent, *SimNet, *eventLog, *Totals) {
+	t.Helper()
+	sim := NewSimNet()
+	t.Cleanup(sim.Close)
+	log := &eventLog{}
+	totals := &Totals{}
+	a := New(Config{Dialer: sim, Events: log.add, Totals: totals})
+	t.Cleanup(a.Drain)
+	return a, sim, log, totals
+}
+
+// receive starts an MTP receiver on the path and returns its stats channel.
+func receive(t *testing.T, sim *SimNet, addr string, shape netsim.Config, rcfg mtp.ReceiverConfig) chan mtp.RecvStats {
+	t.Helper()
+	end, err := sim.Listen(addr, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, rcfg, nil)
+		done <- st
+	}()
+	return done
+}
+
+func source(frames, size int) *closeTracker {
+	m := moviedb.SynthesizeLazy(moviedb.SynthConfig{Name: "spa-movie", Frames: frames, FrameSize: size})
+	return &closeTracker{FrameSource: m.Open()}
+}
+
+func TestAgentPlayCompletes(t *testing.T) {
+	a, sim, log, totals := newTestAgent(t)
+	done := receive(t, sim, "c/v", netsim.Config{}, mtp.ReceiverConfig{})
+	src := source(60, 128)
+	if err := a.Play(1, "c/v", src, PlayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	log.await(t, EventStarted, 1)
+	ev := log.await(t, EventCompleted, 1)
+	if ev.Position != 60 || ev.Stats == nil || ev.Stats.Sent != 60 {
+		t.Fatalf("completion event %+v", ev)
+	}
+	if st := <-done; st.Delivered != 60 {
+		t.Fatalf("delivered %d", st.Delivered)
+	}
+	if !src.isClosed() {
+		t.Error("source not closed after completion")
+	}
+	if tt := totals.Snapshot(); tt.Streams != 1 || tt.Frames != 60 {
+		t.Errorf("totals %+v", tt)
+	}
+	if a.Active() != 0 {
+		t.Errorf("%d streams still registered", a.Active())
+	}
+}
+
+func TestAgentPlayWindowAndFrom(t *testing.T) {
+	a, sim, log, _ := newTestAgent(t)
+	done := receive(t, sim, "c/v", netsim.Config{}, mtp.ReceiverConfig{})
+	if err := a.Play(2, "c/v", source(100, 64), PlayOptions{From: 20, Count: 30}); err != nil {
+		t.Fatal(err)
+	}
+	ev := log.await(t, EventCompleted, 2)
+	if ev.Position != 50 || ev.Stats.Sent != 30 {
+		t.Fatalf("bounded play event %+v", ev)
+	}
+	if st := <-done; st.Delivered != 30 || st.Lost != 0 || st.Resyncs != 1 {
+		t.Fatalf("bounded play recv %+v", st)
+	}
+}
+
+func TestAgentControlSurface(t *testing.T) {
+	a, sim, log, _ := newTestAgent(t)
+	done := receive(t, sim, "c/v", netsim.Config{}, mtp.ReceiverConfig{})
+	// Paced slowly enough that control lands mid-stream.
+	if err := a.Play(3, "c/v", source(5000, 32), PlayOptions{FrameRate: 500}); err != nil {
+		t.Fatal(err)
+	}
+	log.await(t, EventStarted, 3)
+	// Duplicate id rejected while active.
+	if err := a.Play(3, "c/v", source(10, 32), PlayOptions{}); err == nil {
+		t.Fatal("duplicate stream id accepted")
+	}
+	if err := a.Pause(3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := a.Stats(3)
+	if err != nil || !st.Paused {
+		t.Fatalf("stats after pause: %+v, %v", st, err)
+	}
+	if err := a.Resume(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SeekStream(3, 4990); err != nil {
+		t.Fatal(err)
+	}
+	ev := log.await(t, EventCompleted, 3)
+	if ev.Position != 5000 {
+		t.Fatalf("post-seek completion %+v", ev)
+	}
+	if rst := <-done; rst.Delivered >= 5000 || rst.Resyncs == 0 {
+		t.Fatalf("seek did not shorten delivery: %+v", rst)
+	}
+	// Control on a finished stream errors.
+	if err := a.Pause(3); err == nil {
+		t.Fatal("pause on dead stream succeeded")
+	}
+}
+
+func TestAgentStopAndDrain(t *testing.T) {
+	a, sim, log, _ := newTestAgent(t)
+	_ = receive(t, sim, "c/v", netsim.Config{}, mtp.ReceiverConfig{})
+	_ = receive(t, sim, "c/w", netsim.Config{}, mtp.ReceiverConfig{})
+	if err := a.Play(10, "c/v", source(5000, 32), PlayOptions{FrameRate: 250}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Play(11, "c/w", source(5000, 32), PlayOptions{FrameRate: 250}); err != nil {
+		t.Fatal(err)
+	}
+	log.await(t, EventStarted, 10)
+	pos, err := a.Stop(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos < 0 || pos >= 5000 {
+		t.Fatalf("stop position %d", pos)
+	}
+	ev := log.await(t, EventAborted, 10)
+	if ev.Detail != "stopped" {
+		t.Fatalf("abort event %+v", ev)
+	}
+	// Drain kills the second stream and blocks new plays.
+	a.Drain()
+	log.await(t, EventAborted, 11)
+	if a.Active() != 0 {
+		t.Errorf("%d active after drain", a.Active())
+	}
+	if err := a.Play(12, "c/v", source(10, 32), PlayOptions{}); err == nil {
+		t.Fatal("play accepted after drain")
+	}
+}
+
+func TestAgentErrors(t *testing.T) {
+	a := New(Config{})
+	if err := a.Play(1, "x", source(10, 16), PlayOptions{}); err == nil {
+		t.Fatal("play without dialer succeeded")
+	}
+	sim := NewSimNet()
+	defer sim.Close()
+	a = New(Config{Dialer: sim})
+	if err := a.Play(1, "nowhere", source(10, 16), PlayOptions{}); err == nil {
+		t.Fatal("play to unknown address succeeded")
+	}
+	if err := a.Play(1, "x", source(10, 16), PlayOptions{From: 11}); err == nil {
+		t.Fatal("play past the end accepted")
+	}
+	if _, err := a.Stop(99); err == nil {
+		t.Fatal("stop of unknown stream succeeded")
+	}
+	if err := a.SeekStream(99, 0); err == nil {
+		t.Fatal("seek of unknown stream succeeded")
+	}
+	if _, err := a.Stats(99); err == nil {
+		t.Fatal("stats of unknown stream succeeded")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xmovie/internal/core"
+	"xmovie/internal/spa"
 )
 
 // ServerConfig configures ListenAndServe.
@@ -30,6 +31,11 @@ type ServerConfig struct {
 // SessionStats counts connection-manager activity (admissions, rejections,
 // active/peak sessions).
 type SessionStats = core.SessionStats
+
+// StreamTotals aggregates the server's data-plane outcomes across every
+// session's Stream Provider Agent: frames sent, frames dropped by adaptive
+// delivery, late sends, bytes, and receiver feedback reports.
+type StreamTotals = spa.Totals
 
 // Server is a running MCAM server entity. One server admits any number of
 // control connections up to its session bound, creating the per-connection
@@ -64,6 +70,9 @@ func (s *Server) ServeConn(conn Conn) error { return s.inner.ServeConn(conn) }
 
 // Stats snapshots the connection-manager counters.
 func (s *Server) Stats() SessionStats { return s.inner.Stats() }
+
+// StreamStats snapshots the server-wide data-plane counters.
+func (s *Server) StreamStats() StreamTotals { return s.inner.StreamStats() }
 
 // Drain stops admitting new sessions, waits up to timeout for active ones
 // to complete, then force-closes the remainder and shuts down.

@@ -112,9 +112,19 @@ func NewShardedStore(shards int) *moviedb.ShardedStore { return moviedb.NewShard
 func Pipe() (Conn, Conn) { return transport.Pipe(0) }
 
 // Synthesize builds a deterministic synthetic movie (the stand-in for
-// digitized movie material).
+// digitized movie material) with every frame materialized.
 func Synthesize(name string, frames, frameRate int) *Movie {
 	return moviedb.Synthesize(moviedb.SynthConfig{
+		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
+	})
+}
+
+// SynthesizeLazy builds the same deterministic movie as Synthesize but
+// with lazily generated frames: nothing is materialized until a stream
+// pulls frames, and each playback keeps at most a small chunk window
+// resident — the form the streaming data plane serves at scale.
+func SynthesizeLazy(name string, frames, frameRate int) *Movie {
+	return moviedb.SynthesizeLazy(moviedb.SynthConfig{
 		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
 	})
 }

@@ -173,3 +173,73 @@ func TestStatusErrorSurfacing(t *testing.T) {
 }
 
 var _ mcam.StreamDialer = xmovie.UDPDialer()
+
+// TestFacadeLazyStreamingTotals drives a lazily synthesized movie through
+// the public API — play, pause, live seek, resume — and reads the server's
+// aggregated data-plane counters.
+func TestFacadeLazyStreamingTotals(t *testing.T) {
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.SynthesizeLazy("feature", 1000, 500)); err != nil {
+		t.Fatal(err)
+	}
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Env: &xmovie.ServerEnv{Store: store, Dialer: sim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cliEnd, srvEnd := xmovie.Pipe()
+	if err := srv.ServeConn(srvEnd); err != nil {
+		t.Fatal(err)
+	}
+	client, err := xmovie.NewClientConn(cliEnd, xmovie.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	end, err := sim.Listen("lobby/video", netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvDone := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+		recvDone <- st
+	}()
+	id, err := client.Play("feature", "lobby/video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Pause(id); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := client.SeekTo(id, 950); err != nil || pos != 950 {
+		t.Fatalf("seek = %d, %v", pos, err)
+	}
+	if err := client.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-recvDone:
+		if st.Delivered == 0 || st.Delivered >= 1000 {
+			t.Fatalf("delivered %d frames across live seek", st.Delivered)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not finish")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tot := srv.StreamStats()
+		if tot.Streams == 1 && tot.Frames > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream totals %+v", tot)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
