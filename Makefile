@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
-	bench-smoke bench-guard bench-trajectory load-smoke load-stream ci
+	bench-smoke bench-guard bench-trajectory load-smoke load-stream \
+	load-disk ci
 
 build:
 	$(GO) build ./...
@@ -51,11 +52,13 @@ bench-smoke:
 
 # Hot-path guard: allocation-regression tests (pooled runtime cycle,
 # append-path codecs, MTP stream paths — including the FrameSource send
-# path) + append-vs-schema byte-identity proofs, then the mcambench -json
-# smoke emitting BENCH_*.json into bench-out/.
+# path — and the disk store's cached read path) + append-vs-schema
+# byte-identity proofs and the cold/cached disk-read benchmark, then the
+# mcambench -json smoke emitting BENCH_*.json into bench-out/.
 bench-guard:
-	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestAppendMatchesSchemaEncoder' \
-		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp
+	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestDiskCachedReadAllocs|TestAppendMatchesSchemaEncoder' \
+		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp ./internal/moviedb
+	$(GO) test -run='^$$' -bench='BenchmarkDiskStream' -benchtime=10x -benchmem ./internal/moviedb
 	mkdir -p bench-out
 	$(GO) run ./cmd/mcambench -json -outdir bench-out e4 hot
 
@@ -88,6 +91,18 @@ load-stream:
 		-movies 16 -frames 125 -fps 250 -maxtime 90s \
 		-json -out mcamload_stream -outdir bench-out
 
+# Disk-backend load: every session streams its own durable movie twice —
+# cold through the segment store's chunk cache, then cache-warm — flat
+# out over a clean path. sessions == movies keeps the cold pass honest
+# (each movie's first read really is cold). Cold/warm throughput and the
+# cache hit/miss counters land in BENCH_mcamload_disk.json; runs in the
+# CI load-soak job next to load-smoke and load-stream.
+load-disk:
+	mkdir -p bench-out
+	$(GO) run -race ./cmd/mcamload -scenarios disk -sessions 48 -concurrent 16 \
+		-movies 48 -frames 250 -maxtime 90s \
+		-json -out mcamload_disk -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
-	bench-trajectory load-smoke load-stream
+	bench-trajectory load-smoke load-stream load-disk

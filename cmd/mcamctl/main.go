@@ -11,9 +11,22 @@
 //	mcamctl -server ... set NAME key=value [key=value...]
 //	mcamctl -server ... record NAME DEVICE COUNT
 //	mcamctl -server ... play NAME
+//
+// Offline segment-store administration (no server involved; -data points
+// at an mcamd disk-store directory, frame files are length-prefixed raw
+// frames):
+//
+//	mcamctl -data DIR import NAME FRAMEFILE [rate]
+//	mcamctl -data DIR -append import NAME FRAMEFILE
+//	mcamctl -data DIR export NAME FRAMEFILE
+//
+// import creates the movie and refuses to touch an existing one unless
+// -append is given (a retried import must not silently duplicate frames);
+// the rate argument applies only at creation.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +36,7 @@ import (
 	"time"
 
 	"xmovie"
+	"xmovie/internal/moviedb"
 	"xmovie/internal/mtp"
 )
 
@@ -36,10 +50,16 @@ func main() {
 func run() error {
 	server := flag.String("server", "127.0.0.1:10240", "mcamd control address")
 	stackName := flag.String("stack", "generated", "control stack: generated | handcoded")
+	dataDir := flag.String("data", "", "disk-store directory for offline import/export")
+	appendTo := flag.Bool("append", false, "import: append to an existing movie instead of refusing")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("missing command (list|create|delete|query|set|record|play)")
+		return fmt.Errorf("missing command (list|create|delete|query|set|record|play|import|export)")
+	}
+	switch args[0] {
+	case "import", "export":
+		return runOffline(*dataDir, *appendTo, args)
 	}
 	stack := xmovie.StackGenerated
 	if *stackName == "handcoded" {
@@ -128,6 +148,91 @@ func run() error {
 		return play(client, args[1])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runOffline executes the segment-store administration commands directly
+// against a disk store — the bulk path for moving raw frame files in and
+// out of the movie database without a running server.
+func runOffline(dataDir string, appendTo bool, args []string) error {
+	if dataDir == "" {
+		return fmt.Errorf("%s needs -data DIR", args[0])
+	}
+	store, err := xmovie.OpenDiskStore(dataDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	switch args[0] {
+	case "import":
+		if len(args) < 3 || len(args) > 4 {
+			return fmt.Errorf("import NAME FRAMEFILE [rate]")
+		}
+		name, path := args[1], args[2]
+		rate := 25
+		if len(args) == 4 {
+			if appendTo {
+				return fmt.Errorf("rate applies only when import creates the movie; drop it with -append")
+			}
+			if rate, err = strconv.Atoi(args[3]); err != nil {
+				return err
+			}
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		frames, err := moviedb.ReadRawFrames(f)
+		if err != nil {
+			return err
+		}
+		if err := store.Create(&moviedb.Movie{Name: name, FrameRate: rate}); err != nil {
+			// A retried import must not silently double the movie: only
+			// -append touches an existing one.
+			if !errors.Is(err, moviedb.ErrExists) {
+				return err
+			}
+			if !appendTo {
+				return fmt.Errorf("%s already exists (use -append to add these frames to it)", name)
+			}
+		}
+		if err := store.AppendFrames(name, frames); err != nil {
+			return err
+		}
+		m, err := store.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %d frames; %s is now %d frames\n", len(frames), name, m.FrameCount())
+		return nil
+	case "export":
+		if len(args) != 3 {
+			return fmt.Errorf("export NAME FRAMEFILE")
+		}
+		name, path := args[1], args[2]
+		m, err := store.Get(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		src := m.Open()
+		n, werr := moviedb.WriteRawFrames(f, src)
+		src.Close()
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("exported %d frames of %s to %s\n", n, name, path)
+		return nil
+	default:
+		return fmt.Errorf("unknown offline command %q", args[0])
 	}
 }
 

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	mcamd -addr 127.0.0.1:10240 -stack generated -movies 8 -frames 250
+//	mcamd -data /var/lib/mcam            # durable disk-backed catalogue
+//
+// With -data the movie database lives on disk: movies recorded through
+// OpRecord (and the seeded catalogue) survive restarts, and the seed only
+// fills in names that are not already stored.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +21,7 @@ import (
 
 	"xmovie"
 	"xmovie/internal/equipment"
+	"xmovie/internal/moviedb"
 )
 
 func main() {
@@ -23,6 +30,7 @@ func main() {
 	movies := flag.Int("movies", 8, "number of synthetic movies to seed")
 	frames := flag.Int("frames", 250, "frames per synthetic movie")
 	procs := flag.Int("procs", 0, "virtual processor limit for the generated stack (0 = unlimited)")
+	dataDir := flag.String("data", "", "data directory for the durable disk store (empty = in-memory)")
 	flag.Parse()
 
 	stack := xmovie.StackGenerated
@@ -35,36 +43,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	store := xmovie.NewMemStore()
-	for i := 0; i < *movies; i++ {
-		name := fmt.Sprintf("movie-%d", i)
-		if err := store.Create(xmovie.Synthesize(name, *frames, 25)); err != nil {
-			fmt.Fprintln(os.Stderr, "mcamd:", err)
-			os.Exit(1)
-		}
-	}
 	eca := equipment.NewECA("mcamd")
 	if err := eca.Register(equipment.NewCamera("cam1", 2048)); err != nil {
 		fmt.Fprintln(os.Stderr, "mcamd:", err)
 		os.Exit(1)
 	}
 
+	// The server builds the store from the backend selection (a durable
+	// sharded segment store under -data, in-memory otherwise) and
+	// publishes it into env.Store for seeding.
+	backend := xmovie.BackendMemory
+	if *dataDir != "" {
+		backend = xmovie.BackendDisk
+	}
+	env := &xmovie.ServerEnv{
+		Dialer: xmovie.UDPDialer(), // Play requests carry host:port UDP addresses
+		EUA:    equipment.NewEUA(eca, "mcamd"),
+	}
 	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
-		Addr:  *addr,
-		Stack: stack,
-		Env: &xmovie.ServerEnv{
-			Store:  store,
-			Dialer: xmovie.UDPDialer(), // Play requests carry host:port UDP addresses
-			EUA:    equipment.NewEUA(eca, "mcamd"),
-		},
+		Addr:       *addr,
+		Stack:      stack,
+		Env:        env,
+		Backend:    backend,
+		DataDir:    *dataDir,
 		Processors: *procs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcamd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mcamd: serving %d movies on %s (%s stack); streams go to client UDP addresses\n",
-		*movies, srv.Addr(), *stackName)
+	// Seed the synthetic catalogue, keeping whatever the disk store already
+	// holds — recorded movies must survive restarts.
+	seeded := 0
+	for i := 0; i < *movies; i++ {
+		name := fmt.Sprintf("movie-%d", i)
+		// Lazy synthesis: the disk store drains the generator straight to
+		// its segment file chunk by chunk, the memory store serves it on
+		// demand — either way the catalogue never materializes in RAM here.
+		err := env.Store.Create(xmovie.SynthesizeLazy(name, *frames, 25))
+		switch {
+		case err == nil:
+			seeded++
+		case errors.Is(err, moviedb.ErrExists):
+			// already durable from a previous run
+		default:
+			fmt.Fprintln(os.Stderr, "mcamd:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("mcamd: serving %d movies (%d newly seeded) on %s (%s stack, %s store); streams go to client UDP addresses\n",
+		len(env.Store.List()), seeded, srv.Addr(), *stackName, backend)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -3,7 +3,9 @@
 // against an in-process server, over both control stacks (generated and
 // hand-coded) and both transports (in-memory pipe and TPKT over TCP), and
 // reports sessions/sec, per-operation latency percentiles, and error
-// counts.
+// counts. The disk scenario moves the catalogue onto the durable segment
+// store and measures cold-vs-cached stream throughput through its chunk
+// cache.
 //
 // With -json the aggregate result is written as BENCH_mcamload.json in the
 // same shape cmd/mcambench emits, so CI archives the scaling trajectory
@@ -41,7 +43,7 @@ func main() {
 		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
 		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
 		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
-		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,mixed")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed")
 		movies     = flag.Int("movies", 32, "seeded catalogue size")
 		frames     = flag.Int("frames", 250, "frames per seeded movie")
 		fps        = flag.Int("fps", 25, "seeded movies' frame rate (pacing of every play)")
@@ -125,7 +127,7 @@ func main() {
 	}
 	for _, sc := range strings.Split(*scenarios, ",") {
 		switch sc = strings.TrimSpace(sc); sc {
-		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioMixed:
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed:
 			cfg.Scenarios = append(cfg.Scenarios, sc)
 		case "":
 		default:

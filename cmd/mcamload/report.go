@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"xmovie/internal/moviedb"
 	"xmovie/internal/mtp"
 	"xmovie/internal/spa"
 )
@@ -19,6 +20,14 @@ type streamAgg struct {
 	lost      int64
 	bytes     int64
 	elapsed   time.Duration
+}
+
+func (s *streamAgg) add(st mtp.RecvStats) {
+	s.n++
+	s.delivered += int64(st.Delivered)
+	s.lost += int64(st.Lost)
+	s.bytes += st.Bytes
+	s.elapsed += st.Elapsed
 }
 
 // throughputMBps is the aggregate received throughput in MB/s (per-stream
@@ -43,6 +52,13 @@ type comboResult struct {
 	ops       map[string][]time.Duration
 	sessions  []time.Duration
 	streams   streamAgg
+	// diskCold/diskWarm split the disk scenario's two passes: segment
+	// reads through a cold chunk cache versus cache-resident streaming.
+	diskCold streamAgg
+	diskWarm streamAgg
+	// cache is the disk store's chunk-cache counters (nil on memory
+	// combos).
+	cache *moviedb.CacheStats
 
 	wall time.Duration
 	peak int64
@@ -70,11 +86,18 @@ func (c *comboResult) session(d time.Duration) {
 // stream records one stream-scenario session's receiver statistics.
 func (c *comboResult) stream(st mtp.RecvStats) {
 	c.mu.Lock()
-	c.streams.n++
-	c.streams.delivered += int64(st.Delivered)
-	c.streams.lost += int64(st.Lost)
-	c.streams.bytes += st.Bytes
-	c.streams.elapsed += st.Elapsed
+	c.streams.add(st)
+	c.mu.Unlock()
+}
+
+// diskStream records one disk-scenario pass ("disk-cold" or "disk-warm").
+func (c *comboResult) diskStream(phase string, st mtp.RecvStats) {
+	c.mu.Lock()
+	if phase == "disk-cold" {
+		c.diskCold.add(st)
+	} else {
+		c.diskWarm.add(st)
+	}
 	c.mu.Unlock()
 }
 
@@ -225,6 +248,18 @@ func (r *Report) notes() []string {
 				"%s stream   n=%-6d delivered=%d lost=%d recvMB/s=%.2f",
 				c.name(), c.streams.n, c.streams.delivered, c.streams.lost,
 				c.streams.throughputMBps()))
+		}
+		if c.diskCold.n > 0 || c.diskWarm.n > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"%s disk     cold n=%-5d %.2fMB/s | warm n=%-5d %.2fMB/s",
+				c.name(), c.diskCold.n, c.diskCold.throughputMBps(),
+				c.diskWarm.n, c.diskWarm.throughputMBps()))
+		}
+		if c.cache != nil {
+			notes = append(notes, fmt.Sprintf(
+				"%s cache    hits=%d misses=%d evictions=%d resident=%dB/%dB",
+				c.name(), c.cache.Hits, c.cache.Misses, c.cache.Evictions,
+				c.cache.Bytes, c.cache.CapBytes))
 		}
 		if c.serverStreams.Streams > 0 {
 			notes = append(notes, fmt.Sprintf(

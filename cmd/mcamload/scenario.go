@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -27,6 +28,15 @@ const (
 	// path with a mid-stream pause/resume, measuring data-plane
 	// throughput and the adaptive sender's frame dropping.
 	scenarioStream = "stream"
+	// scenarioDisk streams a disk-resident movie twice over a clean path,
+	// flat out: the first pass reads cold through the segment store's
+	// chunk cache, the second pass hits it — the cold-vs-cached read
+	// throughput of the durable backend. Selecting it switches the whole
+	// combo's catalogue onto a disk store in a temporary directory. The
+	// cold pass is honest while each session has its own movie (sessions
+	// <= movies, as `make load-disk` arranges); beyond that, later
+	// sessions re-read cache-warm movies.
+	scenarioDisk = "disk"
 )
 
 // streamFrameSize is the seeded catalogue's frame payload size in bytes.
@@ -107,14 +117,72 @@ func runAll(cfg loadConfig, deadline time.Time, logw io.Writer) *Report {
 	return rep
 }
 
-// seedEnv builds one combo's server environment: a sharded movie store
-// seeded with the lazily generated catalogue (no frame materialization —
-// the play path streams through chunked FrameSources), a striped directory
+// comboEnv is one combo's seeded environment plus the resources behind it.
+type comboEnv struct {
+	env *mcam.ServerEnv
+	sim *mcam.SimNet
+	// cache is the disk store's chunk cache (nil on memory combos); its
+	// stats land in the report.
+	cache   *moviedb.ChunkCache
+	cleanup func()
+}
+
+// seedEnv builds one combo's server environment: a movie store seeded with
+// the lazily generated catalogue (no frame materialization in memory — the
+// play path streams through chunked FrameSources), a striped directory
 // mirror, a SimNet for stream targets, adaptive delivery enabled, and
-// server-wide data-plane totals.
-func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
-	store := moviedb.NewShardedStore(0)
-	for i := 0; i < cfg.Movies; i++ {
+// server-wide data-plane totals. A scenario mix containing the disk
+// scenario moves the whole catalogue onto a durable sharded segment store
+// under a temporary directory, plus a flat-out (unpaced) disk catalogue for
+// the cold-vs-cached throughput measurement.
+func seedEnv(cfg loadConfig) (*comboEnv, error) {
+	wantDisk, wantCat := false, false
+	for _, sc := range cfg.Scenarios {
+		if sc == scenarioDisk {
+			wantDisk = true
+		} else {
+			wantCat = true
+		}
+	}
+	var store moviedb.Store
+	cenv := &comboEnv{cleanup: func() {}}
+	if wantDisk {
+		dir, err := os.MkdirTemp("", "mcamload-disk-*")
+		if err != nil {
+			return nil, err
+		}
+		cache := moviedb.NewChunkCache(0)
+		ds, err := moviedb.OpenShardedDiskStore(dir, 0, moviedb.DiskConfig{Cache: cache})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		store = ds
+		cenv.cache = cache
+		cenv.cleanup = func() {
+			ds.Close()
+			os.RemoveAll(dir)
+		}
+		for i := 0; i < cfg.Movies; i++ {
+			// FrameRate 0: the disk catalogue streams unpaced, so the
+			// measured throughput is the read path, not the pacing clock.
+			m := moviedb.SynthesizeLazy(moviedb.SynthConfig{
+				Name:      fmt.Sprintf("disk-%03d", i),
+				Frames:    cfg.Frames,
+				FrameSize: streamFrameSize,
+			})
+			m.FrameRate = 0
+			if err := store.Create(m); err != nil {
+				cenv.cleanup()
+				return nil, err
+			}
+		}
+	} else {
+		store = moviedb.NewShardedStore(0)
+	}
+	// The paced cat-* catalogue only exists when a scenario in the mix
+	// plays it — a disk-only run skips draining it to the temp store.
+	for i := 0; wantCat && i < cfg.Movies; i++ {
 		m := moviedb.SynthesizeLazy(moviedb.SynthConfig{
 			Name:      fmt.Sprintf("cat-%03d", i),
 			Frames:    cfg.Frames,
@@ -122,7 +190,8 @@ func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
 			FrameSize: streamFrameSize,
 		})
 		if err := store.Create(m); err != nil {
-			return nil, nil, err
+			cenv.cleanup()
+			return nil, err
 		}
 	}
 	sim := mcam.NewSimNet()
@@ -136,7 +205,7 @@ func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
 			window = 64
 		}
 	}
-	env := &mcam.ServerEnv{
+	cenv.env = &mcam.ServerEnv{
 		Store:        store,
 		Dialer:       sim,
 		DUA:          directory.NewDUA(directory.NewDSA("load", base)),
@@ -144,18 +213,21 @@ func seedEnv(cfg loadConfig) (*mcam.ServerEnv, *mcam.SimNet, error) {
 		StreamWindow: window,
 		StreamTotals: &spa.Totals{},
 	}
-	return env, sim, nil
+	cenv.sim = sim
+	return cenv, nil
 }
 
 // runCombo drives cfg.Sessions sessions against a fresh server over one
 // stack×transport pair.
 func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Time) *comboResult {
 	res := newComboResult(stack.String(), tr)
-	env, sim, err := seedEnv(cfg)
+	cenv, err := seedEnv(cfg)
 	if err != nil {
 		res.fail(fmt.Sprintf("seed: %v", err))
 		return res
 	}
+	defer cenv.cleanup()
+	env, sim := cenv.env, cenv.sim
 	defer sim.Close()
 	addr := ""
 	if tr == "tcp" {
@@ -199,6 +271,10 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 	wg.Wait()
 	res.wall = time.Since(start)
 	res.serverStreams = env.StreamTotals.Snapshot()
+	if cenv.cache != nil {
+		cs := cenv.cache.Stats()
+		res.cache = &cs
+	}
 	st := srv.Stats()
 	if st.Rejected > 0 {
 		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
@@ -291,6 +367,11 @@ func runSession(cfg loadConfig, srv *core.Server, sim *mcam.SimNet, stack core.S
 			return err
 		}
 	}
+	if scenario == scenarioDisk {
+		if err := runDiskSession(cfg, sim, client, res, i); err != nil {
+			return err
+		}
+	}
 	if scenario == scenarioPlay || scenario == scenarioMixed {
 		if err := call("select", &mcam.Request{Op: mcam.OpSelect, Movie: feature}); err != nil {
 			return err
@@ -334,6 +415,53 @@ func runSession(cfg loadConfig, srv *core.Server, sim *mcam.SimNet, stack core.S
 	}
 	res.op("release", time.Since(t))
 	res.session(time.Since(t0))
+	return nil
+}
+
+// runDiskSession measures the durable backend's read path: the session's
+// disk-resident movie is streamed twice over a clean (unshaped) SimNet
+// path, flat out. The first pass reads the segment file through the chunk
+// cache cold; the second streams from the cache. Per-pass receiver
+// throughput lands in the report's disk-cold/disk-warm aggregates next to
+// the combo-wide cache hit/miss counters.
+func runDiskSession(cfg loadConfig, sim *mcam.SimNet, client *core.Client, res *comboResult, i int) error {
+	movie := fmt.Sprintf("disk-%03d", i%cfg.Movies)
+	for _, phase := range []string{"disk-cold", "disk-warm"} {
+		addr := fmt.Sprintf("%s-%s-%s-%05d/video", phase, res.stack, res.transport, i)
+		end, err := sim.Listen(addr, netsim.Config{})
+		if err != nil {
+			return fmt.Errorf("%s listen: %w", phase, err)
+		}
+		recvDone := make(chan mtp.RecvStats, 1)
+		go func() {
+			// The receiver emits feedback so the pass also works when a
+			// stream scenario in the mix armed the adaptive window.
+			st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{Window: 64, FeedbackEvery: 8}, nil)
+			recvDone <- st
+		}()
+		t := time.Now()
+		resp, err := client.Call(&mcam.Request{Op: mcam.OpPlay, Movie: movie, StreamAddr: addr})
+		if err != nil {
+			return fmt.Errorf("%s play: %w", phase, err)
+		}
+		if !resp.OK() {
+			return fmt.Errorf("%s play: %s (%s)", phase, resp.Status, resp.Diagnostic)
+		}
+		select {
+		case st := <-recvDone:
+			res.op(phase, time.Since(t))
+			if st.Delivered+st.Lost != cfg.Frames {
+				return fmt.Errorf("%s accounting: delivered %d + lost %d != %d",
+					phase, st.Delivered, st.Lost, cfg.Frames)
+			}
+			if st.Delivered == 0 {
+				return fmt.Errorf("%s delivered nothing", phase)
+			}
+			res.diskStream(phase, st)
+		case <-time.After(sessionTimeout):
+			return fmt.Errorf("%s stream did not terminate", phase)
+		}
+	}
 	return nil
 }
 

@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
 	"xmovie/internal/spa"
 	"xmovie/internal/transport"
 )
@@ -103,6 +105,9 @@ type Server struct {
 	cfg   ServerConfig
 	lis   *transport.Listener
 	grace time.Duration
+	// ownedStore is non-nil when NewServer built the movie store itself
+	// (Env.Store was nil); it is closed after the last session unwinds.
+	ownedStore io.Closer
 
 	rt    *estelle.Runtime
 	sched *estelle.Scheduler
@@ -144,6 +149,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	var ownedStore io.Closer
+	if cfg.Env.Store == nil {
+		// The server builds (and owns) its store from the configured
+		// backend, publishing it into the shared Env so callers can seed
+		// the catalogue after NewServer returns.
+		switch cfg.Backend {
+		case moviedb.BackendMemory:
+			cfg.Env.Store = moviedb.NewShardedStore(0)
+		case moviedb.BackendDisk:
+			store, err := moviedb.OpenShardedDiskStore(cfg.DataDir, 0, moviedb.DiskConfig{})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Env.Store = store
+			ownedStore = store
+		default:
+			return nil, fmt.Errorf("core: unknown store backend %v", cfg.Backend)
+		}
+	}
 	if cfg.Env.StreamTotals == nil {
 		// Every server aggregates its data-plane outcome counters so
 		// operators (and the load harness) can read frames sent, dropped
@@ -152,12 +176,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.Env.StreamTotals = &spa.Totals{}
 	}
 	s := &Server{
-		cfg:      cfg,
-		grace:    defaultTeardownGrace,
-		sessions: make(map[int64]*srvSession),
+		cfg:        cfg,
+		grace:      defaultTeardownGrace,
+		sessions:   make(map[int64]*srvSession),
+		ownedStore: ownedStore,
 	}
 	if cfg.TeardownGrace > 0 {
 		s.grace = cfg.TeardownGrace
+	}
+	// A constructor failure past this point must release the store the
+	// server just opened (disk stores hold file handles per movie).
+	failed := func(err error) (*Server, error) {
+		if ownedStore != nil {
+			_ = ownedStore.Close()
+			cfg.Env.Store = nil
+		}
+		return nil, err
 	}
 	if cfg.Stack == StackGenerated {
 		s.rt = estelle.NewRuntime()
@@ -167,7 +201,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		s.sched = estelle.NewScheduler(s.rt, cfg.Mapping, opts...)
 		if err := s.sched.Start(); err != nil {
-			return nil, err
+			return failed(err)
 		}
 	}
 	if cfg.Addr != "" {
@@ -176,7 +210,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			if s.sched != nil {
 				s.sched.Stop()
 			}
-			return nil, err
+			return failed(err)
 		}
 		s.lis = lis
 		s.wg.Add(1)
@@ -361,6 +395,15 @@ func (s *Server) Drain(timeout time.Duration) error {
 	s.wg.Wait()
 	if s.sched != nil {
 		s.sched.Stop()
+	}
+	if s.ownedStore != nil {
+		if cerr := s.ownedStore.Close(); err == nil {
+			err = cerr
+		}
+		// The store was published into the shared Env for seeding; a
+		// successor server built over the same Env must construct a fresh
+		// one rather than serve this closed store.
+		s.cfg.Env.Store = nil
 	}
 	return err
 }

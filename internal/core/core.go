@@ -25,6 +25,7 @@ import (
 
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
 	"xmovie/internal/presentation"
 	"xmovie/internal/session"
 	"xmovie/internal/transport"
@@ -134,8 +135,18 @@ type ServerConfig struct {
 	// Stack selects generated or hand-coded control plane (default
 	// generated).
 	Stack StackKind
-	// Env provides store, streams, directory and equipment.
+	// Env provides store, streams, directory and equipment. When Env.Store
+	// is nil the server constructs one from Backend/DataDir and owns it
+	// (closing it on shutdown); the built store is published back into
+	// Env.Store so callers can seed it.
 	Env *mcam.ServerEnv
+	// Backend selects the store implementation built when Env.Store is nil:
+	// BackendMemory (default) stripes MemStores, BackendDisk opens a
+	// sharded durable segment store under DataDir.
+	Backend moviedb.Backend
+	// DataDir is the disk backend's root directory (required for
+	// BackendDisk).
+	DataDir string
 	// Dispatch selects the transition dispatch strategy of the generated
 	// stack (default table-controlled).
 	Dispatch estelle.Dispatch

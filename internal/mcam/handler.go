@@ -34,6 +34,43 @@ type ServerEnv struct {
 	// StreamTotals, when non-nil, accumulates finished streams' data-plane
 	// counters across every association sharing this environment.
 	StreamTotals *spa.Totals
+
+	// uses counts active data-plane streams per movie across every
+	// association sharing this environment, so Delete can refuse to pull a
+	// movie out from under a running stream — whichever session started it.
+	uses streamUses
+}
+
+// streamUses is a concurrency-safe movie → active-stream-count map. The
+// zero value is ready to use.
+type streamUses struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func (u *streamUses) add(name string) {
+	u.mu.Lock()
+	if u.n == nil {
+		u.n = make(map[string]int)
+	}
+	u.n[name]++
+	u.mu.Unlock()
+}
+
+func (u *streamUses) remove(name string) {
+	u.mu.Lock()
+	if u.n[name] > 1 {
+		u.n[name]--
+	} else {
+		delete(u.n, name)
+	}
+	u.mu.Unlock()
+}
+
+func (u *streamUses) count(name string) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.n[name]
 }
 
 // handler executes MCAM requests against a ServerEnv. One handler serves
@@ -46,6 +83,11 @@ type handler struct {
 	// control operations address the selected movie).
 	selected string
 	nextID   int64
+	// mu guards streams: the movies of this association's in-flight
+	// streams, maintained from both the request path and the stream
+	// goroutines' terminal events.
+	mu      sync.Mutex
+	streams map[int64]string
 	// closeOnce makes close idempotent: the association's own release path
 	// and the connection manager's forced teardown may both reach it.
 	closeOnce sync.Once
@@ -54,14 +96,54 @@ type handler struct {
 // newHandler creates the per-association handler; events receives stream
 // lifecycle notifications and must be safe to call from stream goroutines.
 func newHandler(env *ServerEnv, events func(Event)) *handler {
-	h := &handler{env: env, nextID: 1}
+	h := &handler{env: env, nextID: 1, streams: make(map[int64]string)}
 	h.spa = spa.New(spa.Config{
 		Dialer: env.Dialer,
-		Events: func(e spa.Event) { events(convertEvent(e)) },
+		Events: func(e spa.Event) {
+			h.onStreamEvent(e)
+			events(convertEvent(e))
+		},
 		Window: env.StreamWindow,
 		Totals: env.StreamTotals,
 	})
 	return h
+}
+
+// trackStream registers a stream's movie in the association map and the
+// environment-wide use counts, refusing an id that is already live (so a
+// failed duplicate play can never clobber — or leak — the original's use
+// count). Registered before spa.Play so the terminal event can never race
+// ahead of registration.
+func (h *handler) trackStream(id int64, movie string) bool {
+	h.mu.Lock()
+	if _, dup := h.streams[id]; dup {
+		h.mu.Unlock()
+		return false
+	}
+	h.streams[id] = movie
+	h.mu.Unlock()
+	h.env.uses.add(movie)
+	return true
+}
+
+// untrackStream drops a stream registration (play failure or terminal
+// event); idempotent.
+func (h *handler) untrackStream(id int64) {
+	h.mu.Lock()
+	movie, ok := h.streams[id]
+	delete(h.streams, id)
+	h.mu.Unlock()
+	if ok {
+		h.env.uses.remove(movie)
+	}
+}
+
+// onStreamEvent runs on the stream goroutine for every lifecycle event and
+// releases the movie's use count when the stream reaches a terminal state.
+func (h *handler) onStreamEvent(e spa.Event) {
+	if e.Kind == spa.EventCompleted || e.Kind == spa.EventAborted {
+		h.untrackStream(e.StreamID)
+	}
 }
 
 // close releases the association's resources. Safe to call more than once
@@ -88,6 +170,10 @@ func storeStatus(err error) Status {
 		return StatusNoSuchMovie
 	case errors.Is(err, moviedb.ErrExists):
 		return StatusMovieExists
+	case errors.Is(err, moviedb.ErrLazyContent):
+		// The backend cannot extend this movie's content: a protocol-level
+		// capability miss, not an internal fault.
+		return StatusNotSupported
 	default:
 		return StatusBadState
 	}
@@ -103,6 +189,11 @@ func (h *handler) execute(req *Request) *Response {
 	case OpSelect:
 		return h.selectMovie(req)
 	case OpDeselect:
+		// Deselect follows the same access model every other control op
+		// enforces: without a selection there is nothing to deselect.
+		if h.selected == "" {
+			return fail(req, StatusNotSelected, "no movie selected")
+		}
 		h.selected = ""
 		return ok(req)
 	case OpQueryAttributes:
@@ -170,6 +261,12 @@ func (h *handler) create(req *Request) *Response {
 }
 
 func (h *handler) delete(req *Request) *Response {
+	// A movie with active streams — on any association sharing this server
+	// environment — must not vanish mid-play: refuse, the client can Stop
+	// the streams (or wait them out) and retry.
+	if n := h.env.uses.count(req.Movie); n > 0 {
+		return fail(req, StatusBadState, "movie %q has %d active stream(s)", req.Movie, n)
+	}
 	if err := h.env.Store.Delete(req.Movie); err != nil {
 		return fail(req, storeStatus(err), "%v", err)
 	}
@@ -263,11 +360,28 @@ func (h *handler) play(req *Request) *Response {
 	// The play path is lazy end to end: the movie is opened as a
 	// FrameSource (one chunk window resident for lazy content, no
 	// materialization) and handed to the SPA, which paces it over MTP.
-	if err := h.spa.Play(id, req.StreamAddr, m.Open(), spa.PlayOptions{
+	if !h.trackStream(id, name) {
+		return fail(req, StatusStreamError, "stream %d already active", id)
+	}
+	// Open before the existence re-check, then re-verify: a concurrent
+	// OpDelete that slipped between the Get above and trackStream (its
+	// use-count check saw zero) is caught here and refused, while a delete
+	// that lands after this point either saw our use count or races the
+	// source's open file reference and the stream finishes its snapshot.
+	src := m.Open()
+	if _, err := h.env.Store.Get(name); err != nil {
+		if c, ok := src.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+		h.untrackStream(id)
+		return fail(req, storeStatus(err), "%v", err)
+	}
+	if err := h.spa.Play(id, req.StreamAddr, src, spa.PlayOptions{
 		FrameRate: m.FrameRate,
 		From:      req.Position,
 		Count:     req.Count,
 	}); err != nil {
+		h.untrackStream(id)
 		return fail(req, StatusStreamError, "%v", err)
 	}
 	resp := ok(req)

@@ -40,7 +40,7 @@ MCAM-PDUs DEFINITIONS ::= BEGIN
   Status ::= ENUMERATED {
      success(0), noSuchMovie(1), movieExists(2), notSelected(3),
      badState(4), directoryError(5), equipmentError(6), protocolError(7),
-     streamError(8)
+     streamError(8), notSupported(9)
   }
 
   Attribute ::= SEQUENCE {
@@ -152,12 +152,17 @@ const (
 	StatusEquipmentError
 	StatusProtocolError
 	StatusStreamError
+	// StatusNotSupported reports an operation the movie's storage backend
+	// cannot perform (e.g. appending frames to content it cannot
+	// materialize).
+	StatusNotSupported
 )
 
 // String returns the status name.
 func (s Status) String() string {
 	names := [...]string{"success", "noSuchMovie", "movieExists", "notSelected",
-		"badState", "directoryError", "equipmentError", "protocolError", "streamError"}
+		"badState", "directoryError", "equipmentError", "protocolError", "streamError",
+		"notSupported"}
 	if s >= 0 && int(s) < len(names) {
 		return names[s]
 	}

@@ -53,6 +53,8 @@ func TestResponseRoundTrips(t *testing.T) {
 		{InvokeID: 4, Op: OpPlay, Status: StatusSuccess, StreamID: 7, Length: 500, FrameRate: 30},
 		{InvokeID: 5, Op: OpDelete, Status: StatusNoSuchMovie, Diagnostic: "no such movie: x"},
 		{InvokeID: 6, Op: OpStop, Status: StatusSuccess, Position: 123},
+		{InvokeID: 7, Op: OpDeselect, Status: StatusNotSelected, Diagnostic: "no movie selected"},
+		{InvokeID: 8, Op: OpRecord, Status: StatusNotSupported, Diagnostic: "backend cannot append"},
 	}
 	for _, resp := range tests {
 		enc, err := (&PDU{Response: resp}).Encode()

@@ -8,6 +8,7 @@ package moviedb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -104,8 +105,11 @@ func (m *Movie) DurationMillis() int64 {
 var (
 	ErrNotFound = errors.New("moviedb: no such movie")
 	ErrExists   = errors.New("moviedb: movie already exists")
-	// ErrLazyContent reports an append to a movie whose frames are served
-	// by a lazy generator rather than materialized storage.
+	// ErrLazyContent reports an append to a movie whose backend cannot
+	// extend its lazy content (it failed to materialize). Backends that
+	// support append never return it: the disk store appends to its
+	// segment natively, and MemStore materializes lazy movies on first
+	// append. The MCAM layer maps it to StatusNotSupported.
 	ErrLazyContent = errors.New("moviedb: cannot append frames to lazy content")
 )
 
@@ -214,7 +218,10 @@ func (s *MemStore) SetAttrs(name string, updates Attributes) error {
 	return nil
 }
 
-// AppendFrames implements Store.
+// AppendFrames implements Store. A lazy movie is materialized on first
+// append (recording onto a synthesized catalogue entry turns it eager);
+// the drain is bounded by the movie's length, which an in-memory store
+// must be able to hold anyway.
 func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -223,7 +230,12 @@ func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	if m.Content != nil {
-		return fmt.Errorf("%w: %s", ErrLazyContent, name)
+		materialized, err := Materialize(m.Content)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrLazyContent, name, err)
+		}
+		m.Frames = materialized
+		m.Content = nil
 	}
 	for _, f := range frames {
 		cp := make([]byte, len(f))
@@ -231,4 +243,23 @@ func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
 		m.Frames = append(m.Frames, cp)
 	}
 	return nil
+}
+
+// Materialize drains lazy content into owned frame slices.
+func Materialize(c Content) ([][]byte, error) {
+	src := c.Open()
+	defer src.Close()
+	frames := make([][]byte, 0, c.Len())
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		frames = append(frames, cp)
+	}
 }

@@ -1,6 +1,8 @@
 package moviedb
 
 import (
+	"errors"
+	"io"
 	"sort"
 
 	"xmovie/internal/stripe"
@@ -11,19 +13,22 @@ import (
 // one lock, small enough that List's merge stays cheap.
 const DefaultShards = 64
 
-// ShardedStore is a Store striped over independent MemStore shards, keyed
+// ShardedStore is a Store striped over independent backing shards, keyed
 // by movie name. Per-movie operations touch exactly one shard's lock, so
 // sessions operating on different movies proceed in parallel instead of
-// serializing on a single store mutex; only List crosses shards.
+// serializing on a single store mutex; only List crosses shards. Shards
+// are MemStores for the in-memory form (NewShardedStore) and DiskStores
+// for the durable form (OpenShardedDiskStore).
 type ShardedStore struct {
-	shards []*MemStore
+	shards []Store
 	mask   uint32
 }
 
 var _ Store = (*ShardedStore)(nil)
 
-// NewShardedStore returns an empty store striped over the given number of
-// shards, rounded up to a power of two (<= 0 selects DefaultShards).
+// NewShardedStore returns an empty in-memory store striped over the given
+// number of shards, rounded up to a power of two (<= 0 selects
+// DefaultShards).
 func NewShardedStore(shards int) *ShardedStore {
 	if shards <= 0 {
 		shards = DefaultShards
@@ -32,18 +37,24 @@ func NewShardedStore(shards int) *ShardedStore {
 	for n < shards {
 		n <<= 1
 	}
-	s := &ShardedStore{shards: make([]*MemStore, n), mask: uint32(n - 1)}
-	for i := range s.shards {
-		s.shards[i] = NewMemStore()
+	stores := make([]Store, n)
+	for i := range stores {
+		stores[i] = NewMemStore()
 	}
-	return s
+	return newShardedOver(stores)
+}
+
+// newShardedOver stripes over pre-built shards; len(stores) must be a
+// power of two.
+func newShardedOver(stores []Store) *ShardedStore {
+	return &ShardedStore{shards: stores, mask: uint32(len(stores) - 1)}
 }
 
 // Shards returns the stripe count.
 func (s *ShardedStore) Shards() int { return len(s.shards) }
 
 // shard selects the stripe for a movie name (FNV-1a).
-func (s *ShardedStore) shard(name string) *MemStore {
+func (s *ShardedStore) shard(name string) Store {
 	return s.shards[stripe.FNV32a(name)&s.mask]
 }
 
@@ -76,4 +87,18 @@ func (s *ShardedStore) List() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Close closes every shard that holds resources (disk shards; memory
+// shards have none).
+func (s *ShardedStore) Close() error {
+	var errs []error
+	for _, sh := range s.shards {
+		if c, ok := sh.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -2,7 +2,6 @@ package moviedb
 
 import (
 	"bytes"
-	"errors"
 	"io"
 	"testing"
 )
@@ -133,8 +132,26 @@ func TestStoreLazyMovie(t *testing.T) {
 	if got := len(drain(t, m.Open())); got != 20 {
 		t.Fatalf("streamed %d frames from stored lazy movie", got)
 	}
-	// Appending to lazy content is rejected, not silently materialized.
-	if err := s.AppendFrames("lz", [][]byte{{1}}); !errors.Is(err, ErrLazyContent) {
+	// Appending to lazy content materializes it (record-onto-synthetic):
+	// the lazy frames survive byte-identically with the new frame after
+	// them, and the movie comes back eager.
+	want := Synthesize(SynthConfig{Name: "lz", Frames: 20, FrameSize: 8}).Frames
+	if err := s.AppendFrames("lz", [][]byte{{1}}); err != nil {
 		t.Fatalf("append to lazy movie: %v", err)
+	}
+	m, err = s.Get("lz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Content != nil || len(m.Frames) != 21 {
+		t.Fatalf("after append: content %v, %d frames", m.Content, len(m.Frames))
+	}
+	for i, f := range want {
+		if !bytes.Equal(m.Frames[i], f) {
+			t.Fatalf("materialized frame %d differs from lazy original", i)
+		}
+	}
+	if !bytes.Equal(m.Frames[20], []byte{1}) {
+		t.Fatalf("appended frame = %v", m.Frames[20])
 	}
 }

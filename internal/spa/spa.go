@@ -147,21 +147,27 @@ func New(cfg Config) *Agent {
 // Play starts an asynchronous paced transmission of src's frames
 // [opt.From, opt.From+opt.Count) toward addr. The source is owned by the
 // agent from this point: it is advanced by the stream and closed (when it
-// implements io.Closer) once the stream finishes.
+// implements io.Closer) once the stream finishes — or right here when
+// Play fails, so callers never have to clean up after an error (disk-
+// backed sources hold file references that must not leak).
 func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions) error {
 	if a.cfg.Dialer == nil {
+		closeSource(src)
 		return fmt.Errorf("spa: agent has no stream dialer")
 	}
 	total := src.Len()
 	if opt.From < 0 || opt.From > total {
+		closeSource(src)
 		return fmt.Errorf("spa: play position %d outside 0..%d", opt.From, total)
 	}
 	conn, err := a.cfg.Dialer.DialStream(addr)
 	if err != nil {
+		closeSource(src)
 		return err
 	}
 	if err := src.SeekTo(opt.From); err != nil {
 		closeConn(conn)
+		closeSource(src)
 		return err
 	}
 	if opt.Count > 0 && opt.From+opt.Count < total {
@@ -188,11 +194,13 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 	if a.draining {
 		a.mu.Unlock()
 		closeConn(conn)
+		closeSource(src)
 		return fmt.Errorf("spa: agent is draining")
 	}
 	if _, dup := a.streams[id]; dup {
 		a.mu.Unlock()
 		closeConn(conn)
+		closeSource(src)
 		return fmt.Errorf("spa: stream %d already active", id)
 	}
 	a.streams[id] = st
@@ -207,6 +215,14 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 // sockets do; shared SimNet endpoints expose no Close and are left alone).
 func closeConn(conn mtp.PacketConn) {
 	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// closeSource releases a frame source the agent took ownership of but will
+// never run.
+func closeSource(src mtp.FrameSource) {
+	if c, ok := src.(io.Closer); ok {
 		_ = c.Close()
 	}
 }

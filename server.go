@@ -17,8 +17,16 @@ type ServerConfig struct {
 	// Stack selects the control stack (default StackGenerated).
 	Stack StackKind
 	// Env provides the movie store, stream dialer, directory and
-	// equipment. Env.Store is required.
+	// equipment. When Env.Store is nil the server builds one from
+	// Backend/DataDir, owns it (closed on shutdown) and publishes it back
+	// into Env.Store so the caller can seed the catalogue.
 	Env *ServerEnv
+	// Backend selects the store built for a nil Env.Store: BackendMemory
+	// (default, sharded in-RAM) or BackendDisk (durable segment files).
+	Backend Backend
+	// DataDir roots the disk backend's movie directories (required for
+	// BackendDisk).
+	DataDir string
 	// Processors limits the generated stack to P virtual processors
 	// (0 = unlimited), modelling the paper's multiprocessor sizing.
 	Processors int
@@ -51,6 +59,8 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 		Addr:        cfg.Addr,
 		Stack:       cfg.Stack,
 		Env:         cfg.Env,
+		Backend:     cfg.Backend,
+		DataDir:     cfg.DataDir,
 		Processors:  cfg.Processors,
 		MaxSessions: cfg.MaxSessions,
 	})

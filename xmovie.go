@@ -54,6 +54,9 @@ type (
 	Movie = moviedb.Movie
 	// Store is a movie repository.
 	Store = moviedb.Store
+	// Backend selects a store implementation for servers that build their
+	// own (ServerConfig.Backend).
+	Backend = moviedb.Backend
 	// Conn is a reliable, ordered control-plane transport connection.
 	Conn = transport.Conn
 )
@@ -100,12 +103,31 @@ const (
 	StackHandcoded = core.StackHandcoded
 )
 
+// Store backends for ServerConfig.
+const (
+	// BackendMemory keeps movies in RAM (fast, volatile).
+	BackendMemory = moviedb.BackendMemory
+	// BackendDisk persists movies as per-movie segment files under
+	// ServerConfig.DataDir, streamed back through a bounded chunk cache.
+	BackendDisk = moviedb.BackendDisk
+)
+
 // NewMemStore returns an empty in-memory movie store.
 func NewMemStore() *moviedb.MemStore { return moviedb.NewMemStore() }
 
 // NewShardedStore returns an empty striped-lock movie store sized for many
 // concurrent sessions (shards 0 = a sensible default).
 func NewShardedStore(shards int) *moviedb.ShardedStore { return moviedb.NewShardedStore(shards) }
+
+// OpenDiskStore opens (creating if needed) a durable movie store rooted at
+// dir: per-movie segment files striped over disk shards, served as lazy
+// frame sources through a bounded LRU chunk cache. Reopening a store
+// recovers from torn appends (crash mid-record) by truncating the partial
+// tail and rebuilding the frame index. Close it when done; movies created
+// or recorded through it survive process restarts.
+func OpenDiskStore(dir string) (*moviedb.ShardedStore, error) {
+	return moviedb.OpenShardedDiskStore(dir, 0, moviedb.DiskConfig{})
+}
 
 // Pipe returns two connected in-memory transport endpoints; hand one to
 // Server.ServeConn and the other to NewClientConn.

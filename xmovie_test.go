@@ -243,3 +243,73 @@ func TestFacadeLazyStreamingTotals(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestFacadeDiskBackendDurability drives the public durable-storage API:
+// a server built with BackendDisk records a movie, shuts down, and a new
+// server over the same directory still serves it; OpenDiskStore reads the
+// same data directly.
+func TestFacadeDiskBackendDurability(t *testing.T) {
+	dir := t.TempDir()
+	eca := equipment.NewECA("studio")
+	if err := eca.Register(equipment.NewCamera("cam1", 256)); err != nil {
+		t.Fatal(err)
+	}
+	serve := func() (*xmovie.Server, *xmovie.Client) {
+		env := &xmovie.ServerEnv{EUA: equipment.NewEUA(eca, "server")}
+		srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+			Stack:   xmovie.StackHandcoded,
+			Env:     env,
+			Backend: xmovie.BackendDisk,
+			DataDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliEnd, srvEnd := xmovie.Pipe()
+		if err := srv.ServeConn(srvEnd); err != nil {
+			t.Fatal(err)
+		}
+		client, err := xmovie.NewClientConn(cliEnd, xmovie.ClientConfig{Stack: xmovie.StackHandcoded})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, client
+	}
+
+	srv, client := serve()
+	if err := client.Create("durable", 25, map[string]string{"take": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := client.Record("durable", "cam1", 17); err != nil || n != 17 {
+		t.Fatalf("record = %d, %v", n, err)
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, client = serve()
+	length, rate, err := client.Select("durable")
+	if err != nil || length != 17 || rate != 25 {
+		t.Fatalf("after restart: length %d rate %d, %v", length, rate, err)
+	}
+	attrs, err := client.Query("durable")
+	if err != nil || attrs["take"] != "1" {
+		t.Fatalf("attrs after restart = %v, %v", attrs, err)
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store facade opens the same directory offline.
+	store, err := xmovie.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	m, err := store.Get("durable")
+	if err != nil || m.FrameCount() != 17 {
+		t.Fatalf("offline open: %v, count %d", err, m.FrameCount())
+	}
+}
