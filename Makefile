@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
 	bench-smoke bench-guard bench-trajectory load-smoke load-stream \
-	load-disk ci
+	load-disk load-broadcast ci
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,7 @@ bench-smoke:
 # byte-identity proofs and the cold/cached disk-read benchmark, then the
 # mcambench -json smoke emitting BENCH_*.json into bench-out/.
 bench-guard:
-	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestDiskCachedReadAllocs|TestAppendMatchesSchemaEncoder' \
+	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestLiveTailSendAllocs|TestDiskCachedReadAllocs|TestAppendMatchesSchemaEncoder' \
 		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp ./internal/moviedb
 	$(GO) test -run='^$$' -bench='BenchmarkDiskStream' -benchtime=10x -benchmem ./internal/moviedb
 	mkdir -p bench-out
@@ -103,6 +103,21 @@ load-disk:
 		-movies 48 -frames 250 -maxtime 90s \
 		-json -out mcamload_disk -outdir bench-out
 
+# Live-broadcast load: one recorder keeps a movie live while 2000 viewers
+# stream it concurrently — each appended frame encoded once and fanned out
+# from the live window, late joiners replaying history before following
+# the tail. Fan-out throughput, live-edge lag percentiles, and the
+# late-joiner byte-identity verdict land in BENCH_mcamload_broadcast.json.
+# The small fan-out regression test runs under the race detector first;
+# the 2000-viewer run itself cannot (2000 stream + receiver goroutines
+# exceed the race runtime's ~8k goroutine budget).
+load-broadcast:
+	$(GO) test -race -run 'TestLiveBroadcastFanOut' ./internal/mcam
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcamload -scenarios broadcast -sessions 2000 -concurrent 2000 \
+		-frames 400 -maxtime 180s \
+		-json -out mcamload_broadcast -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
-	bench-trajectory load-smoke load-stream load-disk
+	bench-trajectory load-smoke load-stream load-disk load-broadcast

@@ -220,8 +220,13 @@ func runOffline(dataDir string, appendTo bool, args []string) error {
 		if err != nil {
 			return err
 		}
+		// Snapshot the length before opening: on a movie that is being
+		// recorded (another process appending to the same store directory),
+		// the source follows the live tail and the export would otherwise
+		// chase it forever. The bounded write yields a consistent prefix.
+		limit := m.FrameCount()
 		src := m.Open()
-		n, werr := moviedb.WriteRawFrames(f, src)
+		n, werr := moviedb.WriteRawFramesN(f, src, limit)
 		src.Close()
 		if cerr := f.Close(); werr == nil {
 			werr = cerr

@@ -80,7 +80,7 @@ func main() {
 		// Lazy synthesis: the disk store drains the generator straight to
 		// its segment file chunk by chunk, the memory store serves it on
 		// demand — either way the catalogue never materializes in RAM here.
-		err := env.Store.Create(xmovie.SynthesizeLazy(name, *frames, 25))
+		err := env.Store.Create(xmovie.SynthMovie(name, *frames, 25))
 		switch {
 		case err == nil:
 			seeded++

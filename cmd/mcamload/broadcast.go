@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmovie/internal/core"
+	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+// The broadcast scenario: one recorder keeps a single movie live through a
+// persistent OpRecord session while every other session is a viewer of the
+// same movie — the massive-fan-out shape the readable-while-appendable
+// contract exists for. Each appended frame is encoded once and fanned out
+// to all viewers from the movie's live window; late joiners (the second
+// wave) replay history from the store and hand off to the live tail.
+//
+// Measured: aggregate fan-out throughput (frames delivered across all
+// viewers per second of broadcast) and live-edge lag — the time from a
+// frame being published by the recorder to its delivery at a viewer,
+// sampled only for frames that were published after the viewer joined
+// (history replay is not lag). One late-wave viewer also byte-compares its
+// full delivered sequence against a post-seal replay of the store, proving
+// the history→live handoff is identical to the durable recording.
+
+// broadcastMovie is the one live movie every broadcast session shares.
+const broadcastMovie = "onair"
+
+// broadcastRecID is the recorder's client-chosen persistent session id.
+const broadcastRecID = 1
+
+// broadcastBatch is the number of frames captured per OpRecord call.
+const broadcastBatch = 5
+
+// broadcastCadence paces the recorder's batches: a live feed produces
+// frames on a clock, it does not blast them.
+const broadcastCadence = 2 * time.Millisecond
+
+// broadcastAgg is the combo-level broadcast outcome for the report.
+type broadcastAgg struct {
+	viewers   int
+	late      int
+	published int64
+	delivered int64
+	wall      time.Duration
+	lagP50    time.Duration
+	lagP95    time.Duration
+	lagP99    time.Duration
+	lagN      int
+	identity  bool
+}
+
+// fanoutPerSec is the aggregate delivery rate: frames handed to viewer
+// callbacks per second of broadcast wall time.
+func (b *broadcastAgg) fanoutPerSec() float64 {
+	if b.wall <= 0 {
+		return 0
+	}
+	return float64(b.delivered) / b.wall.Seconds()
+}
+
+// viewerOutcome is one viewer's session result.
+type viewerOutcome struct {
+	joinLen   int64
+	delivered int
+	// arrivals holds (seq, lag-at-arrival) for every delivered frame; the
+	// live-edge samples (seq >= joinLen) are filtered out after the fact
+	// because frames can arrive before the OpPlay response carries joinLen.
+	arrivals []arrival
+	frames   [][]byte // identity viewer only
+}
+
+type arrival struct {
+	seq int64
+	lag time.Duration
+}
+
+// runBroadcastCombo replaces the generic per-session loop for the
+// broadcast scenario: cfg.Sessions viewers in two join waves around one
+// recorder, all against a single live movie. Every blocking step is
+// bounded by sessionTimeout, so the combo needs no deadline plumbing; it
+// requires Concurrent >= Sessions (validated at startup) because every
+// viewer's stream stays open until the broadcast seals.
+func runBroadcastCombo(cfg loadConfig, stack core.StackKind, tr string) *comboResult {
+	res := newComboResult(stack.String(), tr)
+	cenv, err := seedEnv(cfg)
+	if err != nil {
+		res.fail(fmt.Sprintf("seed: %v", err))
+		return res
+	}
+	defer cenv.cleanup()
+	env, sim := cenv.env, cenv.sim
+	defer sim.Close()
+	addr := ""
+	if tr == "tcp" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := core.NewServer(core.ServerConfig{Addr: addr, Stack: stack, Env: env})
+	if err != nil {
+		res.fail(fmt.Sprintf("server: %v", err))
+		return res
+	}
+	defer srv.Close()
+
+	total := cfg.Frames
+	// pub[i] is the nanosecond timestamp (relative to start) at which the
+	// recorder published frame i, stamped just before the appending call.
+	pub := make([]atomic.Int64, total)
+	start := time.Now()
+
+	wave1 := cfg.Sessions - cfg.Sessions/2
+	// A viewer has "joined" once its OpPlay returned. The recorder gates
+	// on wave1Joined before the main publish run (so the measured fan-out
+	// is to viewers that are actually on air, not a dial storm) and on
+	// allJoined before sealing (so the last late joiner still finds the
+	// movie live).
+	var allJoined, wave1Joined sync.WaitGroup
+	allJoined.Add(cfg.Sessions)
+	wave1Joined.Add(wave1)
+
+	outcomes := make([]*viewerOutcome, cfg.Sessions)
+	identityIdx := wave1 // first late joiner proves handoff byte-identity
+	if cfg.Sessions == 1 {
+		identityIdx = 0
+	}
+	sem := make(chan struct{}, cfg.Concurrent)
+	var viewerWG sync.WaitGroup
+	launch := func(i int) {
+		sem <- struct{}{}
+		viewerWG.Add(1)
+		go func() {
+			defer viewerWG.Done()
+			defer func() { <-sem }()
+			onJoin := func() {
+				allJoined.Done()
+				if i < wave1 {
+					wave1Joined.Done()
+				}
+			}
+			out, err := runBroadcastViewer(srv, sim, stack, tr, res, i, i == identityIdx, start, pub, onJoin)
+			if err != nil {
+				res.addErr(fmt.Sprintf("viewer %d: %v", i, err))
+				return
+			}
+			outcomes[i] = out
+			res.done()
+		}()
+	}
+
+	// The recorder seeds a little history so even first-wave viewers open a
+	// movie that already exists and exercise the replay→live handoff.
+	recClient, err := dial(srv, stack, tr)
+	if err != nil {
+		res.fail(fmt.Sprintf("recorder dial: %v", err))
+		return res
+	}
+	defer recClient.Close()
+	published := 0
+	record := func(count int) error {
+		for j := published; j < published+count; j++ {
+			pub[j].Store(int64(time.Since(start)))
+		}
+		t := time.Now()
+		resp, err := recClient.Call(&mcam.Request{
+			Op: mcam.OpRecord, Movie: broadcastMovie, Device: "cam1",
+			StreamID: broadcastRecID, Count: int64(count),
+		})
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		if !resp.OK() {
+			return fmt.Errorf("record: %s (%s)", resp.Status, resp.Diagnostic)
+		}
+		res.op("record", time.Since(t))
+		published += count
+		if resp.Length != int64(published) {
+			return fmt.Errorf("record: movie length %d after %d published", resp.Length, published)
+		}
+		return nil
+	}
+	batchAt := func(n int) int {
+		if rest := total - n; rest < broadcastBatch {
+			return rest
+		}
+		return broadcastBatch
+	}
+
+	if err := record(batchAt(0)); err != nil {
+		res.fail(err.Error())
+		return res
+	}
+	for i := 0; i < wave1; i++ {
+		launch(i)
+	}
+	// The broadcast only counts once every first-wave viewer is on air:
+	// frames published from here on are live fan-out to all of them, and
+	// their publish→deliver lag is not polluted by the dial storm.
+	if !waitGroup(&wave1Joined) {
+		res.addErr("first wave did not finish joining before the timeout")
+	}
+	waitJoined := make(chan struct{})
+	go func() { allJoined.Wait(); close(waitJoined) }()
+
+	wave2Launched := false
+	for published < total {
+		if err := record(batchAt(published)); err != nil {
+			res.fail(err.Error())
+			return res
+		}
+		if !wave2Launched && published >= total/2 {
+			wave2Launched = true
+			for i := wave1; i < cfg.Sessions; i++ {
+				launch(i) // late wave joins mid-broadcast
+			}
+		}
+		time.Sleep(broadcastCadence)
+	}
+	if !wave2Launched {
+		for i := wave1; i < cfg.Sessions; i++ {
+			launch(i)
+		}
+	}
+	// Hold the live edge open until every viewer has joined, so the last
+	// joiner still finds a live movie, then seal.
+	select {
+	case <-waitJoined:
+	case <-time.After(sessionTimeout):
+		res.addErr(fmt.Sprintf("only %d sessions joined before seal", cfg.Sessions))
+	}
+	t := time.Now()
+	resp, err := recClient.Call(&mcam.Request{Op: mcam.OpStop, StreamID: broadcastRecID})
+	if err != nil || !resp.OK() {
+		res.fail(fmt.Sprintf("seal: %+v, %v", resp, err))
+		return res
+	}
+	res.op("seal", time.Since(t))
+	if resp.Position != int64(total) {
+		res.addErr(fmt.Sprintf("sealed at %d frames, published %d", resp.Position, total))
+	}
+
+	viewerWG.Wait()
+	wall := time.Since(start)
+
+	agg := &broadcastAgg{
+		viewers:   cfg.Sessions,
+		late:      cfg.Sessions - wave1,
+		published: int64(total),
+		wall:      wall,
+		identity:  true,
+	}
+	truth := broadcastGroundTruth(env, res)
+	var lags []time.Duration
+	for i, out := range outcomes {
+		if out == nil {
+			continue
+		}
+		agg.delivered += int64(out.delivered)
+		if out.delivered != total {
+			res.addErr(fmt.Sprintf("viewer %d delivered %d/%d frames", i, out.delivered, total))
+		}
+		for _, a := range out.arrivals {
+			if a.seq < out.joinLen {
+				continue // history replay, not live lag
+			}
+			lags = append(lags, a.lag)
+		}
+		if out.frames != nil && truth != nil {
+			if !framesEqual(out.frames, truth) {
+				agg.identity = false
+				res.addErr(fmt.Sprintf("viewer %d: delivered sequence differs from the sealed recording", i))
+			}
+		}
+	}
+	agg.lagN = len(lags)
+	agg.lagP50 = percentile(lags, 50)
+	agg.lagP95 = percentile(lags, 95)
+	agg.lagP99 = percentile(lags, 99)
+	res.mu.Lock()
+	res.broadcast = agg
+	res.mu.Unlock()
+	res.wall = wall
+	res.serverStreams = env.StreamTotals.Snapshot()
+	st := srv.Stats()
+	if st.Rejected > 0 {
+		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
+	}
+	res.peak = st.Peak
+	return res
+}
+
+// runBroadcastViewer is one viewer session: dial, OpPlay the live movie,
+// collect every delivered frame's arrival lag, and wait for the seal to
+// end the stream.
+func runBroadcastViewer(srv *core.Server, sim *mcam.SimNet, stack core.StackKind, tr string, res *comboResult, i int, identity bool, start time.Time, pub []atomic.Int64, onJoin func()) (*viewerOutcome, error) {
+	didJoin := false
+	defer func() {
+		if !didJoin {
+			onJoin() // a failed viewer must not wedge the join barriers
+		}
+	}()
+	t0 := time.Now()
+	client, err := dial(srv, stack, tr)
+	if err != nil {
+		return nil, fmt.Errorf("dial: %w", err)
+	}
+	defer client.Close()
+	res.op("dial", time.Since(t0))
+
+	addr := fmt.Sprintf("bcast-%s-%s-%05d/video", res.stack, res.transport, i)
+	end, err := sim.Listen(addr, netsim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	out := &viewerOutcome{arrivals: make([]arrival, 0, len(pub))}
+	recvDone := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, func(f mtp.Frame) {
+			seq := int64(f.Seq)
+			if seq < int64(len(pub)) {
+				if p := pub[seq].Load(); p != 0 {
+					lag := time.Since(start) - time.Duration(p)
+					if lag < 0 {
+						lag = 0
+					}
+					out.arrivals = append(out.arrivals, arrival{seq: seq, lag: lag})
+				}
+			}
+			if identity {
+				out.frames = append(out.frames, append([]byte(nil), f.Payload...))
+			}
+		})
+		recvDone <- st
+	}()
+	t := time.Now()
+	resp, err := client.Call(&mcam.Request{Op: mcam.OpPlay, Movie: broadcastMovie, StreamAddr: addr})
+	if err != nil {
+		return nil, fmt.Errorf("play: %w", err)
+	}
+	if !resp.OK() {
+		return nil, fmt.Errorf("play: %s (%s)", resp.Status, resp.Diagnostic)
+	}
+	res.op("play", time.Since(t))
+	// Length in the play response is the movie's length at join time: the
+	// boundary between history replay and live following.
+	out.joinLen = resp.Length
+	didJoin = true
+	onJoin()
+
+	select {
+	case st := <-recvDone:
+		out.delivered = st.Delivered
+	case <-time.After(sessionTimeout):
+		return nil, fmt.Errorf("stream did not terminate after seal")
+	}
+	return out, nil
+}
+
+// broadcastGroundTruth replays the sealed movie from the store for the
+// byte-identity check. nil (with an error recorded) if the replay fails.
+func broadcastGroundTruth(env *mcam.ServerEnv, res *comboResult) [][]byte {
+	m, err := env.Store.Get(broadcastMovie)
+	if err != nil {
+		res.addErr(fmt.Sprintf("ground truth: %v", err))
+		return nil
+	}
+	frames, err := moviedb.Materialize(m.Content)
+	if err != nil {
+		res.addErr(fmt.Sprintf("ground truth: %v", err))
+		return nil
+	}
+	return frames
+}
+
+// waitGroup waits for wg with the session timeout; false on timeout.
+func waitGroup(wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(sessionTimeout):
+		return false
+	}
+}
+
+func framesEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -43,7 +43,7 @@ func main() {
 		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
 		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
 		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
-		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed,broadcast")
 		movies     = flag.Int("movies", 32, "seeded catalogue size")
 		frames     = flag.Int("frames", 250, "frames per seeded movie")
 		fps        = flag.Int("fps", 25, "seeded movies' frame rate (pacing of every play)")
@@ -127,7 +127,7 @@ func main() {
 	}
 	for _, sc := range strings.Split(*scenarios, ",") {
 		switch sc = strings.TrimSpace(sc); sc {
-		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed:
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed, scenarioBroadcast:
 			cfg.Scenarios = append(cfg.Scenarios, sc)
 		case "":
 		default:
@@ -138,6 +138,20 @@ func main() {
 	if len(cfg.Stacks) == 0 || len(cfg.Transports) == 0 || len(cfg.Scenarios) == 0 {
 		fmt.Fprintln(os.Stderr, "mcamload: need at least one stack, transport and scenario")
 		os.Exit(2)
+	}
+	for _, sc := range cfg.Scenarios {
+		if sc != scenarioBroadcast {
+			continue
+		}
+		if len(cfg.Scenarios) != 1 {
+			fmt.Fprintln(os.Stderr, "mcamload: the broadcast scenario must be the sole scenario in the mix")
+			os.Exit(2)
+		}
+		if cfg.Concurrent < cfg.Sessions {
+			fmt.Fprintf(os.Stderr, "mcamload: broadcast needs -concurrent (%d) >= -sessions (%d): every viewer stream stays open until the seal\n",
+				cfg.Concurrent, cfg.Sessions)
+			os.Exit(2)
+		}
 	}
 	if cfg.Hold && cfg.Concurrent < cfg.Sessions {
 		fmt.Fprintf(os.Stderr, "mcamload: -hold needs -concurrent (%d) >= -sessions (%d): every session must be open at once\n",

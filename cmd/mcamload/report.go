@@ -59,6 +59,9 @@ type comboResult struct {
 	// cache is the disk store's chunk-cache counters (nil on memory
 	// combos).
 	cache *moviedb.CacheStats
+	// broadcast is the live fan-out outcome (nil outside the broadcast
+	// scenario).
+	broadcast *broadcastAgg
 
 	wall time.Duration
 	peak int64
@@ -260,6 +263,16 @@ func (r *Report) notes() []string {
 				"%s cache    hits=%d misses=%d evictions=%d resident=%dB/%dB",
 				c.name(), c.cache.Hits, c.cache.Misses, c.cache.Evictions,
 				c.cache.Bytes, c.cache.CapBytes))
+		}
+		if b := c.broadcast; b != nil {
+			notes = append(notes, fmt.Sprintf(
+				"%s broadcast viewers=%d (late %d) published=%d delivered=%d fanout=%.0ffr/s identity=%v",
+				c.name(), b.viewers, b.late, b.published, b.delivered,
+				b.fanoutPerSec(), b.identity))
+			notes = append(notes, fmt.Sprintf(
+				"%s live-lag n=%-6d p50=%sµs p95=%sµs p99=%sµs",
+				c.name(), b.lagN,
+				micros(b.lagP50), micros(b.lagP95), micros(b.lagP99)))
 		}
 		if c.serverStreams.Streams > 0 {
 			notes = append(notes, fmt.Sprintf(

@@ -9,6 +9,7 @@ import (
 
 	"xmovie/internal/core"
 	"xmovie/internal/directory"
+	"xmovie/internal/equipment"
 	"xmovie/internal/mcam"
 	"xmovie/internal/moviedb"
 	"xmovie/internal/mtp"
@@ -37,6 +38,13 @@ const (
 	// <= movies, as `make load-disk` arranges); beyond that, later
 	// sessions re-read cache-warm movies.
 	scenarioDisk = "disk"
+	// scenarioBroadcast is the live fan-out shape: one recorder keeps a
+	// single movie live while every session is a viewer of it, measuring
+	// aggregate fan-out throughput and live-edge lag percentiles. It must
+	// be the sole scenario in the mix (the recorder/viewer split replaces
+	// the per-session loop) and needs concurrent >= sessions, since every
+	// viewer stream stays open until the broadcast seals. See broadcast.go.
+	scenarioBroadcast = "broadcast"
 )
 
 // streamFrameSize is the seeded catalogue's frame payload size in bytes.
@@ -136,11 +144,14 @@ type comboEnv struct {
 // under a temporary directory, plus a flat-out (unpaced) disk catalogue for
 // the cold-vs-cached throughput measurement.
 func seedEnv(cfg loadConfig) (*comboEnv, error) {
-	wantDisk, wantCat := false, false
+	wantDisk, wantCat, wantLive := false, false, false
 	for _, sc := range cfg.Scenarios {
-		if sc == scenarioDisk {
+		switch sc {
+		case scenarioDisk:
 			wantDisk = true
-		} else {
+		case scenarioBroadcast:
+			wantLive = true
+		default:
 			wantCat = true
 		}
 	}
@@ -194,6 +205,22 @@ func seedEnv(cfg loadConfig) (*comboEnv, error) {
 			return nil, err
 		}
 	}
+	// The broadcast scenario records through the equipment chain into one
+	// initially-empty movie; its zero frame rate keeps viewers unpaced, so
+	// the measured fan-out is the live path, not the pacing clock.
+	var eua *equipment.EUA
+	if wantLive {
+		eca := equipment.NewECA("studio")
+		if err := eca.Register(equipment.NewCamera("cam1", streamFrameSize)); err != nil {
+			cenv.cleanup()
+			return nil, err
+		}
+		eua = equipment.NewEUA(eca, "load")
+		if err := store.Create(&moviedb.Movie{Name: broadcastMovie}); err != nil {
+			cenv.cleanup()
+			return nil, err
+		}
+	}
 	sim := mcam.NewSimNet()
 	base := directory.MustParseDN("c=DE/o=xmovie")
 	// Adaptive delivery needs receivers that emit feedback; only the
@@ -210,6 +237,7 @@ func seedEnv(cfg loadConfig) (*comboEnv, error) {
 		Dialer:       sim,
 		DUA:          directory.NewDUA(directory.NewDSA("load", base)),
 		DirBase:      base,
+		EUA:          eua,
 		StreamWindow: window,
 		StreamTotals: &spa.Totals{},
 	}
@@ -220,6 +248,12 @@ func seedEnv(cfg loadConfig) (*comboEnv, error) {
 // runCombo drives cfg.Sessions sessions against a fresh server over one
 // stack×transport pair.
 func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Time) *comboResult {
+	if cfg.Scenarios[0] == scenarioBroadcast {
+		// Broadcast replaces the independent-session loop with one
+		// recorder fanning out to cfg.Sessions viewers (validated at
+		// startup to be the sole scenario in the mix).
+		return runBroadcastCombo(cfg, stack, tr)
+	}
 	res := newComboResult(stack.String(), tr)
 	cenv, err := seedEnv(cfg)
 	if err != nil {

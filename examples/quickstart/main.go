@@ -17,7 +17,7 @@ func main() {
 	// A movie store with one synthetic film (substituting the digitized
 	// material of the XMovie testbed).
 	store := xmovie.NewMemStore()
-	if err := store.Create(xmovie.Synthesize("casablanca", 100, 25)); err != nil {
+	if err := store.Create(xmovie.SynthMovie("casablanca", 100, 25)); err != nil {
 		log.Fatal(err)
 	}
 

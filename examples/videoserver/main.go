@@ -20,7 +20,7 @@ func main() {
 	store := xmovie.NewMemStore()
 	titles := []string{"metropolis", "nosferatu", "golem"}
 	for _, t := range titles {
-		if err := store.Create(xmovie.Synthesize(t, 150, 50)); err != nil {
+		if err := store.Create(xmovie.SynthMovie(t, 150, 50)); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -34,48 +34,11 @@ type ServerEnv struct {
 	// StreamTotals, when non-nil, accumulates finished streams' data-plane
 	// counters across every association sharing this environment.
 	StreamTotals *spa.Totals
-
-	// uses counts active data-plane streams per movie across every
-	// association sharing this environment, so Delete can refuse to pull a
-	// movie out from under a running stream — whichever session started it.
-	uses streamUses
-}
-
-// streamUses is a concurrency-safe movie → active-stream-count map. The
-// zero value is ready to use.
-type streamUses struct {
-	mu sync.Mutex
-	n  map[string]int
-}
-
-func (u *streamUses) add(name string) {
-	u.mu.Lock()
-	if u.n == nil {
-		u.n = make(map[string]int)
-	}
-	u.n[name]++
-	u.mu.Unlock()
-}
-
-func (u *streamUses) remove(name string) {
-	u.mu.Lock()
-	if u.n[name] > 1 {
-		u.n[name]--
-	} else {
-		delete(u.n, name)
-	}
-	u.mu.Unlock()
-}
-
-func (u *streamUses) count(name string) int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.n[name]
 }
 
 // handler executes MCAM requests against a ServerEnv. One handler serves
-// one association; it owns the association's Stream Provider Agent and
-// selection state.
+// one association; it owns the association's Stream Provider Agent,
+// recording sessions and selection state.
 type handler struct {
 	env *ServerEnv
 	spa *spa.Agent
@@ -83,72 +46,53 @@ type handler struct {
 	// control operations address the selected movie).
 	selected string
 	nextID   int64
-	// mu guards streams: the movies of this association's in-flight
-	// streams, maintained from both the request path and the stream
-	// goroutines' terminal events.
-	mu      sync.Mutex
-	streams map[int64]string
+	// mu guards recs: this association's open recording sessions, keyed by
+	// the client-chosen stream id (OpRecord with StreamID != 0 opens one;
+	// OpStop closes it). Touched from the request path and from close().
+	mu   sync.Mutex
+	recs map[int64]*recSession
 	// closeOnce makes close idempotent: the association's own release path
 	// and the connection manager's forced teardown may both reach it.
 	closeOnce sync.Once
 }
 
+// recSession is one open live recording: repeated OpRecords with the same
+// StreamID append through one Recorder, keeping the movie live (readable
+// at its growing tail) until OpStop seals it.
+type recSession struct {
+	movie string
+	rec   moviedb.Recorder
+}
+
 // newHandler creates the per-association handler; events receives stream
 // lifecycle notifications and must be safe to call from stream goroutines.
 func newHandler(env *ServerEnv, events func(Event)) *handler {
-	h := &handler{env: env, nextID: 1, streams: make(map[int64]string)}
+	h := &handler{env: env, nextID: 1}
 	h.spa = spa.New(spa.Config{
 		Dialer: env.Dialer,
-		Events: func(e spa.Event) {
-			h.onStreamEvent(e)
-			events(convertEvent(e))
-		},
+		Events: func(e spa.Event) { events(convertEvent(e)) },
 		Window: env.StreamWindow,
 		Totals: env.StreamTotals,
 	})
 	return h
 }
 
-// trackStream registers a stream's movie in the association map and the
-// environment-wide use counts, refusing an id that is already live (so a
-// failed duplicate play can never clobber — or leak — the original's use
-// count). Registered before spa.Play so the terminal event can never race
-// ahead of registration.
-func (h *handler) trackStream(id int64, movie string) bool {
-	h.mu.Lock()
-	if _, dup := h.streams[id]; dup {
+// close releases the association's resources: recording sessions seal
+// (tailing viewers drain to the final frame) and the SPA stops its
+// streams. Safe to call more than once and from goroutines other than the
+// association's own.
+func (h *handler) close() {
+	h.closeOnce.Do(func() {
+		h.mu.Lock()
+		recs := h.recs
+		h.recs = nil
 		h.mu.Unlock()
-		return false
-	}
-	h.streams[id] = movie
-	h.mu.Unlock()
-	h.env.uses.add(movie)
-	return true
+		for _, rs := range recs {
+			_ = rs.rec.Close()
+		}
+		h.spa.Drain()
+	})
 }
-
-// untrackStream drops a stream registration (play failure or terminal
-// event); idempotent.
-func (h *handler) untrackStream(id int64) {
-	h.mu.Lock()
-	movie, ok := h.streams[id]
-	delete(h.streams, id)
-	h.mu.Unlock()
-	if ok {
-		h.env.uses.remove(movie)
-	}
-}
-
-// onStreamEvent runs on the stream goroutine for every lifecycle event and
-// releases the movie's use count when the stream reaches a terminal state.
-func (h *handler) onStreamEvent(e spa.Event) {
-	if e.Kind == spa.EventCompleted || e.Kind == spa.EventAborted {
-		h.untrackStream(e.StreamID)
-	}
-}
-
-// close releases the association's resources. Safe to call more than once
-// and from goroutines other than the association's own.
-func (h *handler) close() { h.closeOnce.Do(h.spa.Drain) }
 
 func fail(req *Request, st Status, format string, args ...any) *Response {
 	return &Response{
@@ -170,10 +114,10 @@ func storeStatus(err error) Status {
 		return StatusNoSuchMovie
 	case errors.Is(err, moviedb.ErrExists):
 		return StatusMovieExists
-	case errors.Is(err, moviedb.ErrLazyContent):
-		// The backend cannot extend this movie's content: a protocol-level
-		// capability miss, not an internal fault.
-		return StatusNotSupported
+	case errors.Is(err, moviedb.ErrLive):
+		// A live broadcast is in progress: a state the client can change
+		// (stop the recording) and retry, not a capability miss.
+		return StatusBadState
 	default:
 		return StatusBadState
 	}
@@ -219,6 +163,15 @@ func (h *handler) execute(req *Request) *Response {
 		}
 		return ok(req)
 	case OpStop:
+		// A stream id names either a play stream or a recording session;
+		// recording sessions are this association's own, checked first.
+		if rs := h.takeRecording(req.StreamID); rs != nil {
+			pos := rs.rec.Len()
+			_ = rs.rec.Close()
+			resp := ok(req)
+			resp.Position = pos
+			return resp
+		}
 		pos, err := h.spa.Stop(req.StreamID)
 		if err != nil {
 			return fail(req, StatusStreamError, "%v", err)
@@ -261,12 +214,11 @@ func (h *handler) create(req *Request) *Response {
 }
 
 func (h *handler) delete(req *Request) *Response {
-	// A movie with active streams — on any association sharing this server
-	// environment — must not vanish mid-play: refuse, the client can Stop
-	// the streams (or wait them out) and retry.
-	if n := h.env.uses.count(req.Movie); n > 0 {
-		return fail(req, StatusBadState, "movie %q has %d active stream(s)", req.Movie, n)
-	}
+	// The store arbitrates deletion: a live broadcast (open recording
+	// session, any association) refuses with ErrLive → StatusBadState,
+	// while plays of a sealed movie keep streaming their open sources —
+	// readable-while-appendable makes a play-vs-delete registry
+	// unnecessary.
 	if err := h.env.Store.Delete(req.Movie); err != nil {
 		return fail(req, storeStatus(err), "%v", err)
 	}
@@ -359,29 +311,16 @@ func (h *handler) play(req *Request) *Response {
 	}
 	// The play path is lazy end to end: the movie is opened as a
 	// FrameSource (one chunk window resident for lazy content, no
-	// materialization) and handed to the SPA, which paces it over MTP.
-	if !h.trackStream(id, name) {
-		return fail(req, StatusStreamError, "stream %d already active", id)
-	}
-	// Open before the existence re-check, then re-verify: a concurrent
-	// OpDelete that slipped between the Get above and trackStream (its
-	// use-count check saw zero) is caught here and refused, while a delete
-	// that lands after this point either saw our use count or races the
-	// source's open file reference and the stream finishes its snapshot.
+	// materialization) and handed to the SPA, which paces it over MTP. A
+	// source opened on a recording movie follows the live tail; a delete
+	// racing this open either refuses (movie still live) or leaves the
+	// source streaming its snapshot — no re-check needed.
 	src := m.Open()
-	if _, err := h.env.Store.Get(name); err != nil {
-		if c, ok := src.(interface{ Close() error }); ok {
-			_ = c.Close()
-		}
-		h.untrackStream(id)
-		return fail(req, storeStatus(err), "%v", err)
-	}
 	if err := h.spa.Play(id, req.StreamAddr, src, spa.PlayOptions{
 		FrameRate: m.FrameRate,
 		From:      req.Position,
 		Count:     req.Count,
 	}); err != nil {
-		h.untrackStream(id)
 		return fail(req, StatusStreamError, "%v", err)
 	}
 	resp := ok(req)
@@ -391,6 +330,12 @@ func (h *handler) play(req *Request) *Response {
 	return resp
 }
 
+// record captures frames from the equipment and appends them to the
+// movie. With StreamID == 0 (the historical form) it is a one-shot
+// session: the movie is live only for the duration of the call. With
+// StreamID != 0 it opens — or continues — a persistent recording session
+// under that id: the movie stays live between calls, concurrent plays
+// follow its growing tail, and OpStop (with the same id) seals it.
 func (h *handler) record(req *Request) *Response {
 	name, errResp := h.target(req)
 	if errResp != nil {
@@ -406,20 +351,78 @@ func (h *handler) record(req *Request) *Response {
 	if count <= 0 {
 		count = 25
 	}
+	var rec moviedb.Recorder
+	if req.StreamID != 0 {
+		rs, resp := h.recording(req, name)
+		if resp != nil {
+			return resp
+		}
+		rec = rs.rec
+	} else {
+		r, err := h.env.Store.Record(name)
+		if err != nil {
+			return fail(req, storeStatus(err), "%v", err)
+		}
+		defer r.Close()
+		rec = r
+	}
 	frames, err := h.env.EUA.Capture(req.Device, count)
 	if err != nil {
 		return fail(req, StatusEquipmentError, "%v", err)
 	}
-	if err := h.env.Store.AppendFrames(name, frames); err != nil {
-		return fail(req, storeStatus(err), "%v", err)
-	}
-	m, err := h.env.Store.Get(name)
+	n, err := rec.Append(frames)
 	if err != nil {
 		return fail(req, storeStatus(err), "%v", err)
 	}
 	resp := ok(req)
-	resp.Length = m.FrameCount()
+	resp.StreamID = req.StreamID
+	resp.Length = n
 	return resp
+}
+
+// recording returns the open session for req.StreamID, opening one on its
+// first use. A session is pinned to its movie: re-using the id against a
+// different movie is a state error.
+func (h *handler) recording(req *Request, name string) (*recSession, *Response) {
+	h.mu.Lock()
+	rs, ok := h.recs[req.StreamID]
+	h.mu.Unlock()
+	if ok {
+		if rs.movie != name {
+			return nil, fail(req, StatusBadState,
+				"recording session %d is on movie %q", req.StreamID, rs.movie)
+		}
+		return rs, nil
+	}
+	r, err := h.env.Store.Record(name)
+	if err != nil {
+		return nil, fail(req, storeStatus(err), "%v", err)
+	}
+	rs = &recSession{movie: name, rec: r}
+	h.mu.Lock()
+	if h.recs == nil {
+		h.recs = make(map[int64]*recSession)
+	}
+	h.recs[req.StreamID] = rs
+	h.mu.Unlock()
+	// Keep auto-assigned play ids clear of client-chosen recording ids, so
+	// an OpStop can never address both namespaces at once.
+	if req.StreamID >= h.nextID {
+		h.nextID = req.StreamID + 1
+	}
+	return rs, nil
+}
+
+// takeRecording removes and returns the session registered under id, or
+// nil.
+func (h *handler) takeRecording(id int64) *recSession {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rs, ok := h.recs[id]
+	if ok {
+		delete(h.recs, id)
+	}
+	return rs
 }
 
 func (h *handler) seek(req *Request) *Response {

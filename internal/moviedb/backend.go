@@ -104,11 +104,23 @@ func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 // WriteRawFrames writes every frame of src to w in the raw frame-file
 // format — the same length-prefixed records the segment store uses — and
 // returns the number of frames written. This is the mcamctl export format.
+//
+// src must not be live-tailing past the caller's horizon: on a recording
+// movie this would follow the appender indefinitely. Use WriteRawFramesN
+// with a length snapshot for a consistent-prefix export.
 func WriteRawFrames(w io.Writer, src FrameSource) (int64, error) {
+	return WriteRawFramesN(w, src, -1)
+}
+
+// WriteRawFramesN writes at most max frames of src to w in the raw
+// frame-file format (max < 0 means until io.EOF). Exports of a movie that
+// is being recorded pass a Len() snapshot taken at open, so the written
+// file is a consistent prefix instead of a race with the appender.
+func WriteRawFramesN(w io.Writer, src FrameSource, max int64) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var hdr [frameHeaderLen]byte
 	n := int64(0)
-	for {
+	for max < 0 || n < max {
 		f, err := src.Next()
 		if err == io.EOF {
 			break

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // On-disk layout (one directory per movie under the store root):
@@ -110,6 +111,10 @@ type diskMovie struct {
 	// ends[i] is the byte offset just past frame i's record; frame i's
 	// payload occupies [start(i)+frameHeaderLen, ends[i]).
 	ends []int64
+	// live is the current recording phase's window, nil before the first
+	// Record. Sources consult it at the live edge; appends publish into it
+	// while it is unsealed.
+	live *LiveWindow
 
 	// refs counts the store's own reference plus one per open source; the
 	// files close when it reaches zero (delete/close with live streams).
@@ -497,7 +502,7 @@ func (s *DiskStore) Create(mv *Movie) error {
 			return fail(fmt.Errorf("moviedb: materialize %s: %w", mv.Name, err))
 		}
 	} else if len(mv.Frames) > 0 {
-		if err := m.appendFrames(mv.Frames); err != nil {
+		if _, err := m.appendFrames(mv.Frames); err != nil {
 			return fail(fmt.Errorf("moviedb: %w", err))
 		}
 	}
@@ -522,10 +527,13 @@ func (s *DiskStore) Create(mv *Movie) error {
 
 // appendFromSource drains a FrameSource into the segment in chunk-sized
 // batches, so creating a feature-length lazy movie never materializes it.
+// The drain is bounded by the source's length at entry: copying from a
+// live movie captures a consistent prefix instead of tailing the appender.
 func (m *diskMovie) appendFromSource(src FrameSource) error {
 	defer src.Close()
+	limit := src.Len()
 	batch := make([][]byte, 0, m.store.chunkFrames)
-	for {
+	for copied := int64(0); copied < limit; copied++ {
 		f, err := src.Next()
 		if err == io.EOF {
 			break
@@ -537,23 +545,27 @@ func (m *diskMovie) appendFromSource(src FrameSource) error {
 		copy(cp, f)
 		batch = append(batch, cp)
 		if len(batch) == cap(batch) {
-			if err := m.appendFrames(batch); err != nil {
+			if _, err := m.appendFrames(batch); err != nil {
 				return err
 			}
 			batch = batch[:0]
 		}
 	}
 	if len(batch) > 0 {
-		return m.appendFrames(batch)
+		_, err := m.appendFrames(batch)
+		return err
 	}
 	return nil
 }
 
-// appendFrames writes frame records at the segment tail and extends the
-// index. The segment write is a single WriteAt followed by fsync; on any
-// error the tail is truncated back so the movie never holds a torn record
-// in a running store (a crash mid-write is repaired by recover instead).
-func (m *diskMovie) appendFrames(frames [][]byte) error {
+// appendFrames writes frame records at the segment tail, extends the
+// index, and — while a live window is open — publishes the frames to
+// tailing sources (views into the freshly written buffer, so fan-out costs
+// no extra copy). The segment write is a single WriteAt followed by fsync;
+// on any error the tail is truncated back so the movie never holds a torn
+// record in a running store (a crash mid-write is repaired by recover
+// instead). Returns the movie's new frame count.
+func (m *diskMovie) appendFrames(frames [][]byte) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	base := int64(0)
@@ -563,28 +575,30 @@ func (m *diskMovie) appendFrames(frames [][]byte) error {
 	total := 0
 	for _, f := range frames {
 		if len(f) > MaxFrameBytes {
-			return fmt.Errorf("frame of %d bytes exceeds MaxFrameBytes", len(f))
+			return 0, fmt.Errorf("frame of %d bytes exceeds MaxFrameBytes", len(f))
 		}
 		total += frameHeaderLen + len(f)
 	}
 	buf := make([]byte, 0, total)
 	newEnds := make([]int64, 0, len(frames))
+	views := make([][]byte, 0, len(frames))
 	off := base
 	for _, f := range frames {
 		var hdr [frameHeaderLen]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
 		buf = append(buf, hdr[:]...)
+		views = append(views, buf[len(buf):len(buf)+len(f)])
 		buf = append(buf, f...)
 		off += frameHeaderLen + int64(len(f))
 		newEnds = append(newEnds, off)
 	}
 	if _, err := m.seg.WriteAt(buf, base); err != nil {
 		_ = m.seg.Truncate(base)
-		return err
+		return 0, err
 	}
 	if err := m.seg.Sync(); err != nil {
 		_ = m.seg.Truncate(base)
-		return err
+		return 0, err
 	}
 	// Index entries are acceleration only: failure to extend the sidecar
 	// is repaired on next open, not a reason to fail the append.
@@ -594,7 +608,11 @@ func (m *diskMovie) appendFrames(frames [][]byte) error {
 	}
 	_, _ = m.idx.WriteAt(ibuf, int64(len(indexMagic)+8*len(m.ends)))
 	m.ends = append(m.ends, newEnds...)
-	return nil
+	if m.live != nil {
+		// Under m.mu, so ring indices always equal segment indices.
+		m.live.publish(views)
+	}
+	return int64(len(m.ends)), nil
 }
 
 // lookup returns the live movie under the read lock.
@@ -629,16 +647,24 @@ func (s *DiskStore) Get(name string) (*Movie, error) {
 	}, nil
 }
 
-// Delete implements Store. The movie's directory is removed and its cache
+// Delete implements Store. A live movie (open recording session) refuses
+// with ErrLive. Otherwise the movie's directory is removed and its cache
 // entries dropped; sources already streaming it keep their open file and
 // finish undisturbed (the data vanishes from disk when they close).
 func (s *DiskStore) Delete(name string) error {
 	s.mu.Lock()
+	closed := s.closed
 	m, ok := s.movies[name]
-	if ok {
+	if ok && !closed {
+		m.mu.RLock()
+		live := m.live != nil && m.live.Live()
+		m.mu.RUnlock()
+		if live {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrLive, name)
+		}
 		delete(s.movies, name)
 	}
-	closed := s.closed
 	s.mu.Unlock()
 	if closed {
 		return fmt.Errorf("moviedb: store is closed")
@@ -692,14 +718,75 @@ func (s *DiskStore) SetAttrs(name string, updates Attributes) error {
 
 // AppendFrames implements Store: recorded frames go straight to the
 // segment file — the disk backend supports append natively, lazy content
-// and all.
+// and all. Frames land in any open live window too, so a one-shot append
+// during someone else's recording session reaches tailing viewers.
 func (s *DiskStore) AppendFrames(name string, frames [][]byte) error {
 	m, err := s.lookup(name)
 	if err != nil {
 		return err
 	}
-	if err := m.appendFrames(frames); err != nil {
+	if _, err := m.appendFrames(frames); err != nil {
 		return fmt.Errorf("moviedb: append %s: %w", name, err)
+	}
+	return nil
+}
+
+// Record implements Store.
+func (s *DiskStore) Record(name string) (Recorder, error) {
+	m, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	// The recorder holds a file reference of its own, so the segment stays
+	// writable for the whole session even if the store closes under it.
+	if !m.retainIfLive() {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	m.mu.Lock()
+	if m.live == nil || !m.live.addSession() {
+		m.live = newLiveWindow(int64(len(m.ends)), 0)
+		m.live.addSession()
+	}
+	win := m.live
+	m.mu.Unlock()
+	return &diskRecorder{m: m, win: win}, nil
+}
+
+// diskRecorder is one live append session on a DiskStore movie.
+type diskRecorder struct {
+	m   *diskMovie
+	win *LiveWindow
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (r *diskRecorder) Append(frames [][]byte) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("moviedb: append on closed recorder (%s)", r.m.name)
+	}
+	n, err := r.m.appendFrames(frames)
+	if err != nil {
+		return 0, fmt.Errorf("moviedb: append %s: %w", r.m.name, err)
+	}
+	return n, nil
+}
+
+func (r *diskRecorder) Len() int64 {
+	r.m.mu.RLock()
+	defer r.m.mu.RUnlock()
+	return int64(len(r.m.ends))
+}
+
+func (r *diskRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		r.win.endSession()
+		r.m.release()
 	}
 	return nil
 }
@@ -721,8 +808,8 @@ func (s *DiskStore) Close() error {
 }
 
 // diskContent adapts a diskMovie to the lazy Content interface. Len is
-// live (it grows as recordings append); each Open snapshots the current
-// length, so a stream plays the movie as it existed when it started.
+// live (it grows as recordings append), and sources follow the live tail:
+// history through the chunk cache, the edge through the movie's window.
 type diskContent struct {
 	m *diskMovie
 }
@@ -753,6 +840,7 @@ func (c *diskContent) Open() FrameSource {
 		ends:  ends,
 		lo:    -1,
 		hi:    -1,
+		tc:    newTailCursor(),
 	}
 }
 
@@ -774,11 +862,16 @@ func (d *deadSource) SeekTo(pos int64) error {
 	return nil
 }
 
-// diskSource streams one snapshot of a disk movie. It keeps exactly one
-// chunk resident: either a shared reference into the chunk cache or (for
-// chunks the cache would not admit) a private buffer. The slices Next
-// returns point into that chunk and stay valid until the next chunk load —
-// well past the one-call lifetime the FrameSource contract demands.
+// diskSource streams a disk movie, following the live tail. It keeps
+// exactly one chunk resident: either a shared reference into the chunk
+// cache or (for chunks the cache would not admit) a private buffer. The
+// slices Next returns point into that chunk (or, at the live edge, into
+// the movie's ring) and stay valid until the next chunk load — well past
+// the one-call lifetime the FrameSource contract demands.
+//
+// ends is the source's private view of the movie's index; it is refreshed
+// from the movie when the cursor catches up to it, so a finished history
+// replay hands off to freshly appended frames without reopening anything.
 type diskSource struct {
 	m     *diskMovie
 	cache *ChunkCache
@@ -791,6 +884,7 @@ type diskSource struct {
 	lo, hi     int64 // frame range loaded into chunk
 	maxChunk   int
 	closed     bool
+	tc         tailCursor
 }
 
 var (
@@ -798,20 +892,53 @@ var (
 	_ ResidentReporter = (*diskSource)(nil)
 )
 
-func (s *diskSource) Len() int64 { return int64(len(s.ends)) }
+func (s *diskSource) Len() int64 {
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	return int64(len(s.m.ends))
+}
+
 func (s *diskSource) Pos() int64 { return s.pos }
 
 func (s *diskSource) Next() ([]byte, error) {
 	if s.closed {
 		return nil, fmt.Errorf("moviedb: source is closed")
 	}
-	n := int64(len(s.ends))
-	if s.pos >= n {
-		return nil, io.EOF
-	}
-	if s.pos < s.lo || s.pos >= s.hi {
-		if err := s.load(s.pos / s.cf); err != nil {
-			return nil, err
+	for {
+		if s.pos < int64(len(s.ends)) {
+			if s.pos >= s.lo && s.pos < s.hi {
+				break // resident chunk: the hot history path
+			}
+			// Steady-state live tail: serve straight from the ring,
+			// zero-copy and without disturbing the chunk cache with
+			// still-growing partial chunks.
+			s.m.mu.RLock()
+			win := s.m.live
+			s.m.mu.RUnlock()
+			if win != nil {
+				if f, ok := win.Frame(s.pos); ok {
+					s.pos++
+					return f, nil
+				}
+			}
+			if err := s.load(s.pos / s.cf); err != nil {
+				return nil, err
+			}
+			break
+		}
+		// Past the private index: refresh it from the movie, and if the
+		// frame still does not exist, wait at the live edge.
+		s.m.mu.RLock()
+		if n := len(s.m.ends); n > len(s.ends) {
+			s.ends = s.m.ends[:n:n]
+		}
+		win := s.m.live
+		s.m.mu.RUnlock()
+		if s.pos < int64(len(s.ends)) {
+			continue
+		}
+		if win == nil || !s.tc.await(win, s.pos) {
+			return nil, io.EOF
 		}
 	}
 	payload := s.chunk[start(s.ends, s.pos)+frameHeaderLen-s.chunkStart : s.ends[s.pos]-s.chunkStart]
@@ -846,6 +973,14 @@ func (s *diskSource) load(ci int64) error {
 }
 
 func (s *diskSource) SeekTo(pos int64) error {
+	if int64(len(s.ends)) < pos {
+		// The private index may trail a live movie; refresh before ruling.
+		s.m.mu.RLock()
+		if n := len(s.m.ends); n > len(s.ends) {
+			s.ends = s.m.ends[:n:n]
+		}
+		s.m.mu.RUnlock()
+	}
 	if pos < 0 || pos > int64(len(s.ends)) {
 		return fmt.Errorf("moviedb: seek to %d outside 0..%d", pos, len(s.ends))
 	}
@@ -858,6 +993,7 @@ func (s *diskSource) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.tc.CancelWait()
 	s.chunk = nil
 	s.lo, s.hi = -1, -1
 	s.m.release()
@@ -867,3 +1003,11 @@ func (s *diskSource) Close() error {
 // MaxResident implements ResidentReporter: the largest chunk this source
 // has held resident, in bytes.
 func (s *diskSource) MaxResident() int { return s.maxChunk }
+
+// CancelWait implements WaitCanceler: any Next parked at the live edge
+// unblocks and returns io.EOF, as do all future edge waits.
+func (s *diskSource) CancelWait() { s.tc.CancelWait() }
+
+// TakeWaited reports and resets the time Next has spent blocked at the
+// live edge, for senders that pace against a wall clock.
+func (s *diskSource) TakeWaited() time.Duration { return s.tc.TakeWaited() }

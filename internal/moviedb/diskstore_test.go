@@ -377,7 +377,9 @@ func TestDiskStoreCrashRecovery(t *testing.T) {
 	})
 }
 
-func TestDiskAppendAndSnapshotIsolation(t *testing.T) {
+func TestDiskAppendVisibleToOpenSource(t *testing.T) {
+	// Readable-while-appendable: a source opened before an append follows
+	// the movie's growing tail instead of freezing a snapshot.
 	dir := t.TempDir()
 	s := openTestDisk(t, dir, DiskConfig{ChunkFrames: 4})
 	frames := frameBytes(8)
@@ -388,29 +390,29 @@ func TestDiskAppendAndSnapshotIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := m.Open() // snapshot at 4 frames
+	src := m.Open() // opened at 4 frames, before the append
 	defer src.Close()
 	if err := s.AppendFrames("m", frames[4:]); err != nil {
 		t.Fatal(err)
 	}
-	if src.Len() != 4 {
-		t.Fatalf("pre-append source sees %d frames", src.Len())
+	if src.Len() != 8 {
+		t.Fatalf("post-append source length = %d", src.Len())
 	}
-	if got := drain(t, src); len(got) != 4 {
-		t.Fatalf("pre-append source streamed %d frames", len(got))
-	}
-	// Both the old Get's live content and a fresh Get see the append.
 	if m.FrameCount() != 8 {
 		t.Fatalf("live content length = %d", m.FrameCount())
 	}
 	m2, _ := s.Get("m")
-	got := drain(t, m2.Open())
-	if len(got) != 8 {
-		t.Fatalf("post-append stream has %d frames", len(got))
-	}
-	for i := range frames {
-		if !bytes.Equal(got[i], frames[i]) {
-			t.Fatalf("frame %d differs after append", i)
+	src2 := m2.Open()
+	defer src2.Close()
+	for _, s := range []FrameSource{src, src2} {
+		got := drain(t, s)
+		if len(got) != 8 {
+			t.Fatalf("stream has %d frames", len(got))
+		}
+		for i := range frames {
+			if !bytes.Equal(got[i], frames[i]) {
+				t.Fatalf("frame %d differs after append", i)
+			}
 		}
 	}
 }

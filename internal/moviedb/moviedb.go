@@ -3,6 +3,11 @@
 // It is the paper's "movie database" (Fig. 2) that MCAM server entities
 // serve streams from, and the synthetic-movie generator substitutes for the
 // production movie material the XMovie project used.
+//
+// Movies are readable while appendable: Store.Record opens a live append
+// session, and FrameSources opened on the same movie follow its growing
+// tail through the movie's LiveWindow instead of ending early — see
+// live.go and the Content/FrameSource contract in source.go.
 package moviedb
 
 import (
@@ -11,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Format identifies a movie's digital image format.
@@ -69,12 +75,15 @@ type Movie struct {
 	// non-nil) it stays nil; the data plane reads through Open either way.
 	Frames [][]byte
 	// Content, when non-nil, is the movie's lazy frame payload; it takes
-	// precedence over Frames. Content values are immutable and shared
-	// between the store and the copies Get hands out.
+	// precedence over Frames. Store.Get always populates it with a
+	// store-backed Content whose sources follow the movie's live tail;
+	// movies built by hand may carry an immutable Content (SynthContent,
+	// SliceContent) instead.
 	Content Content
 }
 
 // FrameCount returns the number of stored frames, materialized or lazy.
+// On a live movie this is the length at the moment of the call.
 func (m *Movie) FrameCount() int64 {
 	if m.Content != nil {
 		return m.Content.Len()
@@ -85,7 +94,8 @@ func (m *Movie) FrameCount() int64 {
 // Open returns a fresh FrameSource over the movie's content, positioned at
 // frame 0. Every open is independent, so many streams can play the same
 // movie concurrently; lazy movies materialize at most one chunk window per
-// source.
+// source. A source opened on a recording movie follows the live tail (see
+// the FrameSource contract in source.go).
 func (m *Movie) Open() FrameSource {
 	if m.Content != nil {
 		return m.Content.Open()
@@ -101,16 +111,10 @@ func (m *Movie) DurationMillis() int64 {
 	return m.FrameCount() * 1000 / int64(m.FrameRate)
 }
 
-// Errors returned by stores.
+// Errors returned by stores. ErrLive lives in live.go.
 var (
 	ErrNotFound = errors.New("moviedb: no such movie")
 	ErrExists   = errors.New("moviedb: movie already exists")
-	// ErrLazyContent reports an append to a movie whose backend cannot
-	// extend its lazy content (it failed to materialize). Backends that
-	// support append never return it: the disk store appends to its
-	// segment natively, and MemStore materializes lazy movies on first
-	// append. The MCAM layer maps it to StatusNotSupported.
-	ErrLazyContent = errors.New("moviedb: cannot append frames to lazy content")
 )
 
 // Store is a movie repository.
@@ -119,70 +123,135 @@ type Store interface {
 	Create(m *Movie) error
 	// Get returns the movie by name.
 	Get(name string) (*Movie, error)
-	// Delete removes the movie by name.
+	// Delete removes the movie by name. A movie with an open recording
+	// session refuses with ErrLive.
 	Delete(name string) error
 	// List returns all movie names, sorted.
 	List() []string
 	// SetAttrs merges attribute updates into the named movie (a value of
 	// "" deletes the key).
 	SetAttrs(name string, updates Attributes) error
-	// AppendFrames adds recorded frames to the named movie.
+	// AppendFrames adds recorded frames to the named movie: a one-shot
+	// recording session (Record + Append + Close).
 	AppendFrames(name string, frames [][]byte) error
+	// Record opens a live append session on the named movie. While the
+	// session is open the movie is live: sources follow its growing tail
+	// and Delete refuses. Sessions on the same movie share one live
+	// phase, which seals when the last of them closes.
+	Record(name string) (Recorder, error)
 }
 
-// MemStore is an in-memory Store, safe for concurrent use.
+// MemStore is an in-memory Store, safe for concurrent use. Each movie
+// carries its own lock, so appends to one live movie never stall reads of
+// another.
 type MemStore struct {
 	mu     sync.RWMutex
-	movies map[string]*Movie
+	movies map[string]*memMovie
 }
+
+// memMovie is the store's representation of one movie: an optional
+// immutable lazy base (the content the movie was created with) plus the
+// frames appended after it, and the live window of the current recording
+// phase, if any.
+type memMovie struct {
+	name string
+
+	mu        sync.Mutex
+	format    Format
+	frameRate int
+	attrs     Attributes
+	base      Content  // immutable; nil for eager movies
+	baseLen   int64    // base.Len(), frozen at Create
+	frames    [][]byte // frames after the base (all frames when base == nil)
+	live      *LiveWindow
+}
+
+// total returns the movie length; callers hold mm.mu.
+func (mm *memMovie) total() int64 { return mm.baseLen + int64(len(mm.frames)) }
 
 var _ Store = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{movies: make(map[string]*Movie)}
+	return &MemStore{movies: make(map[string]*memMovie)}
 }
 
-// Create implements Store.
+// Create implements Store. Frame payloads are copied in as slice headers;
+// when m carries a lazy Content it becomes the movie's immutable base and
+// m.Frames is ignored (Content takes precedence, as in Movie).
 func (s *MemStore) Create(m *Movie) error {
 	if m.Name == "" {
 		return fmt.Errorf("moviedb: empty movie name")
+	}
+	mm := &memMovie{
+		name:      m.Name,
+		format:    m.Format,
+		frameRate: m.FrameRate,
+		attrs:     m.Attrs.Clone(),
+		base:      m.Content,
+	}
+	if mm.base != nil {
+		mm.baseLen = mm.base.Len()
+	} else {
+		mm.frames = append([][]byte(nil), m.Frames...)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.movies[m.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, m.Name)
 	}
-	cp := *m
-	cp.Attrs = m.Attrs.Clone()
-	cp.Frames = append([][]byte(nil), m.Frames...)
-	if cp.Attrs == nil {
-		cp.Attrs = make(Attributes)
-	}
-	s.movies[m.Name] = &cp
+	s.movies[m.Name] = mm
 	return nil
 }
 
-// Get implements Store. The returned movie shares frame storage with the
-// store and must not be mutated; use SetAttrs/AppendFrames to modify.
-func (s *MemStore) Get(name string) (*Movie, error) {
+func (s *MemStore) lookup(name string) (*memMovie, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	m, ok := s.movies[name]
+	mm, ok := s.movies[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	cp := *m
-	cp.Attrs = m.Attrs.Clone()
-	return &cp, nil
+	return mm, nil
 }
 
-// Delete implements Store.
+// Get implements Store. The returned movie's Content follows the live
+// tail; for eager movies Frames additionally exposes the materialized
+// payloads as of the call (shared storage — do not mutate).
+func (s *MemStore) Get(name string) (*Movie, error) {
+	mm, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	cp := &Movie{
+		Name:      mm.name,
+		Format:    mm.format,
+		FrameRate: mm.frameRate,
+		Attrs:     mm.attrs.Clone(),
+		Content:   &memContent{mm: mm},
+	}
+	if mm.base == nil {
+		cp.Frames = mm.frames[:len(mm.frames):len(mm.frames)]
+	}
+	return cp, nil
+}
+
+// Delete implements Store; a live movie refuses with ErrLive. Sources
+// already open on the movie keep reading their snapshot — memory-backed
+// frames outlive the catalogue entry.
 func (s *MemStore) Delete(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.movies[name]; !ok {
+	mm, ok := s.movies[name]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	mm.mu.Lock()
+	live := mm.live != nil && mm.live.Live()
+	mm.mu.Unlock()
+	if live {
+		return fmt.Errorf("%w: %s", ErrLive, name)
 	}
 	delete(s.movies, name)
 	return nil
@@ -202,58 +271,222 @@ func (s *MemStore) List() []string {
 
 // SetAttrs implements Store.
 func (s *MemStore) SetAttrs(name string, updates Attributes) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.movies[name]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	mm, err := s.lookup(name)
+	if err != nil {
+		return err
 	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
 	for k, v := range updates {
 		if v == "" {
-			delete(m.Attrs, k)
+			delete(mm.attrs, k)
 		} else {
-			m.Attrs[k] = v
+			mm.attrs[k] = v
 		}
 	}
 	return nil
 }
 
-// AppendFrames implements Store. A lazy movie is materialized on first
-// append (recording onto a synthesized catalogue entry turns it eager);
-// the drain is bounded by the movie's length, which an in-memory store
-// must be able to hold anyway.
+// AppendFrames implements Store: a one-shot recording session.
 func (s *MemStore) AppendFrames(name string, frames [][]byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.movies[name]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	rec, err := s.Record(name)
+	if err != nil {
+		return err
 	}
-	if m.Content != nil {
-		materialized, err := Materialize(m.Content)
-		if err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrLazyContent, name, err)
-		}
-		m.Frames = materialized
-		m.Content = nil
+	_, err = rec.Append(frames)
+	if cerr := rec.Close(); err == nil {
+		err = cerr
 	}
-	for _, f := range frames {
+	return err
+}
+
+// Record implements Store.
+func (s *MemStore) Record(name string) (Recorder, error) {
+	mm, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.live == nil || !mm.live.addSession() {
+		mm.live = newLiveWindow(mm.total(), 0)
+		mm.live.addSession()
+	}
+	return &memRecorder{mm: mm, win: mm.live}, nil
+}
+
+// memRecorder is one live append session on a MemStore movie.
+type memRecorder struct {
+	mm  *memMovie
+	win *LiveWindow
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (r *memRecorder) Append(frames [][]byte) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("moviedb: append on closed recorder (%s)", r.mm.name)
+	}
+	cps := make([][]byte, len(frames))
+	for i, f := range frames {
 		cp := make([]byte, len(f))
 		copy(cp, f)
-		m.Frames = append(m.Frames, cp)
+		cps[i] = cp
+	}
+	r.mm.mu.Lock()
+	r.mm.frames = append(r.mm.frames, cps...)
+	n := r.mm.total()
+	// Published under mm.mu so ring indices equal storage indices even
+	// with concurrent sessions, and a woken source always finds its frame.
+	r.win.publish(cps)
+	r.mm.mu.Unlock()
+	return n, nil
+}
+
+func (r *memRecorder) Len() int64 {
+	r.mm.mu.Lock()
+	defer r.mm.mu.Unlock()
+	return r.mm.total()
+}
+
+func (r *memRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		r.win.endSession()
 	}
 	return nil
 }
 
-// Materialize drains lazy content into owned frame slices.
+// memContent serves a MemStore movie: history from the base content and
+// the appended frames, then the live tail.
+type memContent struct {
+	mm *memMovie
+}
+
+var _ Content = (*memContent)(nil)
+
+func (c *memContent) Len() int64 {
+	c.mm.mu.Lock()
+	defer c.mm.mu.Unlock()
+	return c.mm.total()
+}
+
+func (c *memContent) Open() FrameSource {
+	c.mm.mu.Lock()
+	base := c.mm.base
+	baseLen := c.mm.baseLen
+	c.mm.mu.Unlock()
+	src := &memSource{mm: c.mm, baseLen: baseLen, tc: newTailCursor()}
+	if base != nil {
+		src.base = base.Open()
+	}
+	return src
+}
+
+// memSource reads a MemStore movie: positions below baseLen come from a
+// cursor over the immutable base content, positions above from the
+// appended frames, and at the live edge it waits on the movie's current
+// window.
+type memSource struct {
+	mm      *memMovie
+	base    FrameSource // nil when the movie has no lazy base
+	baseLen int64
+	pos     int64
+	closed  bool
+	tc      tailCursor
+}
+
+func (s *memSource) Len() int64 {
+	s.mm.mu.Lock()
+	defer s.mm.mu.Unlock()
+	return s.mm.total()
+}
+
+func (s *memSource) Pos() int64 { return s.pos }
+
+func (s *memSource) Next() ([]byte, error) {
+	if s.closed {
+		return nil, fmt.Errorf("moviedb: source is closed")
+	}
+	for {
+		if s.pos < s.baseLen {
+			if s.base.Pos() != s.pos {
+				if err := s.base.SeekTo(s.pos); err != nil {
+					return nil, err
+				}
+			}
+			f, err := s.base.Next()
+			if err == nil {
+				s.pos++
+			}
+			return f, err
+		}
+		s.mm.mu.Lock()
+		if i := s.pos - s.baseLen; i < int64(len(s.mm.frames)) {
+			f := s.mm.frames[i]
+			s.mm.mu.Unlock()
+			s.pos++
+			return f, nil
+		}
+		win := s.mm.live
+		s.mm.mu.Unlock()
+		if win == nil || !s.tc.await(win, s.pos) {
+			return nil, io.EOF
+		}
+	}
+}
+
+func (s *memSource) SeekTo(pos int64) error {
+	if n := s.Len(); pos < 0 || pos > n {
+		return fmt.Errorf("moviedb: seek to %d outside 0..%d", pos, n)
+	}
+	s.pos = pos
+	return nil
+}
+
+func (s *memSource) Close() error {
+	s.closed = true
+	s.tc.CancelWait()
+	if s.base != nil {
+		return s.base.Close()
+	}
+	return nil
+}
+
+// CancelWait implements WaitCanceler: any Next parked at the live edge
+// unblocks and returns io.EOF, as do all future edge waits.
+func (s *memSource) CancelWait() { s.tc.CancelWait() }
+
+// TakeWaited reports and resets the time Next has spent blocked at the
+// live edge, for senders that pace against a wall clock.
+func (s *memSource) TakeWaited() time.Duration { return s.tc.TakeWaited() }
+
+// MaxResident forwards the base cursor's bound, if it reports one.
+func (s *memSource) MaxResident() int {
+	if rr, ok := s.base.(ResidentReporter); ok {
+		return rr.MaxResident()
+	}
+	return 0
+}
+
+// Materialize drains lazy content into owned frame slices. The drain is
+// bounded by the content's length at the moment of the call, so
+// materializing a live movie yields a consistent prefix instead of chasing
+// the appender.
 func Materialize(c Content) ([][]byte, error) {
 	src := c.Open()
 	defer src.Close()
-	frames := make([][]byte, 0, c.Len())
-	for {
+	n := c.Len()
+	frames := make([][]byte, 0, n)
+	for int64(len(frames)) < n {
 		f, err := src.Next()
 		if err == io.EOF {
-			return frames, nil
+			break
 		}
 		if err != nil {
 			return nil, err
@@ -262,4 +495,5 @@ func Materialize(c Content) ([][]byte, error) {
 		copy(cp, f)
 		frames = append(frames, cp)
 	}
+	return frames, nil
 }

@@ -77,6 +77,11 @@ func (s *ShardedStore) AppendFrames(name string, frames [][]byte) error {
 	return s.shard(name).AppendFrames(name, frames)
 }
 
+// Record implements Store.
+func (s *ShardedStore) Record(name string) (Recorder, error) {
+	return s.shard(name).Record(name)
+}
+
 // List implements Store: a merge over the shards' (individually sorted)
 // listings. The result is a consistent-per-shard, not globally atomic,
 // snapshot — names created or deleted concurrently may or may not appear.

@@ -10,15 +10,31 @@ import (
 // frame at a time; sources materialize at most a small chunk window, so a
 // feature-length movie never has to exist in memory as a whole.
 //
+// Movies are readable while appendable. A source opened on a movie with an
+// open recording session (Store.Record) follows the growing tail: history
+// is replayed from backing storage, and on reaching the live edge Next
+// BLOCKS until the next frame is appended — published zero-copy through
+// the movie's LiveWindow — instead of returning io.EOF. The source hands
+// off between history and tail at the boundary frame with no gap and no
+// duplicate. Next returns io.EOF only once the movie is sealed (the last
+// recording session closed) and every frame has been returned, or after
+// the wait is canceled (store-backed sources implement CancelWait; the SPA
+// uses it to abort a blocked stream). Store-backed sources also implement
+// mtp.EdgeWaiter so paced senders treat time blocked at the edge like a
+// pause rather than as schedule slip.
+//
 // Sources are single-consumer: one source drives one stream. Open a movie
 // again for a second concurrent stream.
 type FrameSource interface {
-	// Len returns the total number of frames.
+	// Len returns the total number of frames. For a live movie this is
+	// the length at the moment of the call and grows between calls.
 	Len() int64
 	// Pos returns the index of the frame the next Next call will return.
 	Pos() int64
 	// Next returns the next frame and advances the position, or io.EOF
-	// when the movie is exhausted.
+	// when the movie is exhausted. On a live movie, Next blocks at the
+	// live edge until the frame exists, the movie seals, or the wait is
+	// canceled.
 	//
 	// The returned slice is only valid until the next Next, Seek or Close
 	// call on the same source — sources recycle their chunk buffers, so a
@@ -26,21 +42,33 @@ type FrameSource interface {
 	// lifetime contract the MTP layer imposes end to end.)
 	Next() ([]byte, error)
 	// Seek repositions the source so the next Next returns frame pos.
-	// pos == Len() is valid and makes the next Next return io.EOF.
+	// pos == Len() is valid; the next Next returns io.EOF — or, on a live
+	// movie, waits at the edge for frame pos to be appended.
 	SeekTo(pos int64) error
-	// Close releases the source's buffers. The source must not be used
-	// afterwards.
+	// Close releases the source's buffers and cancels any wait at the
+	// live edge. The source must not be used afterwards.
 	Close() error
 }
 
-// Content is a movie's frame payload: either materialized frames
-// (SliceContent) or a lazy generator (SynthContent). Implementations are
-// immutable after creation and safe to Open concurrently.
+// Content is a movie's frame payload. Immutable implementations
+// (SliceContent, SynthContent) carry fixed frames; store-backed
+// implementations (MemStore, DiskStore) track their movie, so Len grows
+// while the movie records and Open returns tail-following sources. All
+// implementations are safe to Open concurrently.
 type Content interface {
-	// Len returns the total number of frames.
+	// Len returns the total number of frames (at the moment of the call,
+	// for a live movie).
 	Len() int64
 	// Open returns a fresh FrameSource positioned at frame 0.
 	Open() FrameSource
+}
+
+// WaitCanceler is implemented by sources that can block at the live edge:
+// CancelWait aborts any current or future edge wait, making Next return
+// io.EOF instead. It is safe to call from any goroutine — the hook the
+// SPA uses to unwedge a stream during Stop/Drain.
+type WaitCanceler interface {
+	CancelWait()
 }
 
 // SliceContent adapts materialized frames to Content — the thin adapter

@@ -132,9 +132,9 @@ func TestStoreLazyMovie(t *testing.T) {
 	if got := len(drain(t, m.Open())); got != 20 {
 		t.Fatalf("streamed %d frames from stored lazy movie", got)
 	}
-	// Appending to lazy content materializes it (record-onto-synthetic):
-	// the lazy frames survive byte-identically with the new frame after
-	// them, and the movie comes back eager.
+	// Appending to lazy content stays lazy (record-onto-synthetic): the
+	// base generator keeps serving the first 20 frames byte-identically
+	// and the appended frame follows them, with nothing materialized.
 	want := Synthesize(SynthConfig{Name: "lz", Frames: 20, FrameSize: 8}).Frames
 	if err := s.AppendFrames("lz", [][]byte{{1}}); err != nil {
 		t.Fatalf("append to lazy movie: %v", err)
@@ -143,15 +143,19 @@ func TestStoreLazyMovie(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Content != nil || len(m.Frames) != 21 {
-		t.Fatalf("after append: content %v, %d frames", m.Content, len(m.Frames))
+	if m.Content == nil || m.FrameCount() != 21 {
+		t.Fatalf("after append: content %v, count %d", m.Content, m.FrameCount())
+	}
+	got := drain(t, m.Open())
+	if len(got) != 21 {
+		t.Fatalf("after append: streamed %d frames", len(got))
 	}
 	for i, f := range want {
-		if !bytes.Equal(m.Frames[i], f) {
-			t.Fatalf("materialized frame %d differs from lazy original", i)
+		if !bytes.Equal(got[i], f) {
+			t.Fatalf("base frame %d differs from lazy original", i)
 		}
 	}
-	if !bytes.Equal(m.Frames[20], []byte{1}) {
-		t.Fatalf("appended frame = %v", m.Frames[20])
+	if !bytes.Equal(got[20], []byte{1}) {
+		t.Fatalf("appended frame = %v", got[20])
 	}
 }

@@ -27,6 +27,17 @@ type FrameSource interface {
 	SeekTo(pos int64) error
 }
 
+// EdgeWaiter is implemented by frame sources whose Next can block waiting
+// at the live edge of a movie that is still being recorded. TakeWaited
+// returns — and resets — the cumulative time Next spent blocked since the
+// previous call. The sender books that time like a pause: it shifts the
+// pacing schedule, so waiting for the producer is never misread as the
+// stream running late (which would trigger adaptive drops of perfectly
+// fresh frames).
+type EdgeWaiter interface {
+	TakeWaited() time.Duration
+}
+
 // Feedback is the receiver→sender report carried in FlagFB packets: the
 // receiver's cumulative progress and its credit grant. It is MTP's only
 // upstream traffic — a few octets every FeedbackEvery frames — and it
@@ -288,6 +299,7 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 		period = time.Second / time.Duration(s.cfg.FrameRate)
 	}
 	tr, _ := s.conn.(TryRecver)
+	ew, _ := src.(EdgeWaiter)
 
 	bufp := sendBufPool.Get().(*[]byte)
 	buf := *bufp
@@ -398,6 +410,12 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 
 		pos := src.Pos()
 		frame, err := src.Next()
+		if ew != nil {
+			// Time blocked at the live edge shifts the pacing schedule the
+			// way a pause does: the frame did not exist yet, so the stream
+			// is not late.
+			pausedTotal += ew.TakeWaited()
+		}
 		if err == io.EOF {
 			return finish(nil)
 		}

@@ -355,6 +355,65 @@ func TestFrameSourceSendAllocs(t *testing.T) {
 	}
 }
 
+// TestLiveTailSendAllocs guards the steady-state live-tail send path: a
+// viewer at the live edge of a recorded movie is served straight from the
+// live window's ring — zero-copy, no chunk-cache traffic — so the
+// per-frame loop must not allocate, exactly like the cold-history path
+// TestFrameSourceSendAllocs guards.
+func TestLiveTailSendAllocs(t *testing.T) {
+	store, err := moviedb.OpenDiskStore(t.TempDir(), moviedb.DiskConfig{ChunkFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Create(&moviedb.Movie{Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.Record("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 frames = the live ring capacity: after sealing, every frame is
+	// still ring-resident, so the whole replay runs the live-tail path.
+	batch := make([][]byte, 16)
+	for i := range batch {
+		batch[i] = bytes.Repeat([]byte{byte(i)}, 1024)
+	}
+	for i := 0; i < 256/len(batch); i++ {
+		if _, err := rec.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Close()
+	m, err := store.Get("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.Open().(interface {
+		FrameSource
+		Close() error
+	})
+	defer src.Close()
+	run := func() {
+		if err := src.SeekTo(0); err != nil {
+			t.Fatal(err)
+		}
+		s := NewStreamSender(sinkConn{}, StreamConfig{StreamID: 1})
+		st, err := s.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Sent != 256 {
+			t.Fatalf("sent %d", st.Sent)
+		}
+	}
+	run() // warm pools
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 8 {
+		t.Fatalf("live-tail send path allocates %.1f per 256-frame run, want <= 8", allocs)
+	}
+}
+
 // TestFeedbackOverUDP exercises the TryRecv feedback path over real
 // loopback sockets: the receiver's reports reach the sender through the
 // connected UDP conn's non-blocking poll.

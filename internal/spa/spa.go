@@ -17,6 +17,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmovie/internal/mtp"
 )
@@ -135,8 +136,8 @@ type stream struct {
 	id     int64
 	sender *mtp.StreamSender
 	conn   mtp.PacketConn
-	total  int64 // movie length in frames; bounds live seeks
-	paused bool  // mirrors sender state for Stats
+	src    mtp.FrameSource // kept to cancel live-edge waits and bound seeks
+	paused bool            // mirrors sender state for Stats
 }
 
 // New creates an agent.
@@ -170,7 +171,10 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 		closeSource(src)
 		return err
 	}
-	if opt.Count > 0 && opt.From+opt.Count < total {
+	if opt.Count > 0 {
+		// Always cap, even when From+Count covers the movie as it is now:
+		// a live movie keeps growing, and a bounded play of one must still
+		// terminate at its Count.
 		src = limit(src, opt.From+opt.Count)
 	}
 	window := a.cfg.Window
@@ -188,7 +192,7 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 		Window:     window,
 		EOSRepeats: opt.EOSRepeats,
 	})
-	st := &stream{id: id, sender: sender, conn: conn, total: total}
+	st := &stream{id: id, sender: sender, conn: conn, src: src}
 
 	a.mu.Lock()
 	if a.draining {
@@ -300,29 +304,33 @@ func (a *Agent) Resume(id int64) error {
 
 // SeekStream repositions a live stream to frame pos without restarting
 // it: the stream continues from there and the receiver resynchronizes via
-// the MTP sync flag. pos is validated against the movie length; seeking
-// to the length — or past the end of a Count-bounded play window — ends
-// the stream cleanly.
+// the MTP sync flag. pos is validated against the movie length — the
+// length at the moment of the call, for a movie that is still recording;
+// seeking to the length — or past the end of a Count-bounded play window —
+// ends the stream cleanly (or waits at the live edge on a live movie).
 func (a *Agent) SeekStream(id, pos int64) error {
 	st, err := a.lookup(id)
 	if err != nil {
 		return err
 	}
-	if pos < 0 || pos > st.total {
-		return fmt.Errorf("spa: seek to %d outside 0..%d", pos, st.total)
+	if total := st.src.Len(); pos < 0 || pos > total {
+		return fmt.Errorf("spa: seek to %d outside 0..%d", pos, total)
 	}
 	st.sender.SeekTo(pos)
 	return nil
 }
 
 // Stop cancels a stream and returns the position it reached. The stream's
-// terminal event fires asynchronously once the sender unwinds.
+// terminal event fires asynchronously once the sender unwinds. A stream
+// blocked at the live edge of a recording movie has its wait canceled, so
+// stopping never hangs on a producer that is between frames.
 func (a *Agent) Stop(id int64) (int64, error) {
 	st, err := a.lookup(id)
 	if err != nil {
 		return 0, err
 	}
 	st.sender.Stop()
+	cancelWait(st.src)
 	return st.sender.Position(), nil
 }
 
@@ -353,9 +361,24 @@ func (a *Agent) Drain() {
 	a.draining = true
 	for _, st := range a.streams {
 		st.sender.Stop()
+		cancelWait(st.src)
 	}
 	a.mu.Unlock()
 	a.wg.Wait()
+}
+
+// waitCanceler matches moviedb.WaitCanceler structurally, so the SPA can
+// abort a source blocked at the live edge without importing the database
+// layer.
+type waitCanceler interface {
+	CancelWait()
+}
+
+// cancelWait aborts src's live-edge wait when it supports one.
+func cancelWait(src mtp.FrameSource) {
+	if c, ok := src.(waitCanceler); ok {
+		c.CancelWait()
+	}
 }
 
 // limit bounds a source to frames below end without hiding the underlying
@@ -382,4 +405,20 @@ func (l *limitedSource) Close() error {
 		return c.Close()
 	}
 	return nil
+}
+
+// CancelWait forwards so Stop/Drain can unwedge a capped live stream.
+func (l *limitedSource) CancelWait() {
+	if c, ok := l.FrameSource.(waitCanceler); ok {
+		c.CancelWait()
+	}
+}
+
+// TakeWaited forwards the wrapped source's live-edge wait accounting so
+// the sender still sees it through the cap.
+func (l *limitedSource) TakeWaited() time.Duration {
+	if w, ok := l.FrameSource.(mtp.EdgeWaiter); ok {
+		return w.TakeWaited()
+	}
+	return 0
 }

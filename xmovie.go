@@ -57,6 +57,10 @@ type (
 	// Backend selects a store implementation for servers that build their
 	// own (ServerConfig.Backend).
 	Backend = moviedb.Backend
+	// Recorder is an open live-append session on a movie (Store.Record):
+	// while one is open the movie is live — plays follow its growing tail
+	// and Delete refuses with moviedb.ErrLive. Close seals the movie.
+	Recorder = moviedb.Recorder
 	// Conn is a reliable, ordered control-plane transport connection.
 	Conn = transport.Conn
 )
@@ -133,22 +137,35 @@ func OpenDiskStore(dir string) (*moviedb.ShardedStore, error) {
 // Server.ServeConn and the other to NewClientConn.
 func Pipe() (Conn, Conn) { return transport.Pipe(0) }
 
-// Synthesize builds a deterministic synthetic movie (the stand-in for
-// digitized movie material) with every frame materialized.
+// SynthMovie builds a deterministic synthetic movie (the stand-in for
+// digitized movie material). Frames are generated lazily: nothing is
+// materialized until a stream pulls frames, and each playback keeps at
+// most a small chunk window resident — the form the streaming data plane
+// serves at scale. Movies are readable while appendable, so a SynthMovie
+// can be recorded onto (even mid-play) without materializing its base.
+func SynthMovie(name string, frames, frameRate int) *Movie {
+	return moviedb.SynthesizeLazy(moviedb.SynthConfig{
+		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
+	})
+}
+
+// Synthesize builds the same movie as SynthMovie with every frame
+// materialized up front.
+//
+// Deprecated: use SynthMovie. Materializing is only worth the memory when
+// test code wants to index Movie.Frames directly.
 func Synthesize(name string, frames, frameRate int) *Movie {
 	return moviedb.Synthesize(moviedb.SynthConfig{
 		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
 	})
 }
 
-// SynthesizeLazy builds the same deterministic movie as Synthesize but
-// with lazily generated frames: nothing is materialized until a stream
-// pulls frames, and each playback keeps at most a small chunk window
-// resident — the form the streaming data plane serves at scale.
+// SynthesizeLazy builds the same deterministic movie as SynthMovie.
+//
+// Deprecated: SynthMovie is the same function under the name the facade
+// settled on once lazy synthesis became the only recommended form.
 func SynthesizeLazy(name string, frames, frameRate int) *Movie {
-	return moviedb.SynthesizeLazy(moviedb.SynthConfig{
-		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
-	})
+	return SynthMovie(name, frames, frameRate)
 }
 
 // NewSimNet returns an in-process simulated stream network for Play

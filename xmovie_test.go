@@ -179,7 +179,7 @@ var _ mcam.StreamDialer = xmovie.UDPDialer()
 // aggregated data-plane counters.
 func TestFacadeLazyStreamingTotals(t *testing.T) {
 	store := xmovie.NewMemStore()
-	if err := store.Create(xmovie.SynthesizeLazy("feature", 1000, 500)); err != nil {
+	if err := store.Create(xmovie.SynthMovie("feature", 1000, 500)); err != nil {
 		t.Fatal(err)
 	}
 	sim := xmovie.NewSimNet()
