@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
 	bench-smoke bench-guard bench-trajectory load-smoke load-stream \
-	load-disk load-broadcast ci
+	load-disk load-broadcast load-chaos ci
 
 build:
 	$(GO) build ./...
@@ -118,6 +118,22 @@ load-broadcast:
 		-frames 400 -maxtime 180s \
 		-json -out mcamload_broadcast -outdir bench-out
 
+# Chaos load: fault injection with asserted recovery shapes — a slow-disk
+# stream degraded with skips (never a wedged sender), a mid-stream
+# partition-and-heal, a latency spike, and a thundering-herd reconnect of
+# 1000 backoff clients across a server kill/restart with one interrupted
+# stream resumed byte-identically. Recovery percentiles land in
+# BENCH_mcamload_chaos.json. The small partition-and-heal regression test
+# runs under the race detector first; the 1000-client herd itself runs
+# without it (the storm's goroutine count and timing assertions do not
+# mix with race instrumentation).
+load-chaos:
+	$(GO) test -race -run 'TestPartitionHealMidStream' .
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcamload -scenarios chaos -sessions 1000 -concurrent 128 \
+		-movies 8 -frames 240 -fps 120 -stacks generated,handcoded \
+		-json -out mcamload_chaos -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
-	bench-trajectory load-smoke load-stream load-disk load-broadcast
+	bench-trajectory load-smoke load-stream load-disk load-broadcast load-chaos

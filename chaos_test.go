@@ -1,0 +1,477 @@
+package xmovie_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/chaos"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+// stacks enumerates both control stacks for resilience subtests: failure
+// semantics must be identical on the generated and hand-coded paths.
+var stacks = []struct {
+	name  string
+	stack xmovie.StackKind
+}{
+	{"generated", xmovie.StackGenerated},
+	{"handcoded", xmovie.StackHandcoded},
+}
+
+// TestDialTimeoutOnSilentPeer proves a dead server costs the configured
+// timeout, not forever: association setup against a peer that never answers
+// fails with ErrTimeout.
+func TestDialTimeoutOnSilentPeer(t *testing.T) {
+	for _, s := range stacks {
+		t.Run(s.name, func(t *testing.T) {
+			c1, c2 := xmovie.Pipe()
+			defer c2.Close()
+			start := time.Now()
+			_, err := xmovie.NewClientConn(c1, xmovie.ClientConfig{
+				Stack: s.stack, CallTimeout: 300 * time.Millisecond,
+			})
+			if !errors.Is(err, xmovie.ErrTimeout) {
+				t.Fatalf("dial against silent peer = %v, want ErrTimeout", err)
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("timeout took %v", d)
+			}
+		})
+	}
+}
+
+// TestAwaitEventTerminalAfterSever proves the satellite fix: a severed
+// association makes AwaitEvent return ErrClosed immediately instead of
+// spinning until its timeout.
+func TestAwaitEventTerminalAfterSever(t *testing.T) {
+	for _, s := range stacks {
+		t.Run(s.name, func(t *testing.T) {
+			srv, _ := newFacadeServer(t, s.stack)
+			client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{Stack: s.stack})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			go func() {
+				time.Sleep(100 * time.Millisecond)
+				srv.Close()
+			}()
+			start := time.Now()
+			_, err = client.AwaitEvent(30 * time.Second)
+			if !errors.Is(err, xmovie.ErrClosed) {
+				t.Fatalf("AwaitEvent after sever = %v, want ErrClosed", err)
+			}
+			if d := time.Since(start); d > 10*time.Second {
+				t.Fatalf("AwaitEvent burned %v before noticing the sever", d)
+			}
+		})
+	}
+}
+
+// TestBusyCarriesRetryAfter proves graceful load shedding: a connection
+// beyond MaxSessions still gets an association, and every request on it is
+// answered StatusBusy with the server's retry-after hint.
+func TestBusyCarriesRetryAfter(t *testing.T) {
+	for _, s := range stacks {
+		t.Run(s.name, func(t *testing.T) {
+			store := xmovie.NewMemStore()
+			srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+				Addr:           "127.0.0.1:0",
+				Stack:          s.stack,
+				Env:            &xmovie.ServerEnv{Store: store},
+				MaxSessions:    1,
+				BusyRetryAfter: 250 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			holder, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{Stack: s.stack})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer holder.Close()
+
+			shed, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{Stack: s.stack})
+			if err != nil {
+				t.Fatalf("over-limit dial should still get a (busy) association: %v", err)
+			}
+			defer shed.Close()
+			resp, err := shed.Call(&xmovie.Request{Op: xmovie.OpListMovies})
+			if err != nil {
+				t.Fatalf("call on busy association: %v", err)
+			}
+			if resp.Status != xmovie.StatusBusy || resp.RetryAfterMs != 250 {
+				t.Fatalf("busy response = %s retryAfter %dms, want busy/250ms (%+v)",
+					resp.Status, resp.RetryAfterMs, resp)
+			}
+			if st := srv.Stats(); st.Busy != 1 {
+				t.Fatalf("server busy counter = %d, want 1", st.Busy)
+			}
+		})
+	}
+}
+
+// frameLog collects delivered frames by sequence number, tracking the
+// contiguous prefix a resume restarts from.
+type frameLog struct {
+	mu     sync.Mutex
+	frames map[uint32][]byte
+	dups   int
+}
+
+func newFrameLog() *frameLog { return &frameLog{frames: make(map[uint32][]byte)} }
+
+func (l *frameLog) deliver(f mtp.Frame) {
+	l.mu.Lock()
+	if _, ok := l.frames[f.Seq]; ok {
+		l.dups++
+	} else {
+		l.frames[f.Seq] = append([]byte(nil), f.Payload...)
+	}
+	l.mu.Unlock()
+}
+
+// contiguous returns the first sequence number not yet delivered.
+func (l *frameLog) contiguous() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for {
+		if _, ok := l.frames[uint32(n)]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+func (l *frameLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.frames)
+}
+
+// synthFrames materializes the expected frame bytes of a synthetic movie.
+func synthFrames(t *testing.T, name string, frames, rate int) [][]byte {
+	t.Helper()
+	src := xmovie.SynthMovie(name, frames, rate).Open()
+	defer src.Close()
+	out := make([][]byte, 0, frames)
+	for i := 0; i < frames; i++ {
+		f, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, append([]byte(nil), f...))
+	}
+	return out
+}
+
+// TestReconnectResumesAfterServerRestart is the tentpole's client-side
+// story end to end: a server dies mid-stream; the ReconnectClient redials
+// with backoff, re-selects, and resumes the play from the receiver's
+// contiguous progress; the delivered frame sequence is byte-identical to an
+// uninterrupted run, with zero duplicates.
+func TestReconnectResumesAfterServerRestart(t *testing.T) {
+	const totalFrames, rate = 300, 100
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.SynthMovie("film", totalFrames, rate)); err != nil {
+		t.Fatal(err)
+	}
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+	serve := func() *xmovie.Server {
+		srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+			Addr: "127.0.0.1:0",
+			Env:  &xmovie.ServerEnv{Store: store, Dialer: sim},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	srv := serve()
+
+	var addrMu sync.Mutex
+	addr := srv.Addr()
+	rc, err := xmovie.NewReconnectClient(xmovie.ReconnectConfig{
+		Dial: func() (*xmovie.Client, error) {
+			addrMu.Lock()
+			a := addr
+			addrMu.Unlock()
+			return xmovie.Dial(a, xmovie.ClientConfig{CallTimeout: 2 * time.Second})
+		},
+		BackoffBase: 20 * time.Millisecond,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, _, err := rc.Select("film"); err != nil {
+		t.Fatal(err)
+	}
+	end, err := sim.Listen("rc/v", netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newFrameLog()
+	recv := func() chan mtp.RecvStats {
+		done := make(chan mtp.RecvStats, 1)
+		go func() {
+			st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, log.deliver)
+			done <- st
+		}()
+		return done
+	}
+
+	done := recv()
+	if _, err := rc.Play("film", "rc/v"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server mid-stream, once a healthy chunk has been delivered.
+	for log.count() < 80 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	<-done // the dying server terminates the stream on the wire
+
+	delivered := log.contiguous()
+	if delivered >= totalFrames {
+		t.Fatalf("stream finished (%d frames) before the kill; nothing to resume", delivered)
+	}
+
+	// The aborted stream's trailing EOS markers (the sender repeats them to
+	// survive loss) are still queued on the endpoint; drain them so the
+	// resumed stream's receiver cannot mistake them for its own termination.
+	time.Sleep(50 * time.Millisecond)
+	for {
+		if _, ok := end.TryRecv(); !ok {
+			break
+		}
+	}
+
+	// Restart and resume from the receiver's contiguous progress.
+	srv = serve()
+	defer srv.Close()
+	addrMu.Lock()
+	addr = srv.Addr()
+	addrMu.Unlock()
+
+	done = recv()
+	if _, err := rc.ResumeLastPlay(delivered); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if st := rc.Stats(); st.Redials < 1 || st.Resumes != 1 {
+		t.Fatalf("reconnect stats %+v, want >=1 redial and 1 resume", st)
+	}
+	expected := synthFrames(t, "film", totalFrames, rate)
+	if log.dups > 0 {
+		t.Fatalf("%d duplicate frames delivered across the resume", log.dups)
+	}
+	if n := log.count(); n != totalFrames {
+		t.Fatalf("delivered %d distinct frames, want %d", n, totalFrames)
+	}
+	for i, want := range expected {
+		if got := log.frames[uint32(i)]; !bytes.Equal(got, want) {
+			t.Fatalf("frame %d differs after resume (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+// TestReconnectHonorsBusy proves a shed client waits out the retry-after
+// hint and wins a slot once one frees up, instead of hammering the server.
+func TestReconnectHonorsBusy(t *testing.T) {
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.SynthMovie("film", 10, 25)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr:           "127.0.0.1:0",
+		Env:            &xmovie.ServerEnv{Store: store},
+		MaxSessions:    1,
+		BusyRetryAfter: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	holder, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		holder.Close() // frees the only session slot
+	}()
+
+	rc, err := xmovie.NewReconnectClient(xmovie.ReconnectConfig{
+		Dial: func() (*xmovie.Client, error) {
+			return xmovie.Dial(srv.Addr(), xmovie.ClientConfig{CallTimeout: 2 * time.Second})
+		},
+		BackoffBase: 20 * time.Millisecond,
+		MaxAttempts: 20,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, _, err := rc.Select("film"); err != nil {
+		t.Fatalf("Select never won a slot: %v", err)
+	}
+	if st := rc.Stats(); st.BusyWaits < 1 {
+		t.Fatalf("reconnect stats %+v, want at least one busy wait", st)
+	}
+}
+
+// TestDrainConvergesUnderChaos drives streams over a store injecting slow
+// reads, then drains the server mid-flight: bounded reads keep every sender
+// unwedgeable, so Drain converges promptly and no goroutines are left
+// behind.
+func TestDrainConvergesUnderChaos(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.SynthMovie("film", 5000, 100)); err != nil {
+		t.Fatal(err)
+	}
+	faulty := chaos.NewFaultStore(store, chaos.FaultConfig{
+		Seed: 11, SlowProb: 0.4, SlowDelay: 30 * time.Millisecond,
+	})
+	sim := xmovie.NewSimNet()
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Env:               &xmovie.ServerEnv{Store: faulty, Dialer: sim},
+		StreamReadTimeout: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var clients []*xmovie.Client
+	for i := 0; i < 3; i++ {
+		serverEnd, clientEnd := xmovie.Pipe()
+		if err := srv.ServeConn(serverEnd); err != nil {
+			t.Fatal(err)
+		}
+		c, err := xmovie.NewClientConn(clientEnd, xmovie.ClientConfig{CallTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		path := fmt.Sprintf("drain/%d", i)
+		if _, err := sim.Listen(path, netsim.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Play("film", path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // streams limping through injected slowness
+
+	start := time.Now()
+	if err := srv.Drain(time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("drain took %v under chaos", d)
+	}
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	sim.Close()
+
+	// Every stream, session, pump and bounded-read worker must unwind; the
+	// faulty store's injected sleeps bound how long that can take.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestPartitionHealMidStream is the small partition-and-heal case CI runs
+// under -race: a live stream's link partitions mid-flight and heals; the
+// stream still terminates cleanly, the receiver books the outage as loss
+// (never a hang), and traffic flows again after the heal.
+func TestPartitionHealMidStream(t *testing.T) {
+	const totalFrames, rate = 400, 200
+	store := xmovie.NewMemStore()
+	if err := store.Create(xmovie.SynthMovie("film", totalFrames, rate)); err != nil {
+		t.Fatal(err)
+	}
+	sim := xmovie.NewSimNet()
+	defer sim.Close()
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
+		Addr: "127.0.0.1:0",
+		Env:  &xmovie.ServerEnv{Store: store, Dialer: sim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	end, err := sim.Listen("ph/v", netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, func(mtp.Frame) {
+			delivered.Add(1)
+		})
+		done <- st
+	}()
+
+	client, err := xmovie.Dial(srv.Addr(), xmovie.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Play("film", "ph/v"); err != nil {
+		t.Fatal(err)
+	}
+	for delivered.Load() < 50 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	link, ok := sim.Link("ph/v")
+	if !ok {
+		t.Fatal("no link for ph/v")
+	}
+	link.Partition(250 * time.Millisecond) // auto-heals
+
+	select {
+	case st := <-done:
+		if st.Lost == 0 {
+			t.Error("partition cost no frames — it never bit")
+		}
+		if st.Delivered+st.Lost < totalFrames {
+			t.Errorf("accounting hole: delivered %d + lost %d < %d", st.Delivered, st.Lost, totalFrames)
+		}
+		atHeal := delivered.Load()
+		if int64(st.Delivered) <= atHeal-50 {
+			t.Errorf("no traffic after heal (delivered %d)", st.Delivered)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never terminated across the partition")
+	}
+}

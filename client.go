@@ -11,6 +11,10 @@ import (
 type ClientConfig struct {
 	// Stack selects the control stack (default StackGenerated).
 	Stack StackKind
+	// CallTimeout bounds association setup and each Call on both stacks
+	// (default 30s): a dead or wedged server returns ErrTimeout instead of
+	// hanging the client forever.
+	CallTimeout time.Duration
 }
 
 // Client is an MCAM client entity: the application interface of the paper's
@@ -21,7 +25,7 @@ type Client struct {
 
 // Dial connects to an MCAM server's control plane.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
-	inner, err := core.Dial(addr, core.ClientConfig{Stack: cfg.Stack})
+	inner, err := core.Dial(addr, core.ClientConfig{Stack: cfg.Stack, CallTimeout: cfg.CallTimeout})
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +35,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 // NewClientConn builds a client over an existing transport connection (e.g.
 // one end of a Pipe served by Server.ServeConn).
 func NewClientConn(conn Conn, cfg ClientConfig) (*Client, error) {
-	inner, err := core.NewClientConn(conn, core.ClientConfig{Stack: cfg.Stack})
+	inner, err := core.NewClientConn(conn, core.ClientConfig{Stack: cfg.Stack, CallTimeout: cfg.CallTimeout})
 	if err != nil {
 		return nil, err
 	}
@@ -178,15 +182,15 @@ func (c *Client) SeekTo(streamID, position int64) (int64, error) {
 	return resp.Position, nil
 }
 
-// AwaitEvent blocks for the next stream event (generated stack only; the
-// hand-coded client delivers events through mcam.IsodeClient.OnEvent).
+// AwaitEvent blocks for the next stream event on either stack, bounded by
+// timeout (ErrTimeout). A closed or severed association returns ErrClosed
+// immediately instead of burning the timeout.
 func (c *Client) AwaitEvent(timeout time.Duration) (Event, error) {
 	if app := c.inner.App(); app != nil {
 		return app.AwaitEvent(timeout)
 	}
 	if iso := c.inner.Iso(); iso != nil {
-		ev, err := iso.AwaitEvent()
-		return ev, err
+		return iso.AwaitEventTimeout(timeout)
 	}
 	return Event{}, fmt.Errorf("xmovie: no event source")
 }

@@ -186,7 +186,10 @@ func runOffline(dataDir string, appendTo bool, args []string) error {
 		defer f.Close()
 		frames, err := moviedb.ReadRawFrames(f)
 		if err != nil {
-			return err
+			// A partially written frame file (e.g. copied mid-write or
+			// truncated by a crash) is refused outright rather than imported
+			// as a shortened movie.
+			return fmt.Errorf("%s: %w; nothing was imported", path, err)
 		}
 		if err := store.Create(&moviedb.Movie{Name: name, FrameRate: rate}); err != nil {
 			// A retried import must not silently double the movie: only

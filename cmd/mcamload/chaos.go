@@ -1,0 +1,698 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmovie"
+	"xmovie/internal/chaos"
+	"xmovie/internal/core"
+	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+)
+
+// The chaos scenario: instead of healthy sessions, the combo runs four
+// fault-injection sub-scenarios in sequence and asserts the recovery shape
+// of each — the degradation contract under failure, measured rather than
+// hoped for:
+//
+//  1. slow-disk: a FaultStore injects stalls under a server with a bounded
+//     StreamReadTimeout; the stream must finish with skipped frames
+//     (FlagSkip losses at the receiver), never a wedged sender.
+//  2. partition-heal: the stream's link partitions mid-flight and heals;
+//     the outage is booked as loss, traffic resumes, the stream terminates.
+//  3. latency-spike: the link's latency spikes mid-stream; the stream
+//     stalls visibly but completes with no loss at all.
+//  4. herd: cfg.Sessions ReconnectClients are associated when the server
+//     is killed and restarted; all of them reconnect inside the backoff
+//     envelope (p99 asserted), one client's interrupted play is resumed
+//     from the receiver's contiguous progress and must come out
+//     byte-identical to the stored movie with zero duplicate frames, and
+//     the combo ends with no leaked goroutines.
+//
+// It replaces the per-session loop (sole scenario in the mix, validated at
+// startup); -sessions sizes the reconnect herd.
+
+// Chaos sub-scenario tuning. The stream phases each play one catalogue
+// movie at its seeded frame rate, so their wall time is cfg.Frames/cfg.FPS.
+const (
+	// chaosSlowProb/chaosSlowDelay/chaosReadTimeout shape the slow-disk
+	// phase: ~15% of reads stall past the bound, each costing frames
+	// (skips), never the sender.
+	chaosSlowProb    = 0.15
+	chaosSlowDelay   = 50 * time.Millisecond
+	chaosReadTimeout = 20 * time.Millisecond
+	// chaosPartition is the mid-stream outage; it auto-heals.
+	chaosPartition = 250 * time.Millisecond
+	// chaosSpikeExtra/chaosSpikeFor define the latency spike.
+	chaosSpikeExtra = 60 * time.Millisecond
+	chaosSpikeFor   = 300 * time.Millisecond
+	// chaosWarmFrames is how many deliveries a stream phase waits for
+	// before injecting its fault (capped at a quarter of the movie).
+	chaosWarmFrames = 50
+	// herdBackoffBase/herdBackoffMax/herdMaxAttempts tune every herd
+	// member's ReconnectClient.
+	herdBackoffBase = 25 * time.Millisecond
+	herdBackoffMax  = 2 * time.Second
+	herdMaxAttempts = 12
+	herdBusyRetry   = 50 * time.Millisecond
+	herdCallTimeout = 5 * time.Second
+	// herdSchedSlack is the per-client scheduling allowance added to the
+	// backoff envelope: the storm launches every reconnect at once, so the
+	// tail measurement includes waiting for a CPU, not just waiting out
+	// backoff.
+	herdSchedSlack = 2 * time.Millisecond
+)
+
+// chaosAgg is the combo-level chaos outcome for the report.
+type chaosAgg struct {
+	slowDelivered, slowLost int
+	slowInjected            int64
+
+	partBefore, partDelivered, partLost int
+
+	spikeDelivered int
+	spikeMaxGap    time.Duration
+
+	herdClients    int
+	herdReconnects int
+	herdRedials    int64
+	herdP50        time.Duration
+	herdP95        time.Duration
+	herdP99        time.Duration
+	herdEnvelope   time.Duration
+
+	resumeFrames   int
+	resumeDups     int
+	resumeIdentity bool
+
+	leakedGoroutines int
+}
+
+// chaosMovie picks a catalogue movie for a phase or herd member.
+func chaosMovie(cfg loadConfig, i int) string {
+	return fmt.Sprintf("cat-%03d", i%cfg.Movies)
+}
+
+// chaosAddr is the control listen address for the combo transport.
+func chaosAddr(tr string) string {
+	if tr == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+// chaosDialSrv opens a facade client to srv over the combo transport.
+func chaosDialSrv(srv *xmovie.Server, stack core.StackKind, tr string) (*xmovie.Client, error) {
+	ccfg := xmovie.ClientConfig{Stack: stack, CallTimeout: herdCallTimeout}
+	if tr == "tcp" {
+		return xmovie.Dial(srv.Addr(), ccfg)
+	}
+	clientEnd, serverEnd := xmovie.Pipe()
+	if err := srv.ServeConn(serverEnd); err != nil {
+		clientEnd.Close()
+		return nil, err
+	}
+	return xmovie.NewClientConn(clientEnd, ccfg)
+}
+
+// runChaosCombo replaces the generic per-session loop for the chaos
+// scenario.
+func runChaosCombo(cfg loadConfig, stack core.StackKind, tr string) *comboResult {
+	res := newComboResult(stack.String(), tr)
+	agg := &chaosAgg{}
+	g0 := runtime.NumGoroutine()
+
+	cenv, err := seedEnv(cfg)
+	if err != nil {
+		res.fail(fmt.Sprintf("seed: %v", err))
+		return res
+	}
+	defer cenv.cleanup()
+	env, sim := cenv.env, cenv.sim
+	defer sim.Close()
+	start := time.Now()
+
+	chaosSlowDisk(cfg, stack, tr, env, sim, res, agg)
+	chaosPartitionHeal(cfg, stack, tr, env, sim, res, agg)
+	chaosLatencySpike(cfg, stack, tr, env, sim, res, agg)
+	chaosHerd(cfg, stack, tr, env, sim, res, agg)
+
+	res.wall = time.Since(start)
+	res.serverStreams = env.StreamTotals.Snapshot()
+
+	// Everything above has closed its servers and clients: every session,
+	// stream, pump and bounded-read worker must unwind. Busy responders and
+	// injected stalls have bounded lifetimes, so wait them out briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	leaked := runtime.NumGoroutine() - g0
+	for leaked > 8 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		leaked = runtime.NumGoroutine() - g0
+	}
+	if leaked < 0 {
+		leaked = 0
+	}
+	agg.leakedGoroutines = leaked
+	if leaked > 8 {
+		res.addErr(fmt.Sprintf("goroutine leak: %d more than before the combo", leaked))
+	}
+
+	res.mu.Lock()
+	res.chaos = agg
+	res.mu.Unlock()
+	return res
+}
+
+// chaosReceive starts a frame-counting receiver on a fresh SimNet path.
+func chaosReceive(sim *mcam.SimNet, addr string, deliver func(mtp.Frame)) (<-chan mtp.RecvStats, *netsim.Endpoint, error) {
+	end, err := sim.Listen(addr, netsim.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(chan mtp.RecvStats, 1)
+	go func() {
+		st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, deliver)
+		done <- st
+	}()
+	return done, end, nil
+}
+
+// chaosSlowDisk streams one movie off a store injecting read stalls, under
+// a server whose StreamReadTimeout turns each stall into skipped frames
+// instead of a wedged sender.
+func chaosSlowDisk(cfg loadConfig, stack core.StackKind, tr string, env *mcam.ServerEnv, sim *mcam.SimNet, res *comboResult, agg *chaosAgg) {
+	faulty := chaos.NewFaultStore(env.Store, chaos.FaultConfig{
+		Seed: 17, SlowProb: chaosSlowProb, SlowDelay: chaosSlowDelay,
+	})
+	env2 := *env
+	env2.Store = faulty
+	env2.StreamReadTimeout = chaosReadTimeout
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{Addr: chaosAddr(tr), Stack: stack, Env: &env2})
+	if err != nil {
+		res.addErr(fmt.Sprintf("slow-disk server: %v", err))
+		return
+	}
+	defer srv.Close()
+	client, err := chaosDialSrv(srv, stack, tr)
+	if err != nil {
+		res.addErr(fmt.Sprintf("slow-disk dial: %v", err))
+		return
+	}
+	defer client.Close()
+
+	addr := fmt.Sprintf("chaos-slow-%s-%s/video", res.stack, res.transport)
+	done, _, err := chaosReceive(sim, addr, nil)
+	if err != nil {
+		res.addErr(fmt.Sprintf("slow-disk listen: %v", err))
+		return
+	}
+	t := time.Now()
+	if _, err := client.Play(chaosMovie(cfg, 0), addr); err != nil {
+		res.addErr(fmt.Sprintf("slow-disk play: %v", err))
+		return
+	}
+	res.op("slow-play", time.Since(t))
+	select {
+	case st := <-done:
+		agg.slowDelivered, agg.slowLost = st.Delivered, st.Lost
+		agg.slowInjected = faulty.Stats().Slowed
+		if st.Delivered+st.Lost != cfg.Frames {
+			res.addErr(fmt.Sprintf("slow-disk accounting: delivered %d + lost %d != %d", st.Delivered, st.Lost, cfg.Frames))
+		}
+		if st.Lost == 0 {
+			res.addErr("slow-disk: no frames skipped — the injected stalls never bit")
+		}
+		if st.Delivered == 0 {
+			res.addErr("slow-disk: nothing delivered — the stream wedged instead of degrading")
+		}
+		res.done()
+	case <-time.After(sessionTimeout):
+		res.addErr("slow-disk: stream never terminated (wedged sender?)")
+	}
+}
+
+// chaosPartitionHeal partitions a live stream's link mid-flight and lets it
+// heal: the outage must be booked as loss, traffic must resume, and the
+// stream must terminate.
+func chaosPartitionHeal(cfg loadConfig, stack core.StackKind, tr string, env *mcam.ServerEnv, sim *mcam.SimNet, res *comboResult, agg *chaosAgg) {
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{Addr: chaosAddr(tr), Stack: stack, Env: env})
+	if err != nil {
+		res.addErr(fmt.Sprintf("partition server: %v", err))
+		return
+	}
+	defer srv.Close()
+	client, err := chaosDialSrv(srv, stack, tr)
+	if err != nil {
+		res.addErr(fmt.Sprintf("partition dial: %v", err))
+		return
+	}
+	defer client.Close()
+
+	addr := fmt.Sprintf("chaos-part-%s-%s/video", res.stack, res.transport)
+	var delivered atomic.Int64
+	done, _, err := chaosReceive(sim, addr, func(mtp.Frame) { delivered.Add(1) })
+	if err != nil {
+		res.addErr(fmt.Sprintf("partition listen: %v", err))
+		return
+	}
+	t := time.Now()
+	if _, err := client.Play(chaosMovie(cfg, 1), addr); err != nil {
+		res.addErr(fmt.Sprintf("partition play: %v", err))
+		return
+	}
+	res.op("part-play", time.Since(t))
+	if !chaosAwait(func() bool { return delivered.Load() >= chaosWarm(cfg) }) {
+		res.addErr("partition: stream never warmed up")
+		return
+	}
+	link, ok := sim.Link(addr)
+	if !ok {
+		res.addErr("partition: no link for the stream path")
+		return
+	}
+	before := int(delivered.Load())
+	link.Partition(chaosPartition) // auto-heals
+
+	select {
+	case st := <-done:
+		agg.partBefore, agg.partDelivered, agg.partLost = before, st.Delivered, st.Lost
+		if st.Lost == 0 {
+			res.addErr("partition: cost no frames — it never bit")
+		}
+		if st.Delivered+st.Lost < cfg.Frames {
+			res.addErr(fmt.Sprintf("partition accounting: delivered %d + lost %d < %d", st.Delivered, st.Lost, cfg.Frames))
+		}
+		if st.Delivered <= before {
+			res.addErr(fmt.Sprintf("partition: no traffic after heal (%d delivered, %d before)", st.Delivered, before))
+		}
+		res.done()
+	case <-time.After(sessionTimeout):
+		res.addErr("partition: stream never terminated across the outage")
+	}
+}
+
+// chaosLatencySpike spikes the link's latency mid-stream: the delivery
+// stalls visibly (max inter-arrival gap covers the spike) but nothing is
+// lost and the stream completes.
+func chaosLatencySpike(cfg loadConfig, stack core.StackKind, tr string, env *mcam.ServerEnv, sim *mcam.SimNet, res *comboResult, agg *chaosAgg) {
+	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{Addr: chaosAddr(tr), Stack: stack, Env: env})
+	if err != nil {
+		res.addErr(fmt.Sprintf("spike server: %v", err))
+		return
+	}
+	defer srv.Close()
+	client, err := chaosDialSrv(srv, stack, tr)
+	if err != nil {
+		res.addErr(fmt.Sprintf("spike dial: %v", err))
+		return
+	}
+	defer client.Close()
+
+	addr := fmt.Sprintf("chaos-spike-%s-%s/video", res.stack, res.transport)
+	var delivered atomic.Int64
+	// The deliver callback runs on one goroutine; reading maxGap after the
+	// stats channel receive is ordered by the channel.
+	var last time.Time
+	var maxGap time.Duration
+	done, _, err := chaosReceive(sim, addr, func(mtp.Frame) {
+		now := time.Now()
+		if !last.IsZero() {
+			if g := now.Sub(last); g > maxGap {
+				maxGap = g
+			}
+		}
+		last = now
+		delivered.Add(1)
+	})
+	if err != nil {
+		res.addErr(fmt.Sprintf("spike listen: %v", err))
+		return
+	}
+	t := time.Now()
+	if _, err := client.Play(chaosMovie(cfg, 2), addr); err != nil {
+		res.addErr(fmt.Sprintf("spike play: %v", err))
+		return
+	}
+	res.op("spike-play", time.Since(t))
+	if !chaosAwait(func() bool { return delivered.Load() >= chaosWarm(cfg) }) {
+		res.addErr("spike: stream never warmed up")
+		return
+	}
+	link, ok := sim.Link(addr)
+	if !ok {
+		res.addErr("spike: no link for the stream path")
+		return
+	}
+	link.Spike(chaosSpikeExtra, chaosSpikeFor) // auto-reverts
+
+	select {
+	case st := <-done:
+		agg.spikeDelivered, agg.spikeMaxGap = st.Delivered, maxGap
+		if st.Lost != 0 || st.Delivered != cfg.Frames {
+			res.addErr(fmt.Sprintf("spike: delivered %d, lost %d — latency alone must lose nothing (want %d/0)", st.Delivered, st.Lost, cfg.Frames))
+		}
+		if maxGap < chaosSpikeExtra*2/3 {
+			res.addErr(fmt.Sprintf("spike: max inter-arrival gap %v — the spike never bit", maxGap))
+		}
+		res.done()
+	case <-time.After(sessionTimeout):
+		res.addErr("spike: stream never terminated")
+	}
+}
+
+// chaosSeqLog collects delivered frames by sequence number for the resumed
+// stream's byte-identity check.
+type chaosSeqLog struct {
+	mu     sync.Mutex
+	frames map[uint32][]byte
+	dups   int
+}
+
+func (l *chaosSeqLog) deliver(f mtp.Frame) {
+	l.mu.Lock()
+	if _, ok := l.frames[f.Seq]; ok {
+		l.dups++
+	} else {
+		l.frames[f.Seq] = append([]byte(nil), f.Payload...)
+	}
+	l.mu.Unlock()
+}
+
+func (l *chaosSeqLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.frames)
+}
+
+// contiguous returns the first sequence number not yet delivered.
+func (l *chaosSeqLog) contiguous() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for {
+		if _, ok := l.frames[uint32(n)]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// chaosHerd is the thundering-herd phase: cfg.Sessions ReconnectClients are
+// associated when the server dies; after the restart the whole herd
+// reconnects at once and every reconnect time must land inside the backoff
+// envelope. One client's interrupted play resumes from the receiver's
+// contiguous progress and is checked byte-identical with zero duplicates.
+func chaosHerd(cfg loadConfig, stack core.StackKind, tr string, env *mcam.ServerEnv, sim *mcam.SimNet, res *comboResult, agg *chaosAgg) {
+	newSrv := func() (*xmovie.Server, error) {
+		return xmovie.ListenAndServe(xmovie.ServerConfig{
+			Addr: chaosAddr(tr), Stack: stack, Env: env,
+			MaxSessions:    cfg.Sessions + 16,
+			BusyRetryAfter: herdBusyRetry,
+		})
+	}
+	srv, err := newSrv()
+	if err != nil {
+		res.addErr(fmt.Sprintf("herd server: %v", err))
+		return
+	}
+	var srvMu sync.Mutex
+	cur := srv
+	closeCur := func() {
+		srvMu.Lock()
+		s := cur
+		srvMu.Unlock()
+		s.Close()
+	}
+	defer closeCur()
+	var maxAttempt atomic.Int64
+	newMember := func(seed int64) (*xmovie.ReconnectClient, error) {
+		return xmovie.NewReconnectClient(xmovie.ReconnectConfig{
+			Dial: func() (*xmovie.Client, error) {
+				srvMu.Lock()
+				s := cur
+				srvMu.Unlock()
+				return chaosDialSrv(s, stack, tr)
+			},
+			BackoffBase: herdBackoffBase,
+			BackoffMax:  herdBackoffMax,
+			MaxAttempts: herdMaxAttempts,
+			Seed:        seed,
+			OnRedial: func(attempt int, _ time.Duration, _ error) {
+				for {
+					old := maxAttempt.Load()
+					if int64(attempt) <= old || maxAttempt.CompareAndSwap(old, int64(attempt)) {
+						return
+					}
+				}
+			},
+		})
+	}
+
+	// Associate the herd (bounded by the configured concurrency) plus the
+	// one client whose play will be interrupted and resumed.
+	herd := make([]*xmovie.ReconnectClient, cfg.Sessions)
+	agg.herdClients = cfg.Sessions
+	sem := make(chan struct{}, cfg.Concurrent)
+	var wg sync.WaitGroup
+	for i := range herd {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t := time.Now()
+			rc, err := newMember(int64(i + 1))
+			if err != nil {
+				res.addErr(fmt.Sprintf("herd %d: %v", i, err))
+				return
+			}
+			if _, _, err := rc.Select(chaosMovie(cfg, i)); err != nil {
+				res.addErr(fmt.Sprintf("herd %d select: %v", i, err))
+				rc.Close()
+				return
+			}
+			res.op("dial", time.Since(t))
+			herd[i] = rc
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, rc := range herd {
+			if rc != nil {
+				rc.Close()
+			}
+		}
+	}()
+
+	resumeMovie := chaosMovie(cfg, 3)
+	rc0, err := newMember(int64(cfg.Sessions + 1))
+	if err != nil {
+		res.addErr(fmt.Sprintf("resume client: %v", err))
+		return
+	}
+	defer rc0.Close()
+	if _, _, err := rc0.Select(resumeMovie); err != nil {
+		res.addErr(fmt.Sprintf("resume select: %v", err))
+		return
+	}
+	resumeAddr := fmt.Sprintf("chaos-herd-%s-%s/video", res.stack, res.transport)
+	end, err := sim.Listen(resumeAddr, netsim.Config{})
+	if err != nil {
+		res.addErr(fmt.Sprintf("resume listen: %v", err))
+		return
+	}
+	log := &chaosSeqLog{frames: make(map[uint32][]byte)}
+	recv := func() chan mtp.RecvStats {
+		done := make(chan mtp.RecvStats, 1)
+		go func() {
+			st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, log.deliver)
+			done <- st
+		}()
+		return done
+	}
+	done := recv()
+	if _, err := rc0.Play(resumeMovie, resumeAddr); err != nil {
+		res.addErr(fmt.Sprintf("resume play: %v", err))
+		return
+	}
+	if !chaosAwait(func() bool { return log.count() >= int(chaosWarm(cfg)) }) {
+		res.addErr("herd: resume stream never warmed up")
+		return
+	}
+
+	// The crash: kill the server with the whole herd associated and the
+	// stream in flight, then bring a fresh instance up on the same state.
+	closeCur()
+	select {
+	case <-done: // the dying server terminates the stream on the wire
+	case <-time.After(sessionTimeout):
+		res.addErr("herd: interrupted stream never terminated after the kill")
+		return
+	}
+	acked := log.contiguous()
+	if acked >= int64(cfg.Frames) {
+		res.addErr("herd: stream finished before the kill; nothing was interrupted")
+	}
+	// Drain the dead stream's trailing EOS markers so the resumed
+	// receiver cannot mistake them for its own termination (stream IDs
+	// restart at 1 on a fresh association).
+	time.Sleep(50 * time.Millisecond)
+	for {
+		if _, ok := end.TryRecv(); !ok {
+			break
+		}
+	}
+
+	srv2, err := newSrv()
+	if err != nil {
+		res.addErr(fmt.Sprintf("herd restart: %v", err))
+		return
+	}
+	srvMu.Lock()
+	cur = srv2
+	srvMu.Unlock()
+
+	// The stampede: every member finds its association dead on the next
+	// call and redials — all at once.
+	restartAt := time.Now()
+	var dmu sync.Mutex
+	durs := make([]time.Duration, 0, len(herd))
+	var wg2 sync.WaitGroup
+	for i, rc := range herd {
+		if rc == nil {
+			continue
+		}
+		wg2.Add(1)
+		go func(i int, rc *xmovie.ReconnectClient) {
+			defer wg2.Done()
+			if _, err := rc.List(); err != nil {
+				res.addErr(fmt.Sprintf("herd %d reconnect: %v", i, err))
+				return
+			}
+			d := time.Since(restartAt)
+			res.op("reconnect", d)
+			dmu.Lock()
+			durs = append(durs, d)
+			dmu.Unlock()
+			res.done()
+		}(i, rc)
+	}
+	wg2.Wait()
+	agg.herdReconnects = len(durs)
+	agg.herdP50 = percentile(durs, 50)
+	agg.herdP95 = percentile(durs, 95)
+	agg.herdP99 = percentile(durs, 99)
+	for _, rc := range herd {
+		if rc != nil {
+			agg.herdRedials += rc.Stats().Redials
+		}
+	}
+	if agg.herdReconnects < agg.herdClients {
+		res.addErr(fmt.Sprintf("herd: only %d/%d clients reconnected", agg.herdReconnects, agg.herdClients))
+	}
+	// The envelope: the cumulative backoff for the deepest attempt any
+	// member needed (jitter only shortens waits), plus a scheduling
+	// allowance for the all-at-once storm.
+	envl := time.Second + time.Duration(agg.herdClients)*herdSchedSlack
+	for a := 1; a <= int(maxAttempt.Load()); a++ {
+		b := herdBackoffBase * (1 << (a - 1))
+		if b > herdBackoffMax {
+			b = herdBackoffMax
+		}
+		envl += b
+	}
+	agg.herdEnvelope = envl
+	if agg.herdP99 > envl {
+		res.addErr(fmt.Sprintf("herd: reconnect p99 %v outside the backoff envelope %v", agg.herdP99, envl))
+	}
+
+	// The resume: restart the interrupted play at the receiver's
+	// contiguous progress; the complete delivered sequence must equal the
+	// stored movie exactly, with zero duplicate frames.
+	done = recv()
+	if _, err := rc0.ResumeLastPlay(acked); err != nil {
+		res.addErr(fmt.Sprintf("herd resume: %v", err))
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(sessionTimeout):
+		res.addErr("herd: resumed stream never terminated")
+		return
+	}
+	if st := rc0.Stats(); st.Resumes != 1 {
+		res.addErr(fmt.Sprintf("herd: resume client stats %+v, want exactly one resume", st))
+	}
+	truth := chaosGroundTruth(env, res, resumeMovie)
+	log.mu.Lock()
+	agg.resumeFrames = len(log.frames)
+	agg.resumeDups = log.dups
+	agg.resumeIdentity = truth != nil && len(log.frames) == len(truth)
+	if agg.resumeIdentity {
+		for i, want := range truth {
+			if got := log.frames[uint32(i)]; string(got) != string(want) {
+				agg.resumeIdentity = false
+				break
+			}
+		}
+	}
+	log.mu.Unlock()
+	if agg.resumeDups > 0 {
+		res.addErr(fmt.Sprintf("herd: %d duplicate frames across the resume", agg.resumeDups))
+	}
+	if !agg.resumeIdentity {
+		res.addErr(fmt.Sprintf("herd: resumed stream not byte-identical (%d/%d frames)", agg.resumeFrames, cfg.Frames))
+	}
+	st := srv2.Stats()
+	if st.Rejected > 0 {
+		res.addErr(fmt.Sprintf("herd: restarted server rejected %d connections", st.Rejected))
+	}
+	res.peak = st.Peak
+}
+
+// chaosWarm is the delivery count a stream phase waits for before injecting
+// its fault.
+func chaosWarm(cfg loadConfig) int64 {
+	w := int64(chaosWarmFrames)
+	if q := int64(cfg.Frames / 4); q < w {
+		w = q
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chaosAwait polls cond until it holds or the session timeout elapses.
+func chaosAwait(cond func() bool) bool {
+	deadline := time.Now().Add(sessionTimeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// chaosGroundTruth materializes the stored movie for the byte-identity
+// check. nil (with an error recorded) if that fails.
+func chaosGroundTruth(env *mcam.ServerEnv, res *comboResult, name string) [][]byte {
+	m, err := env.Store.Get(name)
+	if err != nil {
+		res.addErr(fmt.Sprintf("ground truth: %v", err))
+		return nil
+	}
+	frames, err := moviedb.Materialize(m.Content)
+	if err != nil {
+		res.addErr(fmt.Sprintf("ground truth: %v", err))
+		return nil
+	}
+	return frames
+}

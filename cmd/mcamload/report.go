@@ -62,6 +62,9 @@ type comboResult struct {
 	// broadcast is the live fan-out outcome (nil outside the broadcast
 	// scenario).
 	broadcast *broadcastAgg
+	// chaos is the fault-injection outcome (nil outside the chaos
+	// scenario).
+	chaos *chaosAgg
 
 	wall time.Duration
 	peak int64
@@ -273,6 +276,24 @@ func (r *Report) notes() []string {
 				"%s live-lag n=%-6d p50=%sµs p95=%sµs p99=%sµs",
 				c.name(), b.lagN,
 				micros(b.lagP50), micros(b.lagP95), micros(b.lagP99)))
+		}
+		if ch := c.chaos; ch != nil {
+			notes = append(notes, fmt.Sprintf(
+				"%s slow-disk delivered=%d skipped=%d injected-stalls=%d",
+				c.name(), ch.slowDelivered, ch.slowLost, ch.slowInjected))
+			notes = append(notes, fmt.Sprintf(
+				"%s partition before=%d delivered=%d lost=%d",
+				c.name(), ch.partBefore, ch.partDelivered, ch.partLost))
+			notes = append(notes, fmt.Sprintf(
+				"%s spike    delivered=%d max-gap=%v",
+				c.name(), ch.spikeDelivered, ch.spikeMaxGap))
+			notes = append(notes, fmt.Sprintf(
+				"%s herd     clients=%d reconnected=%d redials=%d p50=%v p95=%v p99=%v envelope=%v",
+				c.name(), ch.herdClients, ch.herdReconnects, ch.herdRedials,
+				ch.herdP50, ch.herdP95, ch.herdP99, ch.herdEnvelope))
+			notes = append(notes, fmt.Sprintf(
+				"%s resume   frames=%d dups=%d identity=%v leaked-goroutines=%d",
+				c.name(), ch.resumeFrames, ch.resumeDups, ch.resumeIdentity, ch.leakedGoroutines))
 		}
 		if c.serverStreams.Streams > 0 {
 			notes = append(notes, fmt.Sprintf(

@@ -45,6 +45,12 @@ const (
 	// the per-session loop) and needs concurrent >= sessions, since every
 	// viewer stream stays open until the broadcast seals. See broadcast.go.
 	scenarioBroadcast = "broadcast"
+	// scenarioChaos is the fault-injection shape: four sub-scenarios
+	// (slow-disk skips, mid-stream partition-and-heal, latency spike, and
+	// a thundering-herd reconnect of -sessions clients across a server
+	// kill/restart with one resumed, byte-identical stream) with asserted
+	// recovery shapes. Sole scenario in the mix; see chaos.go.
+	scenarioChaos = "chaos"
 )
 
 // streamFrameSize is the seeded catalogue's frame payload size in bytes.
@@ -253,6 +259,11 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 		// recorder fanning out to cfg.Sessions viewers (validated at
 		// startup to be the sole scenario in the mix).
 		return runBroadcastCombo(cfg, stack, tr)
+	}
+	if cfg.Scenarios[0] == scenarioChaos {
+		// Chaos replaces the loop with its fault-injection phases
+		// (likewise validated to be the sole scenario).
+		return runChaosCombo(cfg, stack, tr)
 	}
 	res := newComboResult(stack.String(), tr)
 	cenv, err := seedEnv(cfg)

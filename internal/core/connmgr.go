@@ -47,6 +47,9 @@ type SessionStats struct {
 	Active int64
 	// Peak is the high-water mark of Active.
 	Peak int64
+	// Busy counts over-limit connections answered with StatusBusy (a
+	// subset of Rejected).
+	Busy int64
 }
 
 // managedConn wraps a transport.Conn and closes done exactly once when the
@@ -124,6 +127,7 @@ type Server struct {
 	accepted  atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+	busy      atomic.Int64
 
 	// wg counts the accept loop plus one token per admitted session,
 	// released in finish.
@@ -243,6 +247,7 @@ func (s *Server) Stats() SessionStats {
 		Completed: s.completed.Load(),
 		Active:    active,
 		Peak:      peak,
+		Busy:      s.busy.Load(),
 	}
 }
 
@@ -308,11 +313,19 @@ func (s *Server) finish(sess *srvSession) {
 
 // ServeConn admits conn as a new session and serves it asynchronously over
 // the configured stack. It is the entry point for in-memory transports
-// (pipes); the accept loop feeds TCP connections through the same path. On
-// admission failure the connection is closed and the error returned.
+// (pipes); the accept loop feeds TCP connections through the same path. A
+// connection over the session limit is answered with StatusBusy and a
+// retry-after hint by a short-lived responder instead of a raw close, so
+// clients can back off deliberately; other admission failures close the
+// connection. The admission error is returned either way.
 func (s *Server) ServeConn(conn transport.Conn) error {
 	sess, err := s.admit(conn)
 	if err != nil {
+		if errors.Is(err, ErrServerFull) {
+			s.busy.Add(1)
+			go func() { _ = mcam.ServeBusy(conn, s.cfg.BusyRetryAfter) }()
+			return err
+		}
 		conn.Close()
 		return err
 	}

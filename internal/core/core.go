@@ -157,9 +157,13 @@ type ServerConfig struct {
 	// (0 = unlimited).
 	Processors int
 	// MaxSessions bounds concurrently admitted sessions (0 =
-	// DefaultMaxSessions). Connections beyond the bound are closed at
-	// admission.
+	// DefaultMaxSessions). Connections beyond the bound are answered with
+	// StatusBusy plus a retry-after hint by a short-lived responder, then
+	// closed.
 	MaxSessions int
+	// BusyRetryAfter is the retry-after hint in over-limit StatusBusy
+	// responses (0 = 1s).
+	BusyRetryAfter time.Duration
 	// TeardownGrace overrides how long a dead connection's entity may take
 	// to run its own release path before streams are torn down forcibly
 	// (0 = 5s). Mainly for tests.
@@ -228,7 +232,7 @@ func NewClientConn(conn transport.Conn, cfg ClientConfig) (*Client, error) {
 	c := &Client{stack: cfg.Stack, conn: conn, callTimeout: callTimeout}
 	switch cfg.Stack {
 	case StackHandcoded:
-		iso, err := mcam.DialIsode(conn, cfg.CalledSelector)
+		iso, err := mcam.DialIsodeTimeout(conn, cfg.CalledSelector, callTimeout)
 		if err != nil {
 			conn.Close()
 			return nil, err
@@ -274,7 +278,8 @@ func (c *Client) Call(req *mcam.Request) (*mcam.Response, error) {
 	return c.app.Call(req, c.callTimeout)
 }
 
-// Close releases the association and tears the entity down.
+// Close releases the association and tears the entity down. Afterwards any
+// waiter still blocked in Call or AwaitEvent fails fast with ErrClosed.
 func (c *Client) Close() error {
 	var err error
 	if c.iso != nil {
@@ -282,6 +287,7 @@ func (c *Client) Close() error {
 	} else {
 		err = c.app.Release(c.callTimeout)
 		c.sched.Stop()
+		c.app.MarkClosed()
 	}
 	_ = c.conn.Close()
 	return err

@@ -136,6 +136,15 @@ func (c *AppClient) Release(timeout time.Duration) error {
 	}
 }
 
+// MarkClosed transitions the client into its terminal state locally, as if
+// the provider had aborted: every pending and future Call, Connect and
+// AwaitEvent returns ErrClosed immediately. Owners call it after releasing
+// the association so late waiters fail fast instead of burning their
+// timeout against a dead entity.
+func (c *AppClient) MarkClosed() {
+	c.abortOne.Do(func() { close(c.aborted) })
+}
+
 // Aborted reports whether the provider aborted the association.
 func (c *AppClient) Aborted() bool {
 	select {

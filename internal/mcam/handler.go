@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"xmovie/internal/directory"
 	"xmovie/internal/equipment"
@@ -34,6 +35,12 @@ type ServerEnv struct {
 	// StreamTotals, when non-nil, accumulates finished streams' data-plane
 	// counters across every association sharing this environment.
 	StreamTotals *spa.Totals
+	// StreamReadTimeout bounds each storage read feeding a stream's pacing
+	// loop (0 = unbounded): a read that misses the bound degrades that one
+	// stream with a skipped frame (FlagSkip) instead of wedging its sender
+	// on a slow or failed store. Live-edge waits stay unbounded — they are
+	// cancellable already.
+	StreamReadTimeout time.Duration
 }
 
 // handler executes MCAM requests against a ServerEnv. One handler serves
@@ -69,10 +76,11 @@ type recSession struct {
 func newHandler(env *ServerEnv, events func(Event)) *handler {
 	h := &handler{env: env, nextID: 1}
 	h.spa = spa.New(spa.Config{
-		Dialer: env.Dialer,
-		Events: func(e spa.Event) { events(convertEvent(e)) },
-		Window: env.StreamWindow,
-		Totals: env.StreamTotals,
+		Dialer:      env.Dialer,
+		Events:      func(e spa.Event) { events(convertEvent(e)) },
+		Window:      env.StreamWindow,
+		Totals:      env.StreamTotals,
+		ReadTimeout: env.StreamReadTimeout,
 	})
 	return h
 }

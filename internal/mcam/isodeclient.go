@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"xmovie/internal/isode"
 	"xmovie/internal/presentation"
@@ -27,9 +28,14 @@ type IsodeClient struct {
 	// encBuf is the per-association request encode buffer (guarded by mu);
 	// Provider.Data copies it into its own wire buffer before sending.
 	encBuf []byte
+	// dc/timeout, when set by DialIsodeTimeout, bound every receive wait:
+	// a dead server surfaces as ErrTimeout instead of a hung Call.
+	dc      *transport.DeadlineConn
+	timeout time.Duration
 }
 
-// DialIsode establishes an MCAM association over conn.
+// DialIsode establishes an MCAM association over conn. Calls block without
+// bound; use DialIsodeTimeout for per-operation deadlines.
 func DialIsode(conn transport.Conn, calledSel string) (*IsodeClient, error) {
 	prov, _, err := isode.Connect(conn, calledSel, proposedContexts(), nil)
 	if err != nil {
@@ -38,11 +44,45 @@ func DialIsode(conn transport.Conn, calledSel string) (*IsodeClient, error) {
 	return &IsodeClient{prov: prov}, nil
 }
 
+// DialIsodeTimeout establishes an MCAM association whose every receive wait
+// — association setup, Call responses, AwaitEvent — is bounded by timeout:
+// a dead or wedged server returns ErrTimeout instead of hanging forever,
+// and a severed association returns ErrClosed. timeout <= 0 means
+// unbounded (equivalent to DialIsode).
+func DialIsodeTimeout(conn transport.Conn, calledSel string, timeout time.Duration) (*IsodeClient, error) {
+	dc := transport.NewDeadlineConn(conn)
+	if timeout > 0 {
+		dc.SetRecvDeadline(time.Now().Add(timeout))
+	}
+	prov, _, err := isode.Connect(dc, calledSel, proposedContexts(), nil)
+	if err != nil {
+		if errors.Is(err, transport.ErrDeadline) {
+			return nil, fmt.Errorf("%w: connect", ErrTimeout)
+		}
+		return nil, fmt.Errorf("mcam: %w", err)
+	}
+	dc.SetRecvDeadline(time.Time{})
+	return &IsodeClient{prov: prov, dc: dc, timeout: timeout}, nil
+}
+
+// armDeadline bounds the receive waits of one operation; the returned func
+// clears the bound. A no-op without DialIsodeTimeout.
+func (c *IsodeClient) armDeadline(timeout time.Duration) func() {
+	if c.dc == nil || timeout <= 0 {
+		return func() {}
+	}
+	c.dc.SetRecvDeadline(time.Now().Add(timeout))
+	return func() { c.dc.SetRecvDeadline(time.Time{}) }
+}
+
 // Call sends a request and blocks for its response, dispatching any stream
-// events that arrive in between.
+// events that arrive in between. Under DialIsodeTimeout the wait is
+// bounded: a silent server returns ErrTimeout and a severed association
+// returns ErrClosed.
 func (c *IsodeClient) Call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.armDeadline(c.timeout)()
 	c.invoke++
 	req.InvokeID = c.invoke
 	var err error
@@ -64,6 +104,11 @@ func (c *IsodeClient) Call(req *Request) (*Response, error) {
 				c.OnEvent(*pdu.Event)
 			}
 		case pdu.Response != nil:
+			if pdu.Response.InvokeID < req.InvokeID {
+				// A stale answer to a call that timed out earlier; the
+				// deadline left it queued. Skip it and keep waiting.
+				continue
+			}
 			if pdu.Response.InvokeID != req.InvokeID {
 				return nil, fmt.Errorf("mcam: response for invoke %d, want %d",
 					pdu.Response.InvokeID, req.InvokeID)
@@ -76,9 +121,20 @@ func (c *IsodeClient) Call(req *Request) (*Response, error) {
 }
 
 // AwaitEvent blocks until the next stream event arrives (no call pending).
+// Under DialIsodeTimeout the wait is bounded by the dial timeout; use
+// AwaitEventTimeout for an explicit bound.
 func (c *IsodeClient) AwaitEvent() (Event, error) {
+	return c.AwaitEventTimeout(c.timeout)
+}
+
+// AwaitEventTimeout blocks until the next stream event arrives or timeout
+// passes (ErrTimeout). A severed or released association returns ErrClosed
+// immediately. Bounds require DialIsodeTimeout; otherwise timeout is
+// ignored.
+func (c *IsodeClient) AwaitEventTimeout(timeout time.Duration) (Event, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.armDeadline(timeout)()
 	for {
 		pdu, err := c.recvPDU()
 		if err != nil {
@@ -93,10 +149,17 @@ func (c *IsodeClient) AwaitEvent() (Event, error) {
 	}
 }
 
+// recvPDU receives and decodes the next PDU, classifying receive failures:
+// a deadline expiry is ErrTimeout (the association may still be alive), and
+// every other receive failure is terminal ErrClosed — the provider cannot
+// deliver further PDUs after a transport error, release or abort.
 func (c *IsodeClient) recvPDU() (*PDU, error) {
 	ctxID, data, err := c.prov.RecvData()
 	if err != nil {
-		return nil, fmt.Errorf("mcam: %w", err)
+		if errors.Is(err, transport.ErrDeadline) {
+			return nil, fmt.Errorf("%w: awaiting PDU", ErrTimeout)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	if ctxID != ContextID {
 		return nil, fmt.Errorf("mcam: data on unexpected context %d", ctxID)
@@ -108,6 +171,7 @@ func (c *IsodeClient) recvPDU() (*PDU, error) {
 func (c *IsodeClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.armDeadline(c.timeout)()
 	return c.prov.Release(nil)
 }
 

@@ -40,7 +40,7 @@ MCAM-PDUs DEFINITIONS ::= BEGIN
   Status ::= ENUMERATED {
      success(0), noSuchMovie(1), movieExists(2), notSelected(3),
      badState(4), directoryError(5), equipmentError(6), protocolError(7),
-     streamError(8), notSupported(9)
+     streamError(8), notSupported(9), busy(10)
   }
 
   Attribute ::= SEQUENCE {
@@ -72,7 +72,8 @@ MCAM-PDUs DEFINITIONS ::= BEGIN
      position    [3]  INTEGER OPTIONAL,
      length      [4]  INTEGER OPTIONAL,
      frameRate   [5]  INTEGER OPTIONAL,
-     streamID    [6]  INTEGER OPTIONAL
+     streamID    [6]  INTEGER OPTIONAL,
+     retryAfterMs [7] INTEGER OPTIONAL
   }
 
   EventKind ::= ENUMERATED {
@@ -156,13 +157,16 @@ const (
 	// cannot perform (e.g. appending frames to content it cannot
 	// materialize).
 	StatusNotSupported
+	// StatusBusy reports a server refusing new work under overload; the
+	// response's RetryAfterMs hints when the client should try again.
+	StatusBusy
 )
 
 // String returns the status name.
 func (s Status) String() string {
 	names := [...]string{"success", "noSuchMovie", "movieExists", "notSelected",
 		"badState", "directoryError", "equipmentError", "protocolError", "streamError",
-		"notSupported"}
+		"notSupported", "busy"}
 	if s >= 0 && int(s) < len(names) {
 		return names[s]
 	}
@@ -208,6 +212,9 @@ type Response struct {
 	Length     int64
 	FrameRate  int64
 	StreamID   int64
+	// RetryAfterMs accompanies StatusBusy: the server's hint for how long
+	// the client should back off before retrying (milliseconds).
+	RetryAfterMs int64
 }
 
 // OK reports a success status.
@@ -318,6 +325,7 @@ func (p *PDU) encodeSchema() ([]byte, error) {
 		setOpt(v, "length", r.Length)
 		setOpt(v, "frameRate", r.FrameRate)
 		setOpt(v, "streamID", r.StreamID)
+		setOpt(v, "retryAfterMs", r.RetryAfterMs)
 		c = asn1ber.Choice{Alt: "response", Value: v}
 	case p.Event != nil:
 		e := p.Event
@@ -386,15 +394,16 @@ func Decode(data []byte) (*PDU, error) {
 		}
 	case "response":
 		resp := &Response{
-			InvokeID:   m["invokeID"].(int64),
-			Op:         Op(m["op"].(int64)),
-			Status:     Status(m["status"].(int64)),
-			Diagnostic: optStr(m, "diagnostic"),
-			Attrs:      valuesToAttrs(m["attrs"]),
-			Position:   optInt(m, "position"),
-			Length:     optInt(m, "length"),
-			FrameRate:  optInt(m, "frameRate"),
-			StreamID:   optInt(m, "streamID"),
+			InvokeID:     m["invokeID"].(int64),
+			Op:           Op(m["op"].(int64)),
+			Status:       Status(m["status"].(int64)),
+			Diagnostic:   optStr(m, "diagnostic"),
+			Attrs:        valuesToAttrs(m["attrs"]),
+			Position:     optInt(m, "position"),
+			Length:       optInt(m, "length"),
+			FrameRate:    optInt(m, "frameRate"),
+			StreamID:     optInt(m, "streamID"),
+			RetryAfterMs: optInt(m, "retryAfterMs"),
 		}
 		if items, ok := m["movies"].([]any); ok {
 			for _, it := range items {

@@ -147,7 +147,7 @@ func responseContentLen(r *Response) int {
 	if len(r.Attrs) > 0 {
 		n += asn1ber.SizeTLV(attrsContentLen(r.Attrs))
 	}
-	for _, v := range [...]int64{r.Position, r.Length, r.FrameRate, r.StreamID} {
+	for _, v := range [...]int64{r.Position, r.Length, r.FrameRate, r.StreamID, r.RetryAfterMs} {
 		if v != 0 {
 			n += sizeInt(v)
 		}
@@ -183,6 +183,9 @@ func appendResponse(dst []byte, r *Response) []byte {
 	}
 	if r.StreamID != 0 {
 		dst = asn1ber.AppendInteger(dst, clsCtx, 6, r.StreamID)
+	}
+	if r.RetryAfterMs != 0 {
+		dst = asn1ber.AppendInteger(dst, clsCtx, 7, r.RetryAfterMs)
 	}
 	return dst
 }

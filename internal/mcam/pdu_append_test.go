@@ -29,6 +29,8 @@ func appendCorpus() []*PDU {
 			Position: 10, Length: 5400, FrameRate: 25, StreamID: 7}},
 		{Response: &Response{InvokeID: -1, Op: OpStop, Status: StatusStreamError,
 			Diagnostic: long, Position: 1 << 30}},
+		{Response: &Response{InvokeID: 4, Op: OpSelect, Status: StatusBusy,
+			Diagnostic: "server full", RetryAfterMs: 1500}},
 		{Event: &Event{Kind: EventStreamStarted, StreamID: 1}},
 		{Event: &Event{Kind: EventStreamProgress, StreamID: 7, Position: 4096}},
 		{Event: &Event{Kind: EventStreamAborted, StreamID: 1 << 20, Detail: long}},

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // openTestDisk opens a disk store over dir with a small chunk window so
@@ -748,4 +749,114 @@ func BenchmarkDiskStreamCached(b *testing.B) {
 	}
 	src.Close()
 	benchStream(b, s)
+}
+
+// TestCrashMidLiveBroadcastSealsAndTruncates kills a disk-backed recording
+// mid-append at the live-broadcast boundary: a follower is tailing the
+// movie while a recorder appends, and the process dies with a torn record
+// at the segment tail. Reopening the directory must truncate the torn
+// tail, leave the movie sealed (deletable; plays end at the last good
+// frame instead of waiting at a live edge that no recorder will ever
+// extend), and stream every fully written frame back byte-identically.
+func TestCrashMidLiveBroadcastSealsAndTruncates(t *testing.T) {
+	frames := frameBytes(10)
+	base := t.TempDir()
+	liveDir := filepath.Join(base, "live")
+	s := openTestDisk(t, liveDir, DiskConfig{ChunkFrames: 4})
+	if err := s.Create(&Movie{Name: "cast", FrameRate: 25}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Record("cast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	m, err := s.Get("cast")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The broadcast: a follower tails the live movie while the recorder
+	// appends in two batches.
+	src := m.Open()
+	defer src.Close()
+	followed := make(chan [][]byte, 1)
+	go func() {
+		var fs [][]byte
+		for len(fs) < len(frames) {
+			f, err := src.Next()
+			if err != nil {
+				break
+			}
+			fs = append(fs, append([]byte(nil), f...))
+		}
+		followed <- fs
+	}()
+	if _, err := rec.Append(frames[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Append(frames[6:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case fs := <-followed:
+		if len(fs) != len(frames) {
+			t.Fatalf("follower saw %d live frames, want %d", len(fs), len(frames))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live follower never caught up to the broadcast tail")
+	}
+
+	// The kill: copy the directory while the recorder is still open (the
+	// on-disk state a crash leaves behind — appends are fsynced, sealing
+	// never happened), then add the torn record the dying write left.
+	crashDir := filepath.Join(base, "crash")
+	if err := os.CopyFS(crashDir, os.DirFS(liveDir)); err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := movieFiles(crashDir, "cast")
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := st.Size()
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 64)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart.
+	s2 := openTestDisk(t, crashDir, DiskConfig{ChunkFrames: 4})
+	m2, err := s2.Get("cast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.FrameCount(); got != int64(len(frames)) {
+		t.Fatalf("%d frames survived the crash, want %d", got, len(frames))
+	}
+	if st, err := os.Stat(seg); err != nil || st.Size() != goodSize {
+		t.Fatalf("repaired segment is %d bytes (err %v), want torn tail truncated to %d", st.Size(), err, goodSize)
+	}
+	got := drain(t, m2.Open())
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d corrupted across the crash", i)
+		}
+	}
+	// Sealed, not live: a live movie refuses Delete; the reopened one
+	// must not (no recorder survived the crash to extend it).
+	if err := s2.Delete("cast"); err != nil {
+		t.Fatalf("reopened movie still considered live: %v", err)
+	}
 }

@@ -2,11 +2,21 @@ package mtp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
+
+// ErrFrameUnavailable is returned (possibly wrapped) by a FrameSource whose
+// current frame could not be produced in time — a slow or wedged storage
+// read behind a bounded-read wrapper. The source must have consumed the
+// frame's position (Pos advanced past it) before returning it. The sender
+// degrades instead of aborting: the frame is booked as an adaptive drop and
+// the next transmitted frame carries FlagSkip, so one slow read costs the
+// receiver one lost frame, not the stream.
+var ErrFrameUnavailable = errors.New("mtp: frame unavailable")
 
 // FrameSource is the lazy frame iterator the stream sender pulls from — a
 // structural subset of moviedb.FrameSource, so movie-database sources plug
@@ -418,6 +428,20 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 		}
 		if err == io.EOF {
 			return finish(nil)
+		}
+		if errors.Is(err, ErrFrameUnavailable) {
+			// Graceful degradation: the source consumed the frame's
+			// position but could not produce its bytes in time. Book it
+			// like an adaptive drop — sequence space is consumed, the next
+			// transmitted frame carries FlagSkip — and keep the stream
+			// alive.
+			slot++
+			skipPending = true
+			s.mu.Lock()
+			s.stats.Dropped++
+			s.stats.Pos = src.Pos()
+			s.mu.Unlock()
+			continue
 		}
 		if err != nil {
 			return finish(fmt.Errorf("mtp: frame source: %w", err))

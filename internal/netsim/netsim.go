@@ -56,15 +56,22 @@ type Endpoint struct {
 
 // direction carries packets one way.
 type direction struct {
+	mu  sync.Mutex
 	cfg Config
 	rng *rand.Rand
 
-	mu sync.Mutex
 	// busyUntil models the serialization of previous packets.
 	busyUntil time.Time
 	inFlight  int
 	stats     Stats
 	dst       chan []byte
+
+	// partUntil/partForever drop every packet while a partition holds.
+	partUntil   time.Time
+	partForever bool
+	// spikeExtra is added to the propagation delay until spikeUntil.
+	spikeExtra time.Duration
+	spikeUntil time.Time
 }
 
 // Link is a bidirectional shaped path between two Endpoints.
@@ -117,9 +124,7 @@ func NewLink(aToB, bToA Config) (*Endpoint, *Endpoint, *Link) {
 		if seed == 0 {
 			seed = 1
 		}
-		if cfg.MaxQueue == 0 {
-			cfg.MaxQueue = 4096
-		}
+		cfg = normalize(cfg)
 		return &direction{cfg: cfg, rng: rand.New(rand.NewSource(seed)), dst: dst}
 	}
 	inA := make(chan []byte, 4096)
@@ -135,6 +140,69 @@ func NewLink(aToB, bToA Config) (*Endpoint, *Endpoint, *Link) {
 // NewPerfectLink returns an unshaped (instant, lossless) link.
 func NewPerfectLink() (*Endpoint, *Endpoint, *Link) {
 	return NewLink(Config{}, Config{})
+}
+
+// normalize applies the Config zero-value defaults used at link creation.
+func normalize(cfg Config) Config {
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4096
+	}
+	return cfg
+}
+
+// SetConfig replaces both directions' shaping at runtime; packets already
+// scheduled keep their original delivery time. A nonzero Seed reseeds that
+// direction's random stream; Seed 0 keeps the current one so loss/jitter
+// sequences stay deterministic across reconfiguration.
+func (l *Link) SetConfig(aToB, bToA Config) {
+	for dir, cfg := range map[*direction]Config{l.a.out: aToB, l.b.out: bToA} {
+		cfg = normalize(cfg)
+		dir.mu.Lock()
+		if cfg.Seed != 0 && cfg.Seed != dir.cfg.Seed {
+			dir.rng = rand.New(rand.NewSource(cfg.Seed))
+		}
+		dir.cfg = cfg
+		dir.mu.Unlock()
+	}
+}
+
+// Partition drops every packet in both directions for the given duration,
+// simulating a network split that heals on its own. d < 0 partitions until
+// Heal; d == 0 heals immediately. Packets already in flight still arrive
+// (they left before the cut).
+func (l *Link) Partition(d time.Duration) {
+	until := time.Now().Add(d)
+	for _, dir := range []*direction{l.a.out, l.b.out} {
+		dir.mu.Lock()
+		dir.partForever = d < 0
+		if d > 0 {
+			dir.partUntil = until
+		} else {
+			dir.partUntil = time.Time{}
+		}
+		dir.mu.Unlock()
+	}
+}
+
+// Heal ends a partition immediately.
+func (l *Link) Heal() { l.Partition(0) }
+
+// Spike adds extra propagation delay in both directions for the given
+// duration — a transient latency spike that decays on its own.
+func (l *Link) Spike(extra, d time.Duration) {
+	until := time.Now().Add(d)
+	for _, dir := range []*direction{l.a.out, l.b.out} {
+		dir.mu.Lock()
+		dir.spikeExtra = extra
+		dir.spikeUntil = until
+		dir.mu.Unlock()
+	}
+}
+
+// partitioned reports whether the direction is currently cut. Caller holds
+// dir.mu.
+func (d *direction) partitioned(now time.Time) bool {
+	return d.partForever || now.Before(d.partUntil)
 }
 
 // pump delivers scheduled packets when their time arrives.
@@ -214,6 +282,12 @@ func (e *Endpoint) Send(p []byte) error {
 	dir.mu.Lock()
 	dir.stats.Sent++
 	dir.stats.Bytes += int64(len(p))
+	now := time.Now()
+	if dir.partitioned(now) {
+		dir.stats.Dropped++
+		dir.mu.Unlock()
+		return nil
+	}
 	if dir.cfg.LossProb > 0 && dir.rng.Float64() < dir.cfg.LossProb {
 		dir.stats.Dropped++
 		dir.mu.Unlock()
@@ -224,7 +298,6 @@ func (e *Endpoint) Send(p []byte) error {
 		dir.mu.Unlock()
 		return nil
 	}
-	now := time.Now()
 	depart := now
 	if dir.cfg.BitsPerSec > 0 {
 		txTime := time.Duration(int64(len(p)) * 8 * int64(time.Second) / dir.cfg.BitsPerSec)
@@ -237,6 +310,9 @@ func (e *Endpoint) Send(p []byte) error {
 	arrive := depart.Add(dir.cfg.Delay)
 	if dir.cfg.Jitter > 0 {
 		arrive = arrive.Add(time.Duration(dir.rng.Int63n(int64(dir.cfg.Jitter) + 1)))
+	}
+	if dir.spikeExtra > 0 && now.Before(dir.spikeUntil) {
+		arrive = arrive.Add(dir.spikeExtra)
 	}
 	dir.inFlight++
 	dir.mu.Unlock()

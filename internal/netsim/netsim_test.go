@@ -158,6 +158,116 @@ func TestSendAfterClose(t *testing.T) {
 	}
 }
 
+func TestPartitionDropsThenHeals(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+
+	l.Partition(-1)
+	for i := 0; i < 10; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("packet crossed an indefinite partition")
+	}
+	if st := a.Stats(); st.Dropped != 10 {
+		t.Fatalf("partition dropped %d of 10", st.Dropped)
+	}
+
+	l.Heal()
+	if err := a.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || string(p) != "after" {
+		t.Fatalf("after heal got %q, %v", p, err)
+	}
+	// Both directions were cut and both heal.
+	if err := b.Send([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := a.Recv(); err != nil || string(p) != "back" {
+		t.Fatalf("reverse after heal got %q, %v", p, err)
+	}
+}
+
+func TestPartitionExpires(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	l.Partition(20 * time.Millisecond)
+	if err := a.Send([]byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("packet crossed an active partition")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := a.Send([]byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || string(p) != "healed" {
+		t.Fatalf("after expiry got %q, %v", p, err)
+	}
+}
+
+func TestSetConfigMidStream(t *testing.T) {
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	if err := a.Send([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade to total loss; the same endpoints now drop everything.
+	l.SetConfig(Config{LossProb: 1, Seed: 7}, Config{})
+	for i := 0; i < 5; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Stats(); st.Dropped != 5 {
+		t.Fatalf("lossy reconfig dropped %d of 5", st.Dropped)
+	}
+	// And back to clean.
+	l.SetConfig(Config{}, Config{})
+	if err := a.Send([]byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || string(p) != "clean" {
+		t.Fatalf("after restore got %q, %v", p, err)
+	}
+}
+
+func TestSpikeAddsLatencyThenDecays(t *testing.T) {
+	const extra = 50 * time.Millisecond
+	a, b, l := NewPerfectLink()
+	defer l.Close()
+	l.Spike(extra, 100*time.Millisecond)
+	start := time.Now()
+	if err := a.Send([]byte("spiked")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < extra {
+		t.Errorf("spiked packet arrived after %v, want >= %v", got, extra)
+	}
+	time.Sleep(120 * time.Millisecond)
+	start = time.Now()
+	if err := a.Send([]byte("calm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > extra {
+		t.Errorf("post-spike packet took %v, spike did not decay", got)
+	}
+}
+
 func TestTryRecv(t *testing.T) {
 	a, b, l := NewPerfectLink()
 	defer l.Close()

@@ -33,13 +33,15 @@ func (UDPDialer) DialStream(addr string) (mtp.PacketConn, error) {
 type SimNet struct {
 	mu    sync.Mutex
 	paths map[string]*netsim.Endpoint
-	links []*netsim.Link
+	links map[string]*netsim.Link
 }
 
 var _ StreamDialer = (*SimNet)(nil)
 
 // NewSimNet returns an empty simulated stream network.
-func NewSimNet() *SimNet { return &SimNet{paths: make(map[string]*netsim.Endpoint)} }
+func NewSimNet() *SimNet {
+	return &SimNet{paths: make(map[string]*netsim.Endpoint), links: make(map[string]*netsim.Link)}
+}
 
 // Listen creates a shaped path named addr and returns the client-side
 // (receiving) endpoint. The server-side endpoint is handed out by
@@ -53,8 +55,18 @@ func (n *SimNet) Listen(addr string, toClient netsim.Config) (*netsim.Endpoint, 
 		return nil, fmt.Errorf("spa: stream address %q in use", addr)
 	}
 	n.paths[addr] = serverEnd
-	n.links = append(n.links, link)
+	n.links[addr] = link
 	return clientEnd, nil
+}
+
+// Link returns the shaped link behind path addr, for runtime chaos on a
+// live stream: Link.Partition, Link.Spike and Link.SetConfig degrade the
+// path mid-flight without touching either endpoint.
+func (n *SimNet) Link(addr string) (*netsim.Link, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[addr]
+	return l, ok
 }
 
 // DialStream implements StreamDialer.
@@ -75,6 +87,6 @@ func (n *SimNet) Close() {
 	for _, l := range n.links {
 		l.Close()
 	}
-	n.links = nil
+	n.links = make(map[string]*netsim.Link)
 	n.paths = make(map[string]*netsim.Endpoint)
 }

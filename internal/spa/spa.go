@@ -97,6 +97,12 @@ type Config struct {
 	// Totals, when non-nil, accumulates finished streams' counters —
 	// typically one shared instance per server.
 	Totals *Totals
+	// ReadTimeout bounds each storage read feeding a stream's pacing loop
+	// (0 = unbounded). A read that misses the bound costs the receiver one
+	// skipped frame (FlagSkip) instead of wedging the sender; a store that
+	// misses many in a row aborts that one stream. Live-edge waits are not
+	// reads and stay unbounded.
+	ReadTimeout time.Duration
 }
 
 // PlayOptions tune one stream.
@@ -170,6 +176,9 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 		closeConn(conn)
 		closeSource(src)
 		return err
+	}
+	if a.cfg.ReadTimeout > 0 {
+		src = boundReads(src, a.cfg.ReadTimeout)
 	}
 	if opt.Count > 0 {
 		// Always cap, even when From+Count covers the movie as it is now:

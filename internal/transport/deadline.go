@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrDeadline is returned by DeadlineConn.Recv when the receive deadline
+// passes before a message arrives. The connection stays usable; a message
+// arriving later is delivered by the next Recv.
+var ErrDeadline = errors.New("transport: receive deadline exceeded")
+
+// DeadlineConn adds a revocable receive deadline to any Conn. The wrapped
+// connection's Recv has no timeout support, so DeadlineConn moves the
+// blocking read into a single pump goroutine and lets Recv wait on its
+// output channel with a timer. A Recv that times out leaves the in-flight
+// message with the pump — no data is lost, only the wait is bounded; the
+// next Recv picks the message up.
+//
+// One DeadlineConn owns the wrapped connection's read side; do not call the
+// inner Recv directly afterwards. Send passes through. Close tears down the
+// inner connection and releases the pump, so an abandoned DeadlineConn does
+// not leak its goroutine.
+type DeadlineConn struct {
+	inner Conn
+
+	msgs chan []byte
+	// done closes when the connection reaches a terminal state (inner
+	// receive error or local Close); err is latched first.
+	done     chan struct{}
+	failOnce sync.Once
+
+	mu       sync.Mutex
+	deadline time.Time
+	err      error
+}
+
+// NewDeadlineConn wraps conn and starts its receive pump.
+func NewDeadlineConn(conn Conn) *DeadlineConn {
+	d := &DeadlineConn{
+		inner: conn,
+		msgs:  make(chan []byte),
+		done:  make(chan struct{}),
+	}
+	go d.pump()
+	return d
+}
+
+// fail latches the terminal error (first wins) and releases every waiter.
+func (d *DeadlineConn) fail(err error) {
+	d.failOnce.Do(func() {
+		d.mu.Lock()
+		d.err = err
+		d.mu.Unlock()
+		close(d.done)
+	})
+}
+
+func (d *DeadlineConn) terminalErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *DeadlineConn) pump() {
+	for {
+		p, err := d.inner.Recv()
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		select {
+		case d.msgs <- p:
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// SetRecvDeadline bounds subsequent Recv calls: a Recv still waiting at the
+// deadline returns ErrDeadline. The zero time removes the bound.
+func (d *DeadlineConn) SetRecvDeadline(t time.Time) {
+	d.mu.Lock()
+	d.deadline = t
+	d.mu.Unlock()
+}
+
+// Send implements Conn.
+func (d *DeadlineConn) Send(p []byte) error { return d.inner.Send(p) }
+
+// Recv implements Conn, honoring the deadline. Once the connection reaches
+// a terminal state, every subsequent Recv returns that error immediately.
+func (d *DeadlineConn) Recv() ([]byte, error) {
+	d.mu.Lock()
+	deadline := d.deadline
+	d.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case p := <-d.msgs:
+		return p, nil
+	case <-d.done:
+		return nil, d.terminalErr()
+	case <-timeout:
+		return nil, ErrDeadline
+	}
+}
+
+// Close implements Conn: the inner connection is closed and every pending
+// or future Recv returns ErrClosed.
+func (d *DeadlineConn) Close() error {
+	d.fail(ErrClosed)
+	return d.inner.Close()
+}

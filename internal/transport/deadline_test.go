@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestDeadlineConnPassesTraffic(t *testing.T) {
+	a, b := Pipe(4)
+	d := NewDeadlineConn(a)
+	defer d.Close()
+	defer b.Close()
+	if err := d.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b.Recv(); err != nil || string(p) != "ping" {
+		t.Fatalf("peer got %q, %v", p, err)
+	}
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := d.Recv(); err != nil || string(p) != "pong" {
+		t.Fatalf("deadline side got %q, %v", p, err)
+	}
+}
+
+func TestDeadlineConnTimesOutAndRecovers(t *testing.T) {
+	a, b := Pipe(4)
+	d := NewDeadlineConn(a)
+	defer d.Close()
+	defer b.Close()
+
+	d.SetRecvDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	if _, err := d.Recv(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Recv on silent peer = %v, want ErrDeadline", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("timed out after %v", took)
+	}
+
+	// The late message is not lost: it is delivered to the next Recv.
+	if err := b.Send([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetRecvDeadline(time.Now().Add(2 * time.Second))
+	if p, err := d.Recv(); err != nil || string(p) != "late" {
+		t.Fatalf("post-timeout Recv = %q, %v", p, err)
+	}
+
+	// Zero time removes the bound.
+	d.SetRecvDeadline(time.Time{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		b.Send([]byte("unbounded"))
+	}()
+	if p, err := d.Recv(); err != nil || string(p) != "unbounded" {
+		t.Fatalf("unbounded Recv = %q, %v", p, err)
+	}
+}
+
+func TestDeadlineConnPeerCloseIsTerminal(t *testing.T) {
+	a, b := Pipe(4)
+	d := NewDeadlineConn(a)
+	defer d.Close()
+	b.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := d.Recv(); !errors.Is(err, io.EOF) {
+			t.Fatalf("Recv %d after peer close = %v, want EOF", i, err)
+		}
+	}
+}
+
+func TestDeadlineConnLocalCloseUnblocksRecv(t *testing.T) {
+	a, _ := Pipe(4)
+	d := NewDeadlineConn(a)
+	got := make(chan error, 1)
+	go func() {
+		_, err := d.Recv()
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv across local close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on local close")
+	}
+}

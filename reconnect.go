@@ -1,0 +1,483 @@
+package xmovie
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReconnectConfig tunes a ReconnectClient.
+type ReconnectConfig struct {
+	// Dial opens a fresh client; required. It is invoked for the initial
+	// connection and after every severed association, so it must be safe to
+	// call repeatedly (e.g. close over Dial/NewClientConn with fixed
+	// parameters).
+	Dial func() (*Client, error)
+	// BackoffBase is the first redial wait (default 50ms); each failed
+	// attempt doubles it up to BackoffMax (default 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds how many consecutive redials one operation may
+	// trigger before giving up (default 10).
+	MaxAttempts int
+	// Jitter spreads each wait uniformly over [wait*(1-Jitter), wait]
+	// (0 = none, default 0.5) so a thundering herd of reconnecting clients
+	// decorrelates instead of re-stampeding the server in lockstep.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic (0 derives one from the
+	// global source).
+	Seed int64
+	// OnRedial, when non-nil, observes every backoff wait before it starts:
+	// the attempt number (1-based), the wait about to be slept, and the
+	// error that caused it. Must be safe for concurrent use.
+	OnRedial func(attempt int, wait time.Duration, cause error)
+}
+
+// ReconnectStats counts a ReconnectClient's recovery activity.
+type ReconnectStats struct {
+	// Redials is the number of successful re-established associations
+	// (the initial connection is not counted).
+	Redials int64
+	// BusyWaits counts waits honouring a StatusBusy retry-after hint.
+	BusyWaits int64
+	// Resumes counts streams resumed with ResumeLastPlay.
+	Resumes int64
+}
+
+// lastPlay remembers enough of the most recent Play/PlayFrom to resume it
+// after a reconnect: the receiver reports how far it got, ResumeLastPlay
+// restarts the transmission from there.
+type lastPlay struct {
+	movie string
+	addr  string
+	from  int64
+	count int64
+}
+
+// ReconnectClient wraps a Client with crash resilience: when an operation
+// fails because the association died (server restart, partition, timeout),
+// it redials with exponential backoff plus jitter, re-establishes the
+// association, re-selects the movie the session had selected, and retries
+// the operation. A server shedding load with StatusBusy is honoured by
+// waiting out its retry-after hint before redialing.
+//
+// Stream resumption is explicit: the data plane's receiver knows how many
+// frames actually arrived, so after a reconnect the application calls
+// ResumeLastPlay with the receiver's contiguous progress and the stream
+// restarts there — the MTP sync path makes the receiver continue seamlessly,
+// each frame delivered exactly once.
+//
+// Methods are safe for use from one goroutine at a time, like Client's.
+type ReconnectClient struct {
+	cfg ReconnectConfig
+
+	mu       sync.Mutex
+	c        *Client // nil until connected / after Close
+	closed   bool
+	selected string
+	last     *lastPlay
+	rng      *rand.Rand
+
+	redials   atomic.Int64
+	busyWaits atomic.Int64
+	resumes   atomic.Int64
+}
+
+// NewReconnectClient connects (with backoff) and returns the wrapper.
+func NewReconnectClient(cfg ReconnectConfig) (*ReconnectClient, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("xmovie: ReconnectConfig.Dial is required")
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 10
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.5
+	}
+	if cfg.Jitter < 0 || cfg.Jitter > 1 {
+		return nil, fmt.Errorf("xmovie: jitter %v outside 0..1", cfg.Jitter)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	r := &ReconnectClient{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if err := r.connect(false); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// backoff returns the jittered wait for 0-based attempt n.
+func (r *ReconnectClient) backoff(n int) time.Duration {
+	wait := r.cfg.BackoffBase << uint(n)
+	if wait <= 0 || wait > r.cfg.BackoffMax { // <<-overflow guards too
+		wait = r.cfg.BackoffMax
+	}
+	if r.cfg.Jitter > 0 {
+		r.mu.Lock()
+		f := 1 - r.cfg.Jitter*r.rng.Float64()
+		r.mu.Unlock()
+		wait = time.Duration(float64(wait) * f)
+	}
+	return wait
+}
+
+// connect dials with backoff until a client is established (re-selecting
+// the session's movie when restore is set) or attempts are exhausted.
+func (r *ReconnectClient) connect(restore bool) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := r.backoff(attempt - 1)
+			if r.cfg.OnRedial != nil {
+				r.cfg.OnRedial(attempt, wait, lastErr)
+			}
+			time.Sleep(wait)
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		selected := r.selected
+		r.mu.Unlock()
+
+		c, err := r.cfg.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if restore && selected != "" {
+			if _, _, err := c.Select(selected); err != nil {
+				_ = c.Close()
+				if resp, busy := busyResponse(err); busy {
+					r.busyWait(resp)
+					lastErr = err
+					continue
+				}
+				if !retryable(err) {
+					return fmt.Errorf("xmovie: reconnected but re-select %q failed: %w", selected, err)
+				}
+				lastErr = err
+				continue
+			}
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = c.Close()
+			return ErrClosed
+		}
+		r.c = c
+		r.mu.Unlock()
+		if restore {
+			r.redials.Add(1)
+		}
+		return nil
+	}
+	return fmt.Errorf("xmovie: gave up after %d attempts: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// retryable reports whether err means the association (not the request) is
+// the problem: severed, timed out, or never dialed.
+func retryable(err error) bool {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrClosed) {
+		return true
+	}
+	// Application-level refusals carry an MCAM status and are terminal for
+	// the request; everything else on a call path is transport trouble.
+	var busy *busyErr
+	return !errors.As(err, &busy) && !isStatusErr(err)
+}
+
+// busyErr marks a StatusBusy response folded into an error, carrying the
+// server's retry-after hint.
+type busyErr struct {
+	resp *Response
+}
+
+func (b *busyErr) Error() string {
+	return fmt.Sprintf("xmovie: server busy (retry after %dms)", b.resp.RetryAfterMs)
+}
+
+// statusErr marks any other non-OK response (terminal for the request).
+type statusErr struct{ err error }
+
+func (s *statusErr) Error() string { return s.err.Error() }
+func (s *statusErr) Unwrap() error { return s.err }
+
+func isStatusErr(err error) bool {
+	var se *statusErr
+	return errors.As(err, &se)
+}
+
+func busyResponse(err error) (*Response, bool) {
+	var be *busyErr
+	if errors.As(err, &be) {
+		return be.resp, true
+	}
+	return nil, false
+}
+
+// busyWait sleeps out a StatusBusy retry-after hint (falling back to the
+// base backoff when the server sent none), with the same jitter spread.
+func (r *ReconnectClient) busyWait(resp *Response) {
+	wait := r.cfg.BackoffBase
+	if resp != nil && resp.RetryAfterMs > 0 {
+		wait = time.Duration(resp.RetryAfterMs) * time.Millisecond
+	}
+	if r.cfg.Jitter > 0 {
+		r.mu.Lock()
+		// Spread busy retries over [wait, wait*(1+Jitter)]: never earlier
+		// than the server asked, never synchronized with the other shed
+		// clients.
+		f := 1 + r.cfg.Jitter*r.rng.Float64()
+		r.mu.Unlock()
+		wait = time.Duration(float64(wait) * f)
+	}
+	r.busyWaits.Add(1)
+	time.Sleep(wait)
+}
+
+// call runs op against the live client, redialing and retrying on severed
+// associations and busy servers. op must classify its own response via
+// classify (so busy/terminal statuses are distinguishable from transport
+// failures).
+func (r *ReconnectClient) call(op func(c *Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		c := r.c
+		r.mu.Unlock()
+		if c == nil {
+			if err := r.connect(true); err != nil {
+				return err
+			}
+			continue
+		}
+		err := op(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if resp, busy := busyResponse(err); busy {
+			// The association is a shedding responder, not a session:
+			// drop it, wait out the hint, dial fresh.
+			r.dropClient(c)
+			r.busyWait(resp)
+			continue
+		}
+		if !retryable(err) {
+			var se *statusErr
+			if errors.As(err, &se) {
+				return se.err
+			}
+			return err
+		}
+		r.dropClient(c)
+		if err := r.connect(true); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("xmovie: gave up after %d attempts: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// dropClient closes and forgets c if it is still the current client.
+func (r *ReconnectClient) dropClient(c *Client) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	_ = c.Close()
+}
+
+// classify folds a non-OK response into a typed error so call can
+// distinguish busy (redial after hint) from terminal refusals.
+func classify(resp *Response, err error) error {
+	if err != nil {
+		if resp != nil && resp.Status == StatusBusy {
+			return &busyErr{resp: resp}
+		}
+		if resp != nil {
+			return &statusErr{err: err}
+		}
+		return err
+	}
+	return nil
+}
+
+// doReq performs one raw request through the retry loop.
+func (r *ReconnectClient) doReq(req *Request) (*Response, error) {
+	var resp *Response
+	err := r.call(func(c *Client) error {
+		// Requests are re-encoded per attempt; InvokeID is assigned by the
+		// client, so reusing the struct across associations is safe.
+		rr, err := c.Call(req)
+		if err != nil {
+			return err
+		}
+		if !rr.OK() {
+			return classify(rr, fmt.Errorf("xmovie: %s: %s (%s)", req.Op, rr.Status, rr.Diagnostic))
+		}
+		resp = rr
+		return nil
+	})
+	return resp, err
+}
+
+// Select opens a movie for the session; after any reconnect the selection
+// is re-established automatically before operations retry.
+func (r *ReconnectClient) Select(name string) (length int64, frameRate int64, err error) {
+	resp, err := r.doReq(&Request{Op: OpSelect, Movie: name})
+	if err != nil {
+		return 0, 0, err
+	}
+	r.mu.Lock()
+	r.selected = name
+	r.mu.Unlock()
+	return resp.Length, resp.FrameRate, nil
+}
+
+// List returns the server's movie names.
+func (r *ReconnectClient) List() ([]string, error) {
+	resp, err := r.doReq(&Request{Op: OpListMovies})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Movies, nil
+}
+
+// Play starts streaming a movie to streamAddr and remembers it for
+// ResumeLastPlay.
+func (r *ReconnectClient) Play(name, streamAddr string) (int64, error) {
+	return r.PlayFrom(name, streamAddr, 0, 0)
+}
+
+// PlayFrom starts streaming from a position with an optional count and
+// remembers the play for ResumeLastPlay.
+func (r *ReconnectClient) PlayFrom(name, streamAddr string, position, count int64) (int64, error) {
+	resp, err := r.doReq(&Request{Op: OpPlay, Movie: name, StreamAddr: streamAddr,
+		Position: position, Count: count})
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.last = &lastPlay{movie: name, addr: streamAddr, from: position, count: count}
+	r.mu.Unlock()
+	return resp.StreamID, nil
+}
+
+// ResumeLastPlay restarts the most recent Play/PlayFrom at acked — the
+// receiver's contiguous progress, tracked from the sequence numbers its
+// deliver callback has seen — after an interruption. A count-bounded play keeps its original end position, so
+// the resumed stream delivers exactly the frames the interruption cost. The
+// receiver resynchronizes via MTP's sync flag; together that makes the
+// delivered frame sequence identical to an uninterrupted run.
+func (r *ReconnectClient) ResumeLastPlay(acked int64) (int64, error) {
+	r.mu.Lock()
+	lp := r.last
+	r.mu.Unlock()
+	if lp == nil {
+		return 0, errors.New("xmovie: no play to resume")
+	}
+	if acked < lp.from {
+		acked = lp.from
+	}
+	count := lp.count
+	if count > 0 {
+		count = lp.from + lp.count - acked
+		if count <= 0 {
+			return 0, errors.New("xmovie: play already complete")
+		}
+	}
+	id, err := r.PlayFrom(lp.movie, lp.addr, acked, count)
+	if err == nil {
+		r.resumes.Add(1)
+	}
+	return id, err
+}
+
+// Stop cancels a stream and returns the position reached. Stopping clears
+// the remembered play.
+func (r *ReconnectClient) Stop(streamID int64) (int64, error) {
+	resp, err := r.doReq(&Request{Op: OpStop, StreamID: streamID})
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.last = nil
+	r.mu.Unlock()
+	return resp.Position, nil
+}
+
+// SeekTo repositions a live stream (see Client.SeekTo).
+func (r *ReconnectClient) SeekTo(streamID, position int64) (int64, error) {
+	resp, err := r.doReq(&Request{Op: OpSeek, StreamID: streamID, Position: position})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Position, nil
+}
+
+// AwaitEvent waits for the next stream event on the current association.
+// Events do not survive a reconnect (they belong to the dead association's
+// streams), so a severed association surfaces ErrClosed here rather than
+// redialing — the application decides whether its stream needs resuming.
+func (r *ReconnectClient) AwaitEvent(timeout time.Duration) (Event, error) {
+	r.mu.Lock()
+	c := r.c
+	r.mu.Unlock()
+	if c == nil {
+		return Event{}, ErrClosed
+	}
+	return c.AwaitEvent(timeout)
+}
+
+// Client returns the current underlying client (nil while disconnected),
+// for operations the wrapper does not mediate.
+func (r *ReconnectClient) Client() *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c
+}
+
+// Stats snapshots the recovery counters.
+func (r *ReconnectClient) Stats() ReconnectStats {
+	return ReconnectStats{
+		Redials:   r.redials.Load(),
+		BusyWaits: r.busyWaits.Load(),
+		Resumes:   r.resumes.Load(),
+	}
+}
+
+// Close releases the association and stops all future retries.
+func (r *ReconnectClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	c := r.c
+	r.c = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

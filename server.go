@@ -32,8 +32,16 @@ type ServerConfig struct {
 	Processors int
 	// MaxSessions bounds concurrently admitted control sessions
 	// (0 = core.DefaultMaxSessions). Connections beyond the bound are
-	// refused at admission.
+	// answered with StatusBusy plus a retry-after hint, then closed.
 	MaxSessions int
+	// BusyRetryAfter is the retry-after hint carried by over-limit
+	// StatusBusy responses (0 = 1s).
+	BusyRetryAfter time.Duration
+	// StreamReadTimeout bounds how long a stream may wait on one storage
+	// read before the frame is skipped (FlagSkip) instead of wedging the
+	// sender (0 = no bound). Live-edge waits are not reads and stay
+	// unbounded.
+	StreamReadTimeout time.Duration
 }
 
 // SessionStats counts connection-manager activity (admissions, rejections,
@@ -55,14 +63,18 @@ type Server struct {
 
 // ListenAndServe starts an MCAM server.
 func ListenAndServe(cfg ServerConfig) (*Server, error) {
+	if cfg.StreamReadTimeout > 0 && cfg.Env != nil {
+		cfg.Env.StreamReadTimeout = cfg.StreamReadTimeout
+	}
 	inner, err := core.NewServer(core.ServerConfig{
-		Addr:        cfg.Addr,
-		Stack:       cfg.Stack,
-		Env:         cfg.Env,
-		Backend:     cfg.Backend,
-		DataDir:     cfg.DataDir,
-		Processors:  cfg.Processors,
-		MaxSessions: cfg.MaxSessions,
+		Addr:           cfg.Addr,
+		Stack:          cfg.Stack,
+		Env:            cfg.Env,
+		Backend:        cfg.Backend,
+		DataDir:        cfg.DataDir,
+		Processors:     cfg.Processors,
+		MaxSessions:    cfg.MaxSessions,
+		BusyRetryAfter: cfg.BusyRetryAfter,
 	})
 	if err != nil {
 		return nil, err

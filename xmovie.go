@@ -87,6 +87,22 @@ const (
 	StatusSuccess     = mcam.StatusSuccess
 	StatusNoSuchMovie = mcam.StatusNoSuchMovie
 	StatusMovieExists = mcam.StatusMovieExists
+	// StatusBusy answers a connection the server shed at admission: the
+	// session limit is reached, and Response.RetryAfterMs hints when to
+	// retry. ReconnectClient honours it automatically.
+	StatusBusy = mcam.StatusBusy
+)
+
+// Errors surfaced by the client. Both are classified as retryable by
+// ReconnectClient.
+var (
+	// ErrTimeout reports a call (or association setup) that exceeded
+	// ClientConfig.CallTimeout — a dead or wedged server, not a protocol
+	// refusal.
+	ErrTimeout = mcam.ErrTimeout
+	// ErrClosed reports a closed or severed association: calls and
+	// AwaitEvent fail with it immediately instead of burning a timeout.
+	ErrClosed = mcam.ErrClosed
 )
 
 // Stream event kinds.
