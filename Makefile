@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
-	bench-smoke bench-guard bench-trajectory load-smoke load-stream \
-	load-disk load-broadcast load-chaos ci
+	metrics-guard bench-smoke bench-guard bench-trajectory load-smoke \
+	load-stream load-disk load-broadcast load-chaos load-qos ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,14 @@ test-short:
 	$(GO) test -short -race ./...
 
 # Tier-1 verify: exactly what reviewers and the CI gate run.
-verify: build test
+verify: build test metrics-guard
+
+# Metrics-name drift guard: the /metrics families the server exports are
+# pinned by internal/core/testdata/metric_names.golden — renaming or
+# dropping one breaks downstream dashboards silently. Regenerate the
+# golden file with UPDATE_GOLDEN=1 when a change is deliberate.
+metrics-guard:
+	$(GO) test -run TestMetricNamesGolden ./internal/core
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -134,6 +141,20 @@ load-chaos:
 		-movies 8 -frames 240 -fps 120 -stacks generated,handcoded \
 		-json -out mcamload_chaos -outdir bench-out
 
+# Multi-tenant QoS load: two tenant classes (gold prio 10, free prio 0)
+# contend past MaxSessions — every gold connection must preempt a free
+# session — then stream past their per-class bandwidth caps concurrently,
+# asserting per-class throughput within ±10% of each cap, and a /metrics
+# scrape exposing every exported family. The per-tenant admission,
+# preemption and bandwidth-cap regression tests run under the race
+# detector first; outcomes land in BENCH_mcamload_qos.json.
+load-qos:
+	$(GO) test -race -run 'TestTenantQuota|TestPriorityPreemption|TestTenantBandwidthCap|TestMetricsEndpointScrape' ./internal/core
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcamload -scenarios qos -stacks generated,handcoded -maxtime 90s \
+		-json -out mcamload_qos -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
-	bench-trajectory load-smoke load-stream load-disk load-broadcast load-chaos
+	bench-trajectory load-smoke load-stream load-disk load-broadcast load-chaos \
+	load-qos

@@ -84,11 +84,10 @@ func TestBusyCarriesRetryAfter(t *testing.T) {
 		t.Run(s.name, func(t *testing.T) {
 			store := xmovie.NewMemStore()
 			srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
-				Addr:           "127.0.0.1:0",
-				Stack:          s.stack,
-				Env:            &xmovie.ServerEnv{Store: store},
-				MaxSessions:    1,
-				BusyRetryAfter: 250 * time.Millisecond,
+				Addr:   "127.0.0.1:0",
+				Stack:  s.stack,
+				Env:    &xmovie.ServerEnv{Store: store},
+				Limits: xmovie.Limits{MaxSessions: 1, BusyRetryAfter: 250 * time.Millisecond},
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -114,7 +113,7 @@ func TestBusyCarriesRetryAfter(t *testing.T) {
 				t.Fatalf("busy response = %s retryAfter %dms, want busy/250ms (%+v)",
 					resp.Status, resp.RetryAfterMs, resp)
 			}
-			if st := srv.Stats(); st.Busy != 1 {
+			if st := srv.Observe().Sessions; st.Busy != 1 {
 				t.Fatalf("server busy counter = %d, want 1", st.Busy)
 			}
 		})
@@ -299,10 +298,9 @@ func TestReconnectHonorsBusy(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
-		Addr:           "127.0.0.1:0",
-		Env:            &xmovie.ServerEnv{Store: store},
-		MaxSessions:    1,
-		BusyRetryAfter: 100 * time.Millisecond,
+		Addr:   "127.0.0.1:0",
+		Env:    &xmovie.ServerEnv{Store: store},
+		Limits: xmovie.Limits{MaxSessions: 1, BusyRetryAfter: 100 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -354,8 +352,8 @@ func TestDrainConvergesUnderChaos(t *testing.T) {
 	})
 	sim := xmovie.NewSimNet()
 	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
-		Env:               &xmovie.ServerEnv{Store: faulty, Dialer: sim},
-		StreamReadTimeout: 15 * time.Millisecond,
+		Env:    &xmovie.ServerEnv{Store: faulty, Dialer: sim},
+		Limits: xmovie.Limits{StreamReadTimeout: 15 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

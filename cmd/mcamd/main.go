@@ -18,11 +18,37 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"xmovie"
 	"xmovie/internal/equipment"
 	"xmovie/internal/moviedb"
 )
+
+// parseTenant parses one -tenant value, "name:priority[:quota[:bw]]":
+// admission priority, optional session quota (0 = unlimited) and optional
+// aggregate stream-bandwidth cap in bytes/second (0 = uncapped).
+func parseTenant(spec string) (string, xmovie.QoSClass, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+		return "", xmovie.QoSClass{}, fmt.Errorf("want name:priority[:quota[:bw]], got %q", spec)
+	}
+	cls := xmovie.QoSClass{Name: parts[0]}
+	fields := []*int{&cls.Priority, &cls.MaxSessions}
+	for i, p := range parts[1:] {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return "", xmovie.QoSClass{}, fmt.Errorf("%q: %v", spec, err)
+		}
+		if i < 2 {
+			*fields[i] = int(n)
+		} else {
+			cls.StreamBandwidth = n
+		}
+	}
+	return parts[0], cls, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:10240", "control-plane listen address (TPKT/TCP)")
@@ -31,6 +57,17 @@ func main() {
 	frames := flag.Int("frames", 250, "frames per synthetic movie")
 	procs := flag.Int("procs", 0, "virtual processor limit for the generated stack (0 = unlimited)")
 	dataDir := flag.String("data", "", "data directory for the durable disk store (empty = in-memory)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on http://ADDR/metrics (empty = off)")
+	qosLog := flag.Bool("qos-log", false, "log one JSON line per QoS admission decision to stderr")
+	tenants := map[string]xmovie.QoSClass{}
+	flag.Func("tenant", "tenant class name:priority[:quota[:bw]] (repeatable)", func(spec string) error {
+		name, cls, err := parseTenant(spec)
+		if err != nil {
+			return err
+		}
+		tenants[name] = cls
+		return nil
+	})
 	flag.Parse()
 
 	stack := xmovie.StackGenerated
@@ -60,14 +97,22 @@ func main() {
 		Dialer: xmovie.UDPDialer(), // Play requests carry host:port UDP addresses
 		EUA:    equipment.NewEUA(eca, "mcamd"),
 	}
-	srv, err := xmovie.ListenAndServe(xmovie.ServerConfig{
-		Addr:       *addr,
-		Stack:      stack,
-		Env:        env,
-		Backend:    backend,
-		DataDir:    *dataDir,
-		Processors: *procs,
-	})
+	cfg := xmovie.ServerConfig{
+		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
+		Stack:       stack,
+		Env:         env,
+		Backend:     backend,
+		DataDir:     *dataDir,
+		Processors:  *procs,
+	}
+	if len(tenants) > 0 {
+		cfg.Limits.QoS = xmovie.QoSPolicy{Tenants: tenants}
+	}
+	if *qosLog {
+		cfg.QoSLog = os.Stderr
+	}
+	srv, err := xmovie.ListenAndServe(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcamd:", err)
 		os.Exit(1)
@@ -93,6 +138,9 @@ func main() {
 	}
 	fmt.Printf("mcamd: serving %d movies (%d newly seeded) on %s (%s stack, %s store); streams go to client UDP addresses\n",
 		len(env.Store.List()), seeded, srv.Addr(), *stackName, backend)
+	if srv.MetricsAddr() != "" {
+		fmt.Printf("mcamd: metrics on http://%s/metrics\n", srv.MetricsAddr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -285,7 +285,7 @@ func runBroadcastCombo(cfg loadConfig, stack core.StackKind, tr string) *comboRe
 	res.mu.Unlock()
 	res.wall = wall
 	res.serverStreams = env.StreamTotals.Snapshot()
-	st := srv.Stats()
+	st := srv.Observe().Sessions
 	if st.Rejected > 0 {
 		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
 	}

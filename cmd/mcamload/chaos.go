@@ -412,8 +412,7 @@ func chaosHerd(cfg loadConfig, stack core.StackKind, tr string, env *mcam.Server
 	newSrv := func() (*xmovie.Server, error) {
 		return xmovie.ListenAndServe(xmovie.ServerConfig{
 			Addr: chaosAddr(tr), Stack: stack, Env: env,
-			MaxSessions:    cfg.Sessions + 16,
-			BusyRetryAfter: herdBusyRetry,
+			Limits: xmovie.Limits{MaxSessions: cfg.Sessions + 16, BusyRetryAfter: herdBusyRetry},
 		})
 	}
 	srv, err := newSrv()
@@ -649,7 +648,7 @@ func chaosHerd(cfg loadConfig, stack core.StackKind, tr string, env *mcam.Server
 	if !agg.resumeIdentity {
 		res.addErr(fmt.Sprintf("herd: resumed stream not byte-identical (%d/%d frames)", agg.resumeFrames, cfg.Frames))
 	}
-	st := srv2.Stats()
+	st := srv2.Observe().Sessions
 	if st.Rejected > 0 {
 		res.addErr(fmt.Sprintf("herd: restarted server rejected %d connections", st.Rejected))
 	}

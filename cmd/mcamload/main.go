@@ -43,7 +43,7 @@ func main() {
 		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
 		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
 		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
-		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed,broadcast,chaos")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed,broadcast,chaos,qos")
 		movies     = flag.Int("movies", 32, "seeded catalogue size")
 		frames     = flag.Int("frames", 250, "frames per seeded movie")
 		fps        = flag.Int("fps", 25, "seeded movies' frame rate (pacing of every play)")
@@ -127,7 +127,7 @@ func main() {
 	}
 	for _, sc := range strings.Split(*scenarios, ",") {
 		switch sc = strings.TrimSpace(sc); sc {
-		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed, scenarioBroadcast, scenarioChaos:
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed, scenarioBroadcast, scenarioChaos, scenarioQoS:
 			cfg.Scenarios = append(cfg.Scenarios, sc)
 		case "":
 		default:
@@ -143,6 +143,18 @@ func main() {
 		if sc == scenarioChaos && len(cfg.Scenarios) != 1 {
 			fmt.Fprintln(os.Stderr, "mcamload: the chaos scenario must be the sole scenario in the mix")
 			os.Exit(2)
+		}
+		if sc == scenarioQoS {
+			if len(cfg.Scenarios) != 1 {
+				fmt.Fprintln(os.Stderr, "mcamload: the qos scenario must be the sole scenario in the mix")
+				os.Exit(2)
+			}
+			for _, tr := range cfg.Transports {
+				if tr != "pipe" {
+					fmt.Fprintln(os.Stderr, "mcamload: the qos scenario runs over the pipe transport only (tenants are assigned at admission)")
+					os.Exit(2)
+				}
+			}
 		}
 		if sc != scenarioBroadcast {
 			continue

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"xmovie/internal/core"
+	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
+	"xmovie/internal/netsim"
+	"xmovie/internal/qos"
+	"xmovie/internal/spa"
+	"xmovie/internal/transport"
+)
+
+// scenarioQoS is the multi-tenant QoS shape: two tenant classes — paying
+// "gold" (priority 10) and anonymous "free" (priority 0) — contend past the
+// server's MaxSessions bound and past their per-class stream-bandwidth
+// caps, asserting priority admission (every gold connection preempts a free
+// session once the server is full), per-class throughput isolation (each
+// class lands within ±10% of its own cap), and a /metrics scrape exposing
+// the session/stream/cache/tenant counter families. Sole scenario in the
+// mix, pipe transport only (tenants are assigned at admission); phase
+// sizing is fixed rather than taken from -sessions. See runQoSCombo.
+const scenarioQoS = "qos"
+
+const (
+	// Phase 1 (admission): the server bound and how many free sessions
+	// fill it before the gold arrivals must preempt their way in.
+	qosMaxSessions = 16
+	qosGoldDials   = 8
+	// Phase 2 (isolation): streams per class over the flat-out movie.
+	qosStreamsPerClass = 2
+	qosFrames          = 48
+	qosFrameSize       = 8 << 10
+	// Per-class aggregate bandwidth caps (bytes/second) and token-bucket
+	// burst. The movie is unpaced (FrameRate 0), so the caps are the only
+	// pacing: per-class throughput must land within qosTolerance of them.
+	qosGoldBps   = 512 << 10
+	qosFreeBps   = 256 << 10
+	qosBurst     = 8 << 10
+	qosTolerance = 0.10
+)
+
+// qosMovie is the unpaced catalogue entry both classes stream in phase 2.
+const qosMovie = "qos-flat"
+
+// qosAgg is the QoS scenario's outcome for the report.
+type qosAgg struct {
+	goldAdmitted    int64
+	goldPreemptions int64
+	freePreempted   int64
+	peak            int64
+
+	goldBytes, freeBytes int64
+	goldRate, freeRate   float64 // measured bytes/second per class
+	goldWaits, freeWaits int64   // throttle reservations that waited
+
+	metricFamilies int
+	scrapeOK       bool
+}
+
+// qosPolicy is the two-class tenant policy both the server and the
+// assertions are built around.
+func qosPolicy() qos.Policy {
+	return qos.Policy{
+		Tenants: map[string]qos.Class{
+			"gold": {Name: "gold", Priority: 10, StreamBandwidth: qosGoldBps, Burst: qosBurst},
+			"free": {Name: "free", Priority: 0, StreamBandwidth: qosFreeBps, Burst: qosBurst},
+		},
+	}
+}
+
+// runQoSCombo drives the three QoS phases against one fresh server.
+func runQoSCombo(cfg loadConfig, stack core.StackKind, tr string) *comboResult {
+	res := newComboResult(stack.String(), tr)
+	agg := &qosAgg{}
+	res.qos = agg
+
+	store := moviedb.NewShardedStore(0)
+	m := moviedb.SynthesizeLazy(moviedb.SynthConfig{
+		Name: qosMovie, Frames: qosFrames, FrameSize: qosFrameSize,
+	})
+	// FrameRate 0: the movie streams unpaced, so the tenant caps are the
+	// only pacing and the measured rates are the throttle's, not the
+	// pacing clock's.
+	m.FrameRate = 0
+	if err := store.Create(m); err != nil {
+		res.fail(fmt.Sprintf("seed: %v", err))
+		return res
+	}
+	sim := mcam.NewSimNet()
+	defer sim.Close()
+	env := &mcam.ServerEnv{Store: store, Dialer: sim, StreamTotals: &spa.Totals{}}
+	srv, err := core.NewServer(core.ServerConfig{
+		Stack: stack, Env: env,
+		MetricsAddr: "127.0.0.1:0",
+		Limits:      core.Limits{MaxSessions: qosMaxSessions, QoS: qosPolicy()},
+	})
+	if err != nil {
+		res.fail(fmt.Sprintf("server: %v", err))
+		return res
+	}
+	defer srv.Close()
+
+	start := time.Now()
+	qosAdmissionPhase(srv, res, agg)
+	if len(res.errs) == 0 {
+		qosIsolationPhase(srv, sim, stack, res, agg)
+	}
+	if len(res.errs) == 0 {
+		qosMetricsPhase(srv, res, agg)
+	}
+	res.wall = time.Since(start)
+	res.serverStreams = env.StreamTotals.Snapshot()
+	st := srv.Observe().Sessions
+	res.peak = st.Peak
+	return res
+}
+
+// qosWait polls cond for up to timeout.
+func qosWait(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
+}
+
+// qosAdmissionPhase fills the server with free sessions, then dials gold
+// connections into the full server: every one must be admitted by
+// preempting a free session, never refused.
+func qosAdmissionPhase(srv *core.Server, res *comboResult, agg *qosAgg) {
+	var held []transport.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < qosMaxSessions; i++ {
+		cli, srvEnd := transport.Pipe(0)
+		if err := srv.ServeConnFor(srvEnd, "free"); err != nil {
+			cli.Close()
+			res.addErr(fmt.Sprintf("admission: free session %d: %v", i, err))
+			return
+		}
+		held = append(held, cli)
+		res.done()
+	}
+	for i := 0; i < qosGoldDials; i++ {
+		cli, srvEnd := transport.Pipe(0)
+		if err := srv.ServeConnFor(srvEnd, "gold"); err != nil {
+			cli.Close()
+			res.addErr(fmt.Sprintf("admission: gold session %d refused at full server: %v", i, err))
+			return
+		}
+		held = append(held, cli)
+		res.done()
+	}
+	ok := qosWait(sessionTimeout, func() bool {
+		o := srv.Observe()
+		return o.Tenants["free"].Active == qosMaxSessions-qosGoldDials &&
+			o.Tenants["gold"].Active == qosGoldDials
+	})
+	o := srv.Observe()
+	agg.goldAdmitted = o.Tenants["gold"].Admitted
+	agg.goldPreemptions = o.Tenants["gold"].Preemptions
+	agg.freePreempted = o.Tenants["free"].Preempted
+	agg.peak = o.Sessions.Peak
+	if !ok {
+		res.addErr(fmt.Sprintf("admission: teardown incomplete: free=%d gold=%d active",
+			o.Tenants["free"].Active, o.Tenants["gold"].Active))
+		return
+	}
+	if agg.goldAdmitted != qosGoldDials || agg.goldPreemptions != qosGoldDials {
+		res.addErr(fmt.Sprintf("admission: gold admitted=%d preemptions=%d, want %d/%d",
+			agg.goldAdmitted, agg.goldPreemptions, qosGoldDials, qosGoldDials))
+	}
+	if agg.freePreempted != qosGoldDials {
+		res.addErr(fmt.Sprintf("admission: free preempted=%d, want %d", agg.freePreempted, qosGoldDials))
+	}
+	if agg.peak > qosMaxSessions {
+		res.addErr(fmt.Sprintf("admission: peak %d exceeds MaxSessions %d", agg.peak, qosMaxSessions))
+	}
+	for _, c := range held {
+		c.Close()
+	}
+	held = nil
+	if !qosWait(sessionTimeout, func() bool { return srv.Observe().Sessions.Active == 0 }) {
+		res.addErr("admission: sessions did not unwind")
+	}
+}
+
+// qosIsolationPhase streams the unpaced movie concurrently from both
+// classes (qosStreamsPerClass sessions each, sharing their class's
+// limiter) and asserts each class's aggregate throughput lands within
+// qosTolerance of its own cap — neither starved by the other nor stealing
+// past it.
+func qosIsolationPhase(srv *core.Server, sim *mcam.SimNet, stack core.StackKind, res *comboResult, agg *qosAgg) {
+	type classOut struct {
+		bytes   int64
+		elapsed time.Duration
+	}
+	runClass := func(tenant string, out *classOut) error {
+		var wg sync.WaitGroup
+		errs := make([]error, qosStreamsPerClass)
+		bytes := make([]int64, qosStreamsPerClass)
+		t0 := time.Now()
+		for k := 0; k < qosStreamsPerClass; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				errs[k] = func() error {
+					cliEnd, srvEnd := transport.Pipe(0)
+					if err := srv.ServeConnFor(srvEnd, tenant); err != nil {
+						cliEnd.Close()
+						return fmt.Errorf("serve: %w", err)
+					}
+					client, err := core.NewClientConn(cliEnd, core.ClientConfig{
+						Stack: stack, CallTimeout: sessionTimeout,
+					})
+					if err != nil {
+						return fmt.Errorf("client: %w", err)
+					}
+					defer client.Close()
+					addr := fmt.Sprintf("qos/%s-%d/video", tenant, k)
+					end, err := sim.Listen(addr, netsim.Config{})
+					if err != nil {
+						return err
+					}
+					done := make(chan mtp.RecvStats, 1)
+					go func() {
+						st, _ := mtp.ReceiveStream(end, mtp.ReceiverConfig{}, nil)
+						done <- st
+					}()
+					resp, err := client.Call(&mcam.Request{Op: mcam.OpPlay, Movie: qosMovie, StreamAddr: addr})
+					if err != nil {
+						return fmt.Errorf("play: %w", err)
+					}
+					if !resp.OK() {
+						return fmt.Errorf("play: %s (%s)", resp.Status, resp.Diagnostic)
+					}
+					select {
+					case st := <-done:
+						if st.Delivered != qosFrames {
+							return fmt.Errorf("delivered %d/%d frames", st.Delivered, qosFrames)
+						}
+						bytes[k] = st.Bytes
+					case <-time.After(sessionTimeout):
+						return fmt.Errorf("capped stream did not finish")
+					}
+					res.done()
+					return nil
+				}()
+			}(k)
+		}
+		wg.Wait()
+		out.elapsed = time.Since(t0)
+		for k, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s stream %d: %w", tenant, k, err)
+			}
+			out.bytes += bytes[k]
+		}
+		return nil
+	}
+
+	// Both classes stream at once: isolation means each converges on its
+	// own cap while contending for the same server.
+	var gold, free classOut
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for _, cl := range []struct {
+		tenant string
+		out    *classOut
+	}{{"gold", &gold}, {"free", &free}} {
+		wg.Add(1)
+		go func(tenant string, out *classOut) {
+			defer wg.Done()
+			if err := runClass(tenant, out); err != nil {
+				errCh <- err
+			}
+		}(cl.tenant, cl.out)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		res.addErr(fmt.Sprintf("isolation: %v", err))
+	}
+	if len(res.errs) > 0 {
+		return
+	}
+
+	agg.goldBytes, agg.freeBytes = gold.bytes, free.bytes
+	agg.goldRate = float64(gold.bytes) / gold.elapsed.Seconds()
+	agg.freeRate = float64(free.bytes) / free.elapsed.Seconds()
+	o := srv.Observe()
+	agg.goldWaits = o.Tenants["gold"].Throttle.Waits
+	agg.freeWaits = o.Tenants["free"].Throttle.Waits
+	check := func(class string, rate float64, cap int64) {
+		lo, hi := float64(cap)*(1-qosTolerance), float64(cap)*(1+qosTolerance)
+		if rate < lo || rate > hi {
+			res.addErr(fmt.Sprintf("isolation: %s throughput %.0f B/s outside ±%.0f%% of cap %d",
+				class, rate, qosTolerance*100, cap))
+		}
+	}
+	check("gold", agg.goldRate, qosGoldBps)
+	check("free", agg.freeRate, qosFreeBps)
+	if agg.goldWaits == 0 || agg.freeWaits == 0 {
+		res.addErr(fmt.Sprintf("isolation: caps imposed no waits (gold=%d free=%d)",
+			agg.goldWaits, agg.freeWaits))
+	}
+}
+
+// qosMetricsPhase scrapes the server's /metrics endpoint and asserts the
+// Prometheus text contract: every exported family present with HELP and
+// TYPE, and the tenant counters reflecting the first two phases.
+func qosMetricsPhase(srv *core.Server, res *comboResult, agg *qosAgg) {
+	resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		res.addErr(fmt.Sprintf("metrics: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		res.addErr(fmt.Sprintf("metrics: %v", err))
+		return
+	}
+	text := string(body)
+	names := core.MetricNames()
+	for _, name := range names {
+		if !strings.Contains(text, "# HELP "+name+" ") || !strings.Contains(text, "# TYPE "+name+" ") {
+			res.addErr(fmt.Sprintf("metrics: family %s missing from scrape", name))
+		}
+	}
+	for _, want := range []string{
+		fmt.Sprintf(`xmovie_tenant_sessions_admitted_total{tenant="gold"} %d`,
+			qosGoldDials+qosStreamsPerClass),
+		fmt.Sprintf(`xmovie_tenant_sessions_preempted_total{tenant="free"} %d`, qosGoldDials),
+		fmt.Sprintf(`xmovie_tenant_throttle_bytes_total{tenant="gold"} %d`,
+			qosStreamsPerClass*qosFrames*qosFrameSize),
+	} {
+		if !strings.Contains(text, want) {
+			res.addErr(fmt.Sprintf("metrics: scrape missing %q", want))
+		}
+	}
+	agg.metricFamilies = len(names)
+	agg.scrapeOK = len(res.errs) == 0
+}

@@ -65,6 +65,8 @@ type comboResult struct {
 	// chaos is the fault-injection outcome (nil outside the chaos
 	// scenario).
 	chaos *chaosAgg
+	// qos is the multi-tenant QoS outcome (nil outside the qos scenario).
+	qos *qosAgg
 
 	wall time.Duration
 	peak int64
@@ -294,6 +296,23 @@ func (r *Report) notes() []string {
 			notes = append(notes, fmt.Sprintf(
 				"%s resume   frames=%d dups=%d identity=%v leaked-goroutines=%d",
 				c.name(), ch.resumeFrames, ch.resumeDups, ch.resumeIdentity, ch.leakedGoroutines))
+		}
+		if q := c.qos; q != nil {
+			notes = append(notes, fmt.Sprintf(
+				"%s qos-admit gold=%d/%d preemptions=%d free-preempted=%d peak=%d",
+				c.name(), q.goldAdmitted, qosGoldDials, q.goldPreemptions,
+				q.freePreempted, q.peak))
+			notes = append(notes, fmt.Sprintf(
+				"%s qos-gold rate=%.0fB/s cap=%dB/s (%+.1f%%) bytes=%d throttle-waits=%d",
+				c.name(), q.goldRate, qosGoldBps,
+				100*(q.goldRate-qosGoldBps)/qosGoldBps, q.goldBytes, q.goldWaits))
+			notes = append(notes, fmt.Sprintf(
+				"%s qos-free rate=%.0fB/s cap=%dB/s (%+.1f%%) bytes=%d throttle-waits=%d",
+				c.name(), q.freeRate, qosFreeBps,
+				100*(q.freeRate-qosFreeBps)/qosFreeBps, q.freeBytes, q.freeWaits))
+			notes = append(notes, fmt.Sprintf(
+				"%s qos-metrics families=%d scrape-ok=%v",
+				c.name(), q.metricFamilies, q.scrapeOK))
 		}
 		if c.serverStreams.Streams > 0 {
 			notes = append(notes, fmt.Sprintf(

@@ -265,6 +265,11 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 		// (likewise validated to be the sole scenario).
 		return runChaosCombo(cfg, stack, tr)
 	}
+	if cfg.Scenarios[0] == scenarioQoS {
+		// QoS replaces the loop with its admission/isolation/metrics
+		// phases (likewise validated to be the sole scenario).
+		return runQoSCombo(cfg, stack, tr)
+	}
 	res := newComboResult(stack.String(), tr)
 	cenv, err := seedEnv(cfg)
 	if err != nil {
@@ -320,7 +325,7 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 		cs := cenv.cache.Stats()
 		res.cache = &cs
 	}
-	st := srv.Stats()
+	st := srv.Observe().Sessions
 	if st.Rejected > 0 {
 		res.addErr(fmt.Sprintf("server rejected %d connections", st.Rejected))
 	}

@@ -180,7 +180,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 // re-opens admission.
 func TestAdmissionBound(t *testing.T) {
 	env, _ := loadEnv(t)
-	srv, err := NewServer(ServerConfig{Stack: StackHandcoded, Env: env, MaxSessions: 4})
+	srv, err := NewServer(ServerConfig{Stack: StackHandcoded, Env: env, Limits: Limits{MaxSessions: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}

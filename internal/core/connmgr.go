@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,16 +14,22 @@ import (
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
 	"xmovie/internal/moviedb"
+	"xmovie/internal/obsv"
+	"xmovie/internal/qos"
 	"xmovie/internal/spa"
 	"xmovie/internal/transport"
 )
 
 // Admission errors returned by ServeConn.
 var (
-	// ErrServerFull reports that the session limit was reached.
+	// ErrServerFull reports that the session limit was reached (and the
+	// connection's tenant outranked nothing it could preempt).
 	ErrServerFull = errors.New("core: session limit reached")
 	// ErrServerClosed reports that the server is closed or draining.
 	ErrServerClosed = errors.New("core: server closed")
+	// ErrTenantQuota reports that the connection's tenant is at its own
+	// session quota (Limits.QoS), regardless of server-wide headroom.
+	ErrTenantQuota = errors.New("core: tenant session quota reached")
 )
 
 // DefaultMaxSessions bounds concurrent sessions when ServerConfig.MaxSessions
@@ -97,6 +106,13 @@ type srvSession struct {
 	// streams when the entity never reached its own release path. Set
 	// during entity Init, before the reaper goroutine starts.
 	force interface{ Shutdown() }
+	// grant is the session's hold on its tenant's QoS budget, released in
+	// finish.
+	grant *qos.Grant
+	// preempted marks a session evicted for a higher-priority admission:
+	// it no longer counts against MaxSessions (its replacement does) and
+	// must decrement the server's preempting counter when it finishes.
+	preempted bool
 }
 
 // Server is an MCAM server entity behind a connection manager: it admits
@@ -115,10 +131,26 @@ type Server struct {
 	rt    *estelle.Runtime
 	sched *estelle.Scheduler
 
+	// ctl enforces the per-tenant QoS policy (always non-nil).
+	ctl *qos.Controller
+	// cache is the chunk cache behind a server-built disk store (nil
+	// otherwise); Observe reads its hit rates.
+	cache *moviedb.ChunkCache
+	// registry is the server's metrics surface (always non-nil); the
+	// /metrics endpoint serves it when MetricsAddr is configured.
+	registry   *obsv.Registry
+	metricsLis net.Listener
+	metricsSrv *http.Server
+
 	mu       sync.Mutex
 	sessions map[int64]*srvSession
 	nextID   int64
 	closed   bool
+	// preempting counts sessions marked preempted that have not yet
+	// finished: they are excluded from the MaxSessions occupancy so each
+	// preemption frees exactly one slot immediately, without ever letting
+	// true occupancy exceed the bound by more than the teardown overlap.
+	preempting int
 	// drainCh is non-nil while a Drain waits for sessions; closed when the
 	// last session finishes.
 	drainCh chan struct{}
@@ -139,7 +171,11 @@ type Server struct {
 // only and sessions are fed through ServeConn (tests and the load harness).
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Env == nil {
-		return nil, fmt.Errorf("core: ServerConfig.Env is required")
+		// A nil Env is an empty one the server owns: browse/order-only
+		// deployments (and ListenAndServe callers that configure nothing
+		// beyond limits) must not lose config that is applied through the
+		// Env, like StreamReadTimeout.
+		cfg.Env = &mcam.ServerEnv{}
 	}
 	if cfg.Stack == 0 {
 		cfg.Stack = StackGenerated
@@ -150,10 +186,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Mapping == nil {
 		cfg.Mapping = estelle.MapPerGroupRoot
 	}
-	if cfg.MaxSessions <= 0 {
-		cfg.MaxSessions = DefaultMaxSessions
+	if cfg.Limits.MaxSessions <= 0 {
+		cfg.Limits.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.Limits.StreamReadTimeout > 0 {
+		cfg.Env.StreamReadTimeout = cfg.Limits.StreamReadTimeout
 	}
 	var ownedStore io.Closer
+	var ownedCache *moviedb.ChunkCache
 	if cfg.Env.Store == nil {
 		// The server builds (and owns) its store from the configured
 		// backend, publishing it into the shared Env so callers can seed
@@ -162,7 +202,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		case moviedb.BackendMemory:
 			cfg.Env.Store = moviedb.NewShardedStore(0)
 		case moviedb.BackendDisk:
-			store, err := moviedb.OpenShardedDiskStore(cfg.DataDir, 0, moviedb.DiskConfig{})
+			// The cache is created here rather than inside the store so the
+			// server can observe its hit rates (Observe, /metrics).
+			ownedCache = moviedb.NewChunkCache(0)
+			store, err := moviedb.OpenShardedDiskStore(cfg.DataDir, 0, moviedb.DiskConfig{Cache: ownedCache})
 			if err != nil {
 				return nil, err
 			}
@@ -184,10 +227,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		grace:      defaultTeardownGrace,
 		sessions:   make(map[int64]*srvSession),
 		ownedStore: ownedStore,
+		cache:      ownedCache,
+		registry:   obsv.NewRegistry(),
 	}
 	if cfg.TeardownGrace > 0 {
 		s.grace = cfg.TeardownGrace
 	}
+	s.ctl = qos.NewController(cfg.Limits.QoS, s.qosEvent)
+	s.registry.Register(s.collectMetrics)
 	// A constructor failure past this point must release the store the
 	// server just opened (disk stores hold file handles per movie).
 	failed := func(err error) (*Server, error) {
@@ -208,11 +255,28 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return failed(err)
 		}
 	}
+	if cfg.MetricsAddr != "" {
+		lis, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			if s.sched != nil {
+				s.sched.Stop()
+			}
+			return failed(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.registry.Handler())
+		s.metricsLis = lis
+		s.metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = s.metricsSrv.Serve(lis) }()
+	}
 	if cfg.Addr != "" {
 		lis, err := transport.Listen(cfg.Addr)
 		if err != nil {
 			if s.sched != nil {
 				s.sched.Stop()
+			}
+			if s.metricsSrv != nil {
+				_ = s.metricsSrv.Close()
 			}
 			return failed(err)
 		}
@@ -222,6 +286,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	return s, nil
 }
+
+// qosEvent is the controller's decision sink: one JSON line per admission,
+// rejection and preemption onto the configured QoSLog.
+func (s *Server) qosEvent(ev qos.Event) {
+	if s.cfg.QoSLog == nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	_, _ = s.cfg.QoSLog.Write(line)
+}
+
+// Env returns the server's environment — the one passed in ServerConfig,
+// or the one the server built for a nil Env (seed its Store, read its
+// StreamTotals).
+func (s *Server) Env() *mcam.ServerEnv { return s.cfg.Env }
 
 // Addr returns the bound listen address ("" for in-memory-only servers).
 func (s *Server) Addr() string {
@@ -235,7 +318,8 @@ func (s *Server) Addr() string {
 // statistics.
 func (s *Server) Runtime() *estelle.Runtime { return s.rt }
 
-// Stats snapshots the connection-manager counters.
+// Stats snapshots the connection-manager counters. Observe returns them
+// together with the stream, cache and per-tenant counters.
 func (s *Server) Stats() SessionStats {
 	s.mu.Lock()
 	active := int64(len(s.sessions))
@@ -265,43 +349,93 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		_ = s.ServeConn(conn) // rejected connections are closed inside
+		tenant := ""
+		if s.cfg.TenantOf != nil {
+			tenant = s.cfg.TenantOf(conn)
+		}
+		_ = s.ServeConnFor(conn, tenant) // rejected connections are closed inside
 	}
 }
 
-// admit registers a new session under the admission bound. The session's
-// wg token is taken here, under the same lock that Drain uses to set
-// closed, so a draining server can never miss an in-flight session.
-func (s *Server) admit(conn transport.Conn) (*srvSession, error) {
+// admit registers a new session under the admission bounds: the tenant's
+// own quota first, then the server-wide MaxSessions — at which a
+// higher-priority tenant evicts the lowest-priority (then youngest) active
+// session of strictly lower priority instead of being refused. The
+// session's wg token is taken here, under the same lock that Drain uses to
+// set closed, so a draining server can never miss an in-flight session.
+func (s *Server) admit(conn transport.Conn, tenant string) (*srvSession, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		s.rejected.Add(1)
 		return nil, ErrServerClosed
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
+	grant, ok := s.ctl.Acquire(tenant)
+	if !ok {
 		s.rejected.Add(1)
-		return nil, ErrServerFull
+		return nil, ErrTenantQuota
+	}
+	// Sessions already evicted for earlier preemptions are mid-teardown;
+	// their replacements hold their slots, so they no longer occupy.
+	if len(s.sessions)-s.preempting >= s.cfg.Limits.MaxSessions {
+		victim := s.victimLocked(grant.Priority)
+		if victim == nil {
+			grant.CancelFull()
+			s.rejected.Add(1)
+			return nil, ErrServerFull
+		}
+		victim.preempted = true
+		s.preempting++
+		s.ctl.Preempt(grant, victim.grant, victim.id)
+		// Closing the victim's transport starts its normal teardown path
+		// (reaper → finish); the victim's client sees a severed
+		// association.
+		_ = victim.conn.Close()
 	}
 	s.nextID++
 	sess := &srvSession{
-		id:   s.nextID,
-		conn: newManagedConn(conn),
-		dead: make(chan struct{}),
+		id:    s.nextID,
+		conn:  newManagedConn(conn),
+		dead:  make(chan struct{}),
+		grant: grant,
 	}
 	s.sessions[sess.id] = sess
-	if n := int64(len(s.sessions)); n > s.peak {
+	if n := int64(len(s.sessions) - s.preempting); n > s.peak {
 		s.peak = n
 	}
 	s.accepted.Add(1)
+	grant.Confirm(sess.id)
 	s.wg.Add(1)
 	return sess, nil
+}
+
+// victimLocked picks the session a connection of priority prio may evict:
+// the lowest-priority active session strictly below prio, youngest first
+// among equals (the longest-served session is the last to go). Sessions
+// already being preempted are skipped. Callers hold s.mu.
+func (s *Server) victimLocked(prio int) *srvSession {
+	var victim *srvSession
+	for _, sess := range s.sessions {
+		if sess.preempted || sess.grant == nil || sess.grant.Priority >= prio {
+			continue
+		}
+		if victim == nil ||
+			sess.grant.Priority < victim.grant.Priority ||
+			(sess.grant.Priority == victim.grant.Priority && sess.id > victim.id) {
+			victim = sess
+		}
+	}
+	return victim
 }
 
 // finish retires a session: exactly once per admitted session.
 func (s *Server) finish(sess *srvSession) {
 	s.completed.Add(1)
+	sess.grant.Release()
 	s.mu.Lock()
+	if sess.preempted {
+		s.preempting--
+	}
 	delete(s.sessions, sess.id)
 	if s.closed && len(s.sessions) == 0 && s.drainCh != nil {
 		close(s.drainCh)
@@ -311,27 +445,49 @@ func (s *Server) finish(sess *srvSession) {
 	s.wg.Done()
 }
 
-// ServeConn admits conn as a new session and serves it asynchronously over
-// the configured stack. It is the entry point for in-memory transports
-// (pipes); the accept loop feeds TCP connections through the same path. A
-// connection over the session limit is answered with StatusBusy and a
-// retry-after hint by a short-lived responder instead of a raw close, so
-// clients can back off deliberately; other admission failures close the
-// connection. The admission error is returned either way.
+// ServeConn admits conn as a new session of the anonymous tenant "" (or
+// the one TenantOf assigns) and serves it asynchronously over the
+// configured stack. See ServeConnFor.
 func (s *Server) ServeConn(conn transport.Conn) error {
-	sess, err := s.admit(conn)
+	tenant := ""
+	if s.cfg.TenantOf != nil {
+		tenant = s.cfg.TenantOf(conn)
+	}
+	return s.ServeConnFor(conn, tenant)
+}
+
+// ServeConnFor admits conn as a new session of tenant and serves it
+// asynchronously over the configured stack. It is the entry point for
+// in-memory transports (pipes); the accept loop feeds TCP connections
+// through the same path. A connection refused at the session limit or the
+// tenant's quota is answered with StatusBusy and a retry-after hint by a
+// short-lived responder instead of a raw close, so clients can back off
+// deliberately; other admission failures close the connection. The
+// admission error is returned either way.
+func (s *Server) ServeConnFor(conn transport.Conn, tenant string) error {
+	sess, err := s.admit(conn, tenant)
 	if err != nil {
-		if errors.Is(err, ErrServerFull) {
+		if errors.Is(err, ErrServerFull) || errors.Is(err, ErrTenantQuota) {
 			s.busy.Add(1)
-			go func() { _ = mcam.ServeBusy(conn, s.cfg.BusyRetryAfter) }()
+			go func() { _ = mcam.ServeBusy(conn, s.cfg.Limits.BusyRetryAfter) }()
 			return err
 		}
 		conn.Close()
 		return err
 	}
+	sq := &mcam.SessionQoS{
+		Tenant: sess.grant.Tenant,
+		Totals: sess.grant.StreamTotals(),
+	}
+	if l := sess.grant.Limiter(); l != nil {
+		// Uncapped tenants get a nil Throttle interface, not an interface
+		// holding a nil *Limiter — the sender skips the per-frame call
+		// entirely.
+		sq.Throttle = l
+	}
 	if s.cfg.Stack == StackHandcoded {
 		go func() {
-			_ = mcam.ServeIsode(sess.conn, s.cfg.Env)
+			_ = mcam.ServeIsodeQoS(sess.conn, s.cfg.Env, sq)
 			sess.conn.Close()
 			s.finish(sess)
 		}()
@@ -340,6 +496,7 @@ func (s *Server) ServeConn(conn transport.Conn) error {
 	hooks := mcam.ServerHooks{
 		OnDead: func() { sess.deadOnce.Do(func() { close(sess.dead) }) },
 		OnBody: func(f interface{ Shutdown() }) { sess.force = f },
+		QoS:    sq,
 	}
 	inst, err := s.rt.AddSystem(
 		serverConnDef(s.cfg.Env, sess.conn, s.cfg.Dispatch, hooks),
@@ -390,6 +547,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 	var err error
 	if s.lis != nil {
 		err = s.lis.Close()
+	}
+	if s.metricsSrv != nil {
+		_ = s.metricsSrv.Close()
 	}
 	if drained != nil {
 		timer := time.NewTimer(timeout)

@@ -21,12 +21,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
 	"xmovie/internal/moviedb"
 	"xmovie/internal/presentation"
+	"xmovie/internal/qos"
 	"xmovie/internal/session"
 	"xmovie/internal/transport"
 )
@@ -127,18 +129,47 @@ func mustWire(ctx *estelle.Ctx, pairs ...[2]*estelle.IP) {
 	}
 }
 
+// Limits groups the server's admission and per-session resource bounds —
+// the knobs that decide who gets in and how much they may consume.
+type Limits struct {
+	// MaxSessions bounds concurrently admitted sessions (0 =
+	// DefaultMaxSessions). Connections beyond the bound are answered with
+	// StatusBusy plus a retry-after hint by a short-lived responder, then
+	// closed — unless the QoS policy lets them preempt a lower-priority
+	// session.
+	MaxSessions int
+	// BusyRetryAfter is the retry-after hint in over-limit StatusBusy
+	// responses (0 = 1s).
+	BusyRetryAfter time.Duration
+	// StreamReadTimeout bounds each storage read feeding a stream's pacing
+	// loop (0 = unbounded): a read that misses the bound degrades that one
+	// stream with a skipped frame instead of wedging its sender. Applied to
+	// the server's Env — including one the server builds itself.
+	StreamReadTimeout time.Duration
+	// QoS is the per-tenant admission and bandwidth policy: session
+	// quotas, stream-bandwidth caps, and admission priorities under which
+	// high-priority connections preempt low-priority sessions at the
+	// MaxSessions bound. The zero Policy admits everything uniformly.
+	QoS qos.Policy
+}
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Addr is the TPKT listen address, e.g. "127.0.0.1:0". Empty means no
 	// listener: an in-memory server fed through ServeConn.
 	Addr string
+	// MetricsAddr, when non-empty, serves the observability registry as a
+	// Prometheus-text /metrics HTTP endpoint on this address (e.g.
+	// "127.0.0.1:0"; Server.MetricsAddr returns the bound address).
+	MetricsAddr string
 	// Stack selects generated or hand-coded control plane (default
 	// generated).
 	Stack StackKind
-	// Env provides store, streams, directory and equipment. When Env.Store
-	// is nil the server constructs one from Backend/DataDir and owns it
-	// (closing it on shutdown); the built store is published back into
-	// Env.Store so callers can seed it.
+	// Env provides store, streams, directory and equipment. A nil Env is
+	// legal: the server builds an empty one (reachable via Server.Env).
+	// When Env.Store is nil the server constructs one from Backend/DataDir
+	// and owns it (closing it on shutdown); the built store is published
+	// back into Env.Store so callers can seed it.
 	Env *mcam.ServerEnv
 	// Backend selects the store implementation built when Env.Store is nil:
 	// BackendMemory (default) stripes MemStores, BackendDisk opens a
@@ -156,14 +187,17 @@ type ServerConfig struct {
 	// Processors limits the generated stack to P virtual processors
 	// (0 = unlimited).
 	Processors int
-	// MaxSessions bounds concurrently admitted sessions (0 =
-	// DefaultMaxSessions). Connections beyond the bound are answered with
-	// StatusBusy plus a retry-after hint by a short-lived responder, then
-	// closed.
-	MaxSessions int
-	// BusyRetryAfter is the retry-after hint in over-limit StatusBusy
-	// responses (0 = 1s).
-	BusyRetryAfter time.Duration
+	// Limits bounds admission and per-session resources, including the
+	// per-tenant QoS policy.
+	Limits Limits
+	// TenantOf classifies accepted connections into QoS tenants (nil = the
+	// anonymous tenant ""). In-memory callers bypass it with ServeConnFor.
+	TenantOf func(transport.Conn) string
+	// QoSLog, when non-nil, receives one JSON line per QoS decision
+	// (admission, quota/full rejection, preemption) — the structured event
+	// log. Writes happen synchronously from the admission path; hand it
+	// something fast.
+	QoSLog io.Writer
 	// TeardownGrace overrides how long a dead connection's entity may take
 	// to run its own release path before streams are torn down forcibly
 	// (0 = 5s). Mainly for tests.

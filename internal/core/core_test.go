@@ -146,8 +146,23 @@ func TestPlayOverTCPControlPlane(t *testing.T) {
 	}
 }
 
-func TestServerRequiresEnv(t *testing.T) {
-	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0"}); err == nil {
-		t.Fatal("server started without env")
+// TestServerNilEnv verifies a nil config Env is legal: the server builds
+// its own environment (with a default store) and Limits still apply to it
+// — historically StreamReadTimeout was silently dropped when Env was nil.
+func TestServerNilEnv(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Stack:  StackHandcoded,
+		Limits: Limits{StreamReadTimeout: 42 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("nil-env server: %v", err)
+	}
+	defer srv.Close()
+	env := srv.Env()
+	if env == nil || env.Store == nil {
+		t.Fatalf("server did not build an environment: %+v", env)
+	}
+	if env.StreamReadTimeout != 42*time.Millisecond {
+		t.Fatalf("StreamReadTimeout = %v, want 42ms", env.StreamReadTimeout)
 	}
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMetricNamesGolden is the metrics-name drift guard: the exported
+// family list must match testdata/metric_names.golden exactly. Renaming or
+// dropping a family breaks downstream dashboards silently — when a change
+// is deliberate, regenerate the golden file with -update.
+func TestMetricNamesGolden(t *testing.T) {
+	got := strings.Join(MetricNames(), "\n") + "\n"
+	golden := filepath.Join("testdata", "metric_names.golden")
+	if update := os.Getenv("UPDATE_GOLDEN"); update != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("metric-name golden file: %v (set UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metric families drifted from %s:\n got:\n%s\nwant:\n%s\n(set UPDATE_GOLDEN=1 if deliberate)",
+			golden, got, want)
+	}
+}
+
+// TestObserveEmptyServer verifies Observe's shape on a fresh server:
+// configured tenants are present before their first connection, and the
+// cache block is all-zero for a memory backend.
+func TestObserveEmptyServer(t *testing.T) {
+	env, _ := testEnv(t)
+	srv, err := NewServer(ServerConfig{Stack: StackHandcoded, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	o := srv.Observe()
+	if o.Sessions.Accepted != 0 || o.Sessions.Active != 0 {
+		t.Errorf("fresh sessions = %+v", o.Sessions)
+	}
+	if o.Streams.Streams != 0 {
+		t.Errorf("fresh streams = %+v", o.Streams)
+	}
+	if o.Cache != (Observation{}.Cache) {
+		t.Errorf("memory backend cache = %+v, want zeros", o.Cache)
+	}
+	if len(o.Tenants) != 0 {
+		t.Errorf("unconfigured tenants = %+v", o.Tenants)
+	}
+}

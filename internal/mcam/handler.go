@@ -9,6 +9,7 @@ import (
 	"xmovie/internal/directory"
 	"xmovie/internal/equipment"
 	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
 	"xmovie/internal/spa"
 )
 
@@ -43,6 +44,19 @@ type ServerEnv struct {
 	StreamReadTimeout time.Duration
 }
 
+// SessionQoS is one association's quality-of-service binding, resolved by
+// the connection manager at admission from its tenant policy: the tenant
+// identity, the tenant's shared bandwidth throttle (nil = uncapped) and the
+// tenant's stream-outcome accumulator. The handler threads both into its
+// Stream Provider Agent, so every stream the association plays draws from
+// the tenant's budget and books into the tenant's counters. A nil
+// *SessionQoS means no QoS binding (the pre-tenant behaviour).
+type SessionQoS struct {
+	Tenant   string
+	Throttle mtp.Throttle
+	Totals   *spa.Totals
+}
+
 // handler executes MCAM requests against a ServerEnv. One handler serves
 // one association; it owns the association's Stream Provider Agent,
 // recording sessions and selection state.
@@ -73,15 +87,22 @@ type recSession struct {
 
 // newHandler creates the per-association handler; events receives stream
 // lifecycle notifications and must be safe to call from stream goroutines.
-func newHandler(env *ServerEnv, events func(Event)) *handler {
+// qos, when non-nil, binds the association's streams to its tenant's
+// bandwidth cap and counters.
+func newHandler(env *ServerEnv, qos *SessionQoS, events func(Event)) *handler {
 	h := &handler{env: env, nextID: 1}
-	h.spa = spa.New(spa.Config{
+	cfg := spa.Config{
 		Dialer:      env.Dialer,
 		Events:      func(e spa.Event) { events(convertEvent(e)) },
 		Window:      env.StreamWindow,
 		Totals:      env.StreamTotals,
 		ReadTimeout: env.StreamReadTimeout,
-	})
+	}
+	if qos != nil {
+		cfg.Throttle = qos.Throttle
+		cfg.TenantTotals = qos.Totals
+	}
+	h.spa = spa.New(cfg)
 	return h
 }
 

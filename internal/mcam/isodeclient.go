@@ -187,6 +187,14 @@ func (c *IsodeClient) Abort() error {
 // implementation used as the baseline in the generated-vs-handwritten
 // comparison (experiment E6).
 func ServeIsode(conn transport.Conn, env *ServerEnv) error {
+	return ServeIsodeQoS(conn, env, nil)
+}
+
+// ServeIsodeQoS is ServeIsode with a per-session QoS binding: qos, when
+// non-nil, caps the association's streams with its tenant's shared
+// throttle and books their outcomes into the tenant's counters. The
+// connection manager resolves the binding at admission.
+func ServeIsodeQoS(conn transport.Conn, env *ServerEnv, qos *SessionQoS) error {
 	prov, _, err := isode.Accept(conn, func(*presentation.CP) isode.AcceptDecision {
 		return isode.AcceptDecision{Accept: true}
 	})
@@ -198,7 +206,7 @@ func ServeIsode(conn transport.Conn, env *ServerEnv) error {
 	// it into the wire buffer (under its send mutex) before sending.
 	var evMu sync.Mutex
 	var evBuf []byte
-	h := newHandler(env, func(e Event) {
+	h := newHandler(env, qos, func(e Event) {
 		evMu.Lock()
 		defer evMu.Unlock()
 		var err error

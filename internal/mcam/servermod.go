@@ -77,6 +77,10 @@ type ServerHooks struct {
 	// OnBody receives the association's serverBody right after Init so the
 	// connection manager can force a teardown later (Shutdown).
 	OnBody func(interface{ Shutdown() })
+	// QoS, when non-nil, is the session's tenant binding (bandwidth cap and
+	// per-tenant stream counters), resolved by the connection manager at
+	// admission.
+	QoS *SessionQoS
 }
 
 // ServerModuleDef returns the server-side Movie Control Agent for one
@@ -101,7 +105,7 @@ func HookedServerModuleDef(env *ServerEnv, dispatch estelle.Dispatch, hooks Serv
 		States: []string{"WaitAssoc", "Ready", "Dead"},
 		Init: func(ctx *estelle.Ctx) {
 			body := &serverBody{self: ctx.Self()}
-			body.h = newHandler(env, body.pushEvent)
+			body.h = newHandler(env, hooks.QoS, body.pushEvent)
 			ctx.SetBody(body)
 			ctx.SetExternal(body)
 			if hooks.OnBody != nil {

@@ -107,6 +107,16 @@ func ParseFeedback(p *Packet) (Feedback, bool) {
 	}, true
 }
 
+// Throttle regulates a sender's outbound bandwidth. Reserve books n bytes
+// against the budget and returns how long the caller must wait before
+// sending them (0 = send now); it never refuses. Implementations must be
+// safe for concurrent use — one throttle is typically shared by every
+// stream of a tenant, so the streams split the budget between them.
+// qos.Limiter is the token-bucket implementation.
+type Throttle interface {
+	Reserve(n int) time.Duration
+}
+
 // StreamConfig tunes one StreamSender.
 type StreamConfig struct {
 	StreamID uint32
@@ -128,6 +138,12 @@ type StreamConfig struct {
 	// sender's view of its credit, which is exactly the congestion signal
 	// that triggers dropping.
 	Window int
+	// Throttle, when non-nil, caps outbound bandwidth: each transmitted
+	// frame reserves its bytes before the send, and the imposed wait shifts
+	// the pacing schedule like a pause — a capped stream slows down, its
+	// frames are never booked as late and never trigger adaptive drops.
+	// Dropped frames reserve nothing.
+	Throttle Throttle
 	// Sleep substitutes the pacing wait (tests); nil uses a stoppable
 	// timer wait.
 	Sleep func(time.Duration)
@@ -498,6 +514,20 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 				s.stats.Pos = pos + 1
 				s.mu.Unlock()
 				continue
+			}
+		}
+		// Bandwidth cap: reserve the frame's bytes and absorb the imposed
+		// wait into the pacing epoch (like a pause), so a capped stream
+		// shifts its schedule instead of accumulating lateness.
+		if s.cfg.Throttle != nil && len(frame) > 0 {
+			if d := s.cfg.Throttle.Reserve(len(frame)); d > 0 {
+				// Credit the measured wait, not the requested one: timer
+				// overshoot would otherwise accumulate as phantom lateness.
+				capStart := time.Now()
+				if !s.wait(d) {
+					return finish(nil)
+				}
+				pausedTotal += time.Since(capStart)
 			}
 		}
 		if period > 0 && overdue > period {

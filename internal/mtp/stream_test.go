@@ -497,3 +497,103 @@ func TestSeekToEOFEndsCleanly(t *testing.T) {
 		t.Errorf("delivered %d frames", rstats.Delivered)
 	}
 }
+
+// countingThrottle is a deterministic Throttle: every reservation is
+// granted after a fixed wait, and the reservations are counted.
+type countingThrottle struct {
+	mu           sync.Mutex
+	wait         time.Duration
+	reservations int
+	bytes        int64
+}
+
+func (c *countingThrottle) Reserve(n int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reservations++
+	c.bytes += int64(n)
+	return c.wait
+}
+
+func TestStreamSenderThrottleShiftsSchedule(t *testing.T) {
+	// 30 frames at 250 fps would take 116ms unthrottled; an 8ms-per-frame
+	// throttle stretches that past 330ms. The imposed waits must shift the
+	// pacing epoch like a pause: no frame is booked late, none is dropped.
+	// (The 4ms pacing period is coarse enough that ordinary timer
+	// overshoot cannot fake a late frame.)
+	movie := moviedb.SynthesizeLazy(moviedb.SynthConfig{Name: "throttled", Frames: 30, FrameSize: 512})
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+	var mu sync.Mutex
+	var got []Frame
+	done := runReceiver(t, b, ReceiverConfig{}, &got, &mu)
+
+	th := &countingThrottle{wait: 8 * time.Millisecond}
+	s := NewStreamSender(a, StreamConfig{StreamID: 9, FrameRate: 250, Throttle: th})
+	begin := time.Now()
+	st, err := s.Run(movie.Open())
+	elapsed := time.Since(begin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats := <-done
+	if st.Sent != 30 || st.Dropped != 0 || !st.Done {
+		t.Fatalf("send stats %+v", st)
+	}
+	if st.Late != 0 {
+		t.Fatalf("throttle waits booked as lateness: %+v", st)
+	}
+	if rstats.Delivered != 30 || rstats.Lost != 0 {
+		t.Fatalf("recv stats %+v", rstats)
+	}
+	if th.reservations != 30 || th.bytes != 30*512 {
+		t.Fatalf("throttle saw %d reservations / %d bytes, want 30 / %d",
+			th.reservations, th.bytes, 30*512)
+	}
+	if elapsed < 230*time.Millisecond {
+		t.Fatalf("throttled stream finished in %v, want >= 230ms", elapsed)
+	}
+}
+
+// unavailableEvery wraps a source, consuming every k-th frame as
+// ErrFrameUnavailable (the bounded-read degradation path).
+type unavailableEvery struct {
+	FrameSource
+	k int
+}
+
+func (u *unavailableEvery) Next() ([]byte, error) {
+	pos := u.FrameSource.Pos()
+	frame, err := u.FrameSource.Next()
+	if err != nil {
+		return frame, err
+	}
+	if u.k > 0 && pos%int64(u.k) == int64(u.k-1) {
+		return nil, ErrFrameUnavailable
+	}
+	return frame, nil
+}
+
+func TestStreamSenderThrottleSkipsDroppedFrames(t *testing.T) {
+	// Frames the sender never transmits (unavailable reads → FlagSkip
+	// drops) must not reserve bandwidth.
+	movie := moviedb.SynthesizeLazy(moviedb.SynthConfig{Name: "throttled-drop", Frames: 30, FrameSize: 256})
+	a, b, link := netsim.NewLink(netsim.Config{}, netsim.Config{})
+	defer link.Close()
+	done := runReceiver(t, b, ReceiverConfig{}, nil, nil)
+
+	th := &countingThrottle{}
+	s := NewStreamSender(a, StreamConfig{StreamID: 10, Throttle: th})
+	st, err := s.Run(&unavailableEvery{FrameSource: movie.Open(), k: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if st.Sent != 20 || st.Dropped != 10 {
+		t.Fatalf("send stats %+v, want 20 sent / 10 dropped", st)
+	}
+	if th.reservations != 20 || th.bytes != 20*256 {
+		t.Fatalf("throttle saw %d reservations / %d bytes, want 20 / %d",
+			th.reservations, th.bytes, 20*256)
+	}
+}

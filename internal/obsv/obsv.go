@@ -1,0 +1,181 @@
+// Package obsv is a minimal pull-style metrics registry: collectors emit
+// samples on demand, the registry renders them in the Prometheus text
+// exposition format (version 0.0.4) and serves them over HTTP. It is the
+// observability half of the QoS subsystem — one registry per server
+// unifies the connection-manager counters, the data-plane stream totals,
+// the chunk-cache hit rates and the per-tenant QoS counters behind a
+// single /metrics endpoint — without pulling a client library into the
+// repository.
+//
+// The registry is deliberately tiny: no histograms, no timestamps, no
+// metric registration up front. A Collector is called at scrape time and
+// emits whatever samples it currently has; samples of one family (same
+// name) may carry different label sets and are grouped under one HELP/TYPE
+// header in the output.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type is a metric family's Prometheus type.
+type Type int
+
+// Metric types (the subset the server needs).
+const (
+	// Counter is a monotonically increasing cumulative count.
+	Counter Type = iota + 1
+	// Gauge is a value that can go up and down.
+	Gauge
+)
+
+// String renders the type as the TYPE-line keyword.
+func (t Type) String() string {
+	switch t {
+	case Counter:
+		return "counter"
+	case Gauge:
+		return "gauge"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" dimension of a sample.
+type Label struct {
+	Key, Value string
+}
+
+// Metric is one sample: a family (Name/Help/Type) plus the sample's labels
+// and value. Samples sharing a Name must share Help and Type; the first
+// emitted sample's header wins.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   Type
+	Labels []Label
+	Value  float64
+}
+
+// Collector emits the samples it currently has. Collectors run at scrape
+// time on the scraping goroutine and must be safe for concurrent calls.
+type Collector func(emit func(Metric))
+
+// Registry aggregates collectors into one scrape surface.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector; its samples appear in every subsequent
+// Gather.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather runs every collector and returns the samples sorted by family
+// name, then label set — the stable order WriteText renders.
+func (r *Registry) Gather() []Metric {
+	r.mu.Lock()
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	var out []Metric
+	for _, c := range collectors {
+		c(func(m Metric) { out = append(out, m) })
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// WriteText renders the current samples in the Prometheus text exposition
+// format: one # HELP and # TYPE header per family, then its samples.
+func (r *Registry) WriteText(w io.Writer) error {
+	var lastName string
+	for _, m := range r.Gather() {
+		if m.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				m.Name, escapeHelp(m.Help), m.Name, m.Type); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		if _, err := io.WriteString(w, m.Name); err != nil {
+			return err
+		}
+		if len(m.Labels) > 0 {
+			sep := "{"
+			for _, l := range m.Labels {
+				if _, err := fmt.Fprintf(w, "%s%s=%q", sep, l.Key, escapeLabel(l.Value)); err != nil {
+					return err
+				}
+				sep = ","
+			}
+			if _, err := io.WriteString(w, "}"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " %s\n", formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value the way Prometheus expects: integral
+// values without an exponent or trailing zeros.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format (%q adds the
+// surrounding quotes and escapes " and \ itself; newlines become \n via
+// the quoting too, so only pass-through is needed here).
+func escapeLabel(v string) string { return v }
+
+// escapeHelp escapes a HELP text (backslash and newline).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// ContentType is the scrape response content type for the text format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry as a /metrics scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,63 @@
+package obsv
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "x_requests_total", Help: "Total requests.", Type: Counter, Value: 42})
+		emit(Metric{Name: "x_active", Help: "Active sessions.", Type: Gauge, Value: 3})
+	})
+	r.Register(func(emit func(Metric)) {
+		emit(Metric{Name: "x_tenant_total", Help: "Per-tenant count.", Type: Counter,
+			Labels: []Label{{"tenant", "gold"}}, Value: 7})
+		emit(Metric{Name: "x_tenant_total", Help: "Per-tenant count.", Type: Counter,
+			Labels: []Label{{"tenant", `we"ird\`}}, Value: 1})
+	})
+	return r
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# HELP x_active Active sessions.\n" +
+		"# TYPE x_active gauge\n" +
+		"x_active 3\n" +
+		"# HELP x_requests_total Total requests.\n" +
+		"# TYPE x_requests_total counter\n" +
+		"x_requests_total 42\n" +
+		"# HELP x_tenant_total Per-tenant count.\n" +
+		"# TYPE x_tenant_total counter\n" +
+		"x_tenant_total{tenant=\"gold\"} 7\n" +
+		"x_tenant_total{tenant=\"we\\\"ird\\\\\"} 1\n"
+	if got != want {
+		t.Fatalf("text format mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	testRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "x_requests_total 42") {
+		t.Fatalf("scrape body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestGatherSorted(t *testing.T) {
+	ms := testRegistry().Gather()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Name > ms[i].Name {
+			t.Fatalf("gather not sorted: %q after %q", ms[i].Name, ms[i-1].Name)
+		}
+	}
+}

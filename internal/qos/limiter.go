@@ -1,0 +1,105 @@
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultBurstFloor keeps tiny caps workable: a bucket must hold at least
+// one frame-sized burst or every send waits.
+const defaultBurstFloor = 4 << 10
+
+// Limiter is a token-bucket bandwidth regulator shared by every stream of
+// one tenant. It implements the reservation form of throttling the MTP
+// sender needs (mtp.Throttle): Reserve books n bytes unconditionally and
+// returns how long the caller must wait before sending them, letting the
+// bucket go negative instead of refusing — continuous-media senders never
+// drop at the throttle, they shift their pacing schedule (the cap delay is
+// credited like a pause, so capped frames are not misread as late).
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	bytes   int64
+	waits   int64
+	waitDur time.Duration
+}
+
+// ThrottleStats is a Limiter's accounting snapshot.
+type ThrottleStats struct {
+	// Bytes counts bytes granted through the cap.
+	Bytes int64
+	// Waits counts reservations that had to wait; Wait is their cumulative
+	// imposed delay.
+	Waits int64
+	Wait  time.Duration
+}
+
+// NewLimiter builds a limiter granting bytesPerSec with bucket depth burst
+// (0 = bytesPerSec/8, at least 4 KiB). A bytesPerSec <= 0 means no cap:
+// nil is returned, and a nil Limiter grants everything instantly.
+func NewLimiter(bytesPerSec, burst int64) *Limiter {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = bytesPerSec / 8
+		if burst < defaultBurstFloor {
+			burst = defaultBurstFloor
+		}
+	}
+	return &Limiter{
+		rate:   float64(bytesPerSec),
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// Reserve books n bytes against the budget and returns how long the caller
+// must wait before sending them (0 = send now). Safe for concurrent use;
+// concurrent reservations serialize, so the tenant's streams share the cap
+// rather than each getting it.
+func (l *Limiter) Reserve(n int) time.Duration {
+	if l == nil || n <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	l.tokens -= float64(n)
+	l.bytes += int64(n)
+	if l.tokens >= 0 {
+		return 0
+	}
+	wait := time.Duration(-l.tokens / l.rate * float64(time.Second))
+	l.waits++
+	l.waitDur += wait
+	return wait
+}
+
+// Rate returns the configured bytes/second (0 for a nil limiter).
+func (l *Limiter) Rate() int64 {
+	if l == nil {
+		return 0
+	}
+	return int64(l.rate)
+}
+
+// Stats snapshots the accounting counters (zero for a nil limiter).
+func (l *Limiter) Stats() ThrottleStats {
+	if l == nil {
+		return ThrottleStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ThrottleStats{Bytes: l.bytes, Waits: l.waits, Wait: l.waitDur}
+}

@@ -1,0 +1,327 @@
+// Package qos is the server's multi-tenant quality-of-service policy and
+// its runtime accounting. The paper's premise — continuous-media delivery
+// must be protected under contention ("late video is worse than lost
+// video") — becomes, at production scale, noisy-neighbor isolation between
+// classes of users: per-tenant session quotas, per-tenant aggregate
+// stream-bandwidth caps (a shared token bucket throttling every stream the
+// tenant plays), and admission priorities under which a higher-priority
+// connection may preempt a lower-priority session when the server-wide
+// MaxSessions bound is hit.
+//
+// A Policy is pure configuration (ServerConfig.Limits.QoS). The Controller
+// is its runtime: the connection manager acquires a Grant per admitted
+// session, the Grant hands the MCAM handler the tenant's shared Limiter and
+// stream counters, and every admission, rejection and preemption decision
+// is counted per tenant and emitted as a structured Event for the server's
+// decision log. Snapshot exposes the per-tenant counters to Observe and the
+// /metrics endpoint.
+package qos
+
+import (
+	"sort"
+	"sync"
+
+	"xmovie/internal/spa"
+)
+
+// Class is the QoS contract of one tenant (or the default for tenants the
+// policy does not name).
+type Class struct {
+	// Name labels the class in events and metrics ("" = the tenant's own
+	// name, or "default").
+	Name string
+	// Priority orders admission under contention: when MaxSessions is
+	// reached, a connection may preempt an active session of strictly lower
+	// priority (paying viewers displace anonymous ones). Equal priorities
+	// never preempt each other.
+	Priority int
+	// MaxSessions bounds the tenant's concurrently admitted sessions
+	// (0 = no per-tenant quota; the server-wide bound still applies).
+	MaxSessions int
+	// StreamBandwidth caps the tenant's aggregate outbound stream
+	// bandwidth in bytes/second, enforced by a token bucket shared by every
+	// stream the tenant's sessions play (0 = uncapped).
+	StreamBandwidth int64
+	// Burst is the token bucket depth in bytes (0 = StreamBandwidth/8,
+	// at least one 4 KiB chunk). Smaller bursts hold short-term throughput
+	// closer to the cap; larger ones absorb scheduling jitter.
+	Burst int64
+}
+
+// Policy maps tenants to classes. The zero Policy admits everything
+// uniformly: no quotas, no caps, priority 0 for all.
+type Policy struct {
+	// Default applies to tenants not listed in Tenants (including the
+	// anonymous tenant "").
+	Default Class
+	// Tenants overrides the default per tenant name.
+	Tenants map[string]Class
+}
+
+// ClassOf resolves the class serving tenant.
+func (p Policy) ClassOf(tenant string) Class {
+	if c, ok := p.Tenants[tenant]; ok {
+		return c
+	}
+	return p.Default
+}
+
+// EventKind classifies QoS decisions.
+type EventKind string
+
+// QoS decision kinds, in the order a connection can meet them.
+const (
+	// EventAdmit records a session admitted (possibly after preempting).
+	EventAdmit EventKind = "admit"
+	// EventRejectQuota records a connection refused at the tenant's own
+	// session quota.
+	EventRejectQuota EventKind = "reject-quota"
+	// EventRejectFull records a connection refused at the server-wide
+	// MaxSessions bound with no lower-priority session to preempt.
+	EventRejectFull EventKind = "reject-full"
+	// EventPreempt records an active session evicted to admit a
+	// higher-priority connection. Tenant is the evicted session's tenant;
+	// By is the winner's.
+	EventPreempt EventKind = "preempt"
+)
+
+// Event is one structured QoS decision, emitted synchronously from the
+// admission path. Handlers must be fast and must not call back into the
+// Controller or the connection manager.
+type Event struct {
+	Kind     EventKind `json:"kind"`
+	Tenant   string    `json:"tenant"`
+	Priority int       `json:"priority"`
+	// SessionID is the connection-manager session id the decision is about
+	// (0 when the connection was never admitted).
+	SessionID int64 `json:"session_id,omitempty"`
+	// By names the preempting tenant on EventPreempt.
+	By string `json:"by,omitempty"`
+	// Active is the tenant's admitted-session count after the decision.
+	Active int `json:"active"`
+}
+
+// TenantStats is one tenant's accounting snapshot (Controller.Snapshot,
+// surfaced through core's Observe and the /metrics endpoint).
+type TenantStats struct {
+	Tenant string
+	Class  Class
+	// Active / Peak track the tenant's admitted sessions.
+	Active int64
+	Peak   int64
+	// Admitted counts sessions admitted; Preemptions counts how many of
+	// those displaced a lower-priority session to get in.
+	Admitted    int64
+	Preemptions int64
+	// RejectedQuota / RejectedFull count refused connections (tenant quota
+	// vs. server full with nothing to preempt).
+	RejectedQuota int64
+	RejectedFull  int64
+	// Preempted counts this tenant's sessions evicted by higher-priority
+	// admissions.
+	Preempted int64
+	// Streams aggregates the data-plane outcomes of the tenant's finished
+	// streams.
+	Streams spa.Totals
+	// Throttle is the tenant's bandwidth-cap accounting (zero when the
+	// class has no cap).
+	Throttle ThrottleStats
+}
+
+// tenantState is the controller's per-tenant runtime record. Session
+// counters are guarded by the controller mutex; Streams and the limiter
+// keep their own synchronization (they are touched from stream goroutines).
+type tenantState struct {
+	name    string
+	class   Class
+	limiter *Limiter
+	streams spa.Totals
+
+	active        int
+	peak          int64
+	admitted      int64
+	preemptions   int64
+	rejectedQuota int64
+	rejectedFull  int64
+	preempted     int64
+}
+
+// Controller enforces a Policy at runtime. All methods are safe for
+// concurrent use; the connection manager calls the admission methods under
+// its own session lock, which is fine as long as the event callback does
+// not call back in.
+type Controller struct {
+	policy Policy
+	emit   func(Event)
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// NewController builds a controller for policy. emit, when non-nil,
+// receives every QoS decision (the structured event log).
+func NewController(policy Policy, emit func(Event)) *Controller {
+	c := &Controller{policy: policy, emit: emit, tenants: make(map[string]*tenantState)}
+	// Pre-create the configured tenants so Snapshot (and /metrics) exposes
+	// them from the start, before their first connection.
+	for name := range policy.Tenants {
+		c.tenants[name] = c.newTenant(name)
+	}
+	return c
+}
+
+// Policy returns the configuration the controller enforces.
+func (c *Controller) Policy() Policy { return c.policy }
+
+func (c *Controller) newTenant(name string) *tenantState {
+	cls := c.policy.ClassOf(name)
+	if cls.Name == "" {
+		cls.Name = name
+		if cls.Name == "" {
+			cls.Name = "default"
+		}
+	}
+	return &tenantState{
+		name:    name,
+		class:   cls,
+		limiter: NewLimiter(cls.StreamBandwidth, cls.Burst),
+	}
+}
+
+// tenant returns (creating on first use) the state for name. Callers hold
+// c.mu.
+func (c *Controller) tenant(name string) *tenantState {
+	t, ok := c.tenants[name]
+	if !ok {
+		t = c.newTenant(name)
+		c.tenants[name] = t
+	}
+	return t
+}
+
+// Grant is one session's hold on its tenant's QoS budget, acquired at
+// admission and released exactly once when the session finishes (or
+// cancelled if the server could not admit it after all).
+type Grant struct {
+	c *Controller
+	t *tenantState
+	// Tenant and Priority are fixed at acquisition for the connection
+	// manager's preemption decisions.
+	Tenant   string
+	Priority int
+}
+
+// Acquire checks tenant's session quota and, when within it, takes one
+// session slot. It reports false — counting and emitting a reject-quota
+// event — when the tenant is at its quota. The caller must end a returned
+// Grant with exactly one of Confirm+Release or CancelFull.
+func (c *Controller) Acquire(tenant string) (*Grant, bool) {
+	c.mu.Lock()
+	t := c.tenant(tenant)
+	if t.class.MaxSessions > 0 && t.active >= t.class.MaxSessions {
+		t.rejectedQuota++
+		ev := Event{Kind: EventRejectQuota, Tenant: tenant, Priority: t.class.Priority, Active: t.active}
+		c.mu.Unlock()
+		c.send(ev)
+		return nil, false
+	}
+	t.active++
+	if n := int64(t.active); n > t.peak {
+		t.peak = n
+	}
+	c.mu.Unlock()
+	return &Grant{c: c, t: t, Tenant: tenant, Priority: t.class.Priority}, true
+}
+
+// Confirm books the grant's session as admitted under id.
+func (g *Grant) Confirm(id int64) {
+	g.c.mu.Lock()
+	g.t.admitted++
+	ev := Event{Kind: EventAdmit, Tenant: g.Tenant, Priority: g.Priority, SessionID: id, Active: g.t.active}
+	g.c.mu.Unlock()
+	g.c.send(ev)
+}
+
+// CancelFull returns the slot of a grant whose connection the server
+// refused at the global bound (nothing preemptable), counting the
+// rejection.
+func (g *Grant) CancelFull() {
+	g.c.mu.Lock()
+	g.t.active--
+	g.t.rejectedFull++
+	ev := Event{Kind: EventRejectFull, Tenant: g.Tenant, Priority: g.Priority, Active: g.t.active}
+	g.c.mu.Unlock()
+	g.c.send(ev)
+}
+
+// Release returns the slot of a finished session.
+func (g *Grant) Release() {
+	g.c.mu.Lock()
+	g.t.active--
+	g.c.mu.Unlock()
+}
+
+// Preempt books victim's session (admitted under victimID) as evicted in
+// favor of the winner's connection.
+func (c *Controller) Preempt(winner, victim *Grant, victimID int64) {
+	c.mu.Lock()
+	winner.t.preemptions++
+	victim.t.preempted++
+	ev := Event{Kind: EventPreempt, Tenant: victim.Tenant, Priority: victim.Priority,
+		SessionID: victimID, By: winner.Tenant, Active: victim.t.active}
+	c.mu.Unlock()
+	c.send(ev)
+}
+
+// Limiter returns the tenant's shared bandwidth throttle (nil when the
+// class has no cap). It satisfies mtp.Throttle.
+func (g *Grant) Limiter() *Limiter { return g.t.limiter }
+
+// StreamTotals returns the tenant's stream-outcome accumulator, shared by
+// every session of the tenant.
+func (g *Grant) StreamTotals() *spa.Totals { return &g.t.streams }
+
+func (c *Controller) send(ev Event) {
+	if c.emit != nil {
+		c.emit(ev)
+	}
+}
+
+// Snapshot returns the per-tenant counters for every tenant seen so far
+// (configured tenants appear even before their first connection), keyed by
+// tenant name.
+func (c *Controller) Snapshot() map[string]TenantStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]TenantStats, len(c.tenants))
+	for name, t := range c.tenants {
+		st := TenantStats{
+			Tenant:        name,
+			Class:         t.class,
+			Active:        int64(t.active),
+			Peak:          t.peak,
+			Admitted:      t.admitted,
+			Preemptions:   t.preemptions,
+			RejectedQuota: t.rejectedQuota,
+			RejectedFull:  t.rejectedFull,
+			Preempted:     t.preempted,
+			Streams:       t.streams.Snapshot(),
+		}
+		if t.limiter != nil {
+			st.Throttle = t.limiter.Stats()
+		}
+		out[name] = st
+	}
+	return out
+}
+
+// Tenants returns the known tenant names in sorted order — the stable
+// iteration order metrics emission needs.
+func Tenants(snap map[string]TenantStats) []string {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,131 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAcquireQuotaAndRelease(t *testing.T) {
+	var events []Event
+	c := NewController(Policy{
+		Tenants: map[string]Class{"free": {Priority: 0, MaxSessions: 2}},
+	}, func(ev Event) { events = append(events, ev) })
+
+	g1, ok := c.Acquire("free")
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+	g1.Confirm(1)
+	g2, ok := c.Acquire("free")
+	if !ok {
+		t.Fatal("second acquire refused")
+	}
+	g2.Confirm(2)
+	if _, ok := c.Acquire("free"); ok {
+		t.Fatal("third acquire exceeded MaxSessions=2")
+	}
+	g1.Release()
+	g3, ok := c.Acquire("free")
+	if !ok {
+		t.Fatal("acquire after release refused")
+	}
+	g3.Confirm(3)
+
+	st := c.Snapshot()["free"]
+	if st.Active != 2 || st.Peak != 2 || st.Admitted != 3 || st.RejectedQuota != 1 {
+		t.Fatalf("stats = %+v, want active 2 peak 2 admitted 3 rejectedQuota 1", st)
+	}
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EventAdmit, EventAdmit, EventRejectQuota, EventAdmit}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestUnlimitedDefaultAndPreemptCounters(t *testing.T) {
+	c := NewController(Policy{
+		Default: Class{Priority: 0},
+		Tenants: map[string]Class{"gold": {Priority: 10}},
+	}, nil)
+	victim, ok := c.Acquire("")
+	if !ok {
+		t.Fatal("anonymous acquire refused")
+	}
+	victim.Confirm(1)
+	winner, ok := c.Acquire("gold")
+	if !ok {
+		t.Fatal("gold acquire refused")
+	}
+	c.Preempt(winner, victim, 1)
+	winner.Confirm(2)
+	victim.Release()
+
+	snap := c.Snapshot()
+	if got := snap["gold"].Preemptions; got != 1 {
+		t.Fatalf("gold preemptions = %d, want 1", got)
+	}
+	if got := snap[""].Preempted; got != 1 {
+		t.Fatalf("anonymous preempted = %d, want 1", got)
+	}
+	if snap["gold"].Class.Priority != 10 || snap[""].Class.Priority != 0 {
+		t.Fatalf("class resolution wrong: %+v", snap)
+	}
+}
+
+func TestCancelFull(t *testing.T) {
+	c := NewController(Policy{}, nil)
+	g, ok := c.Acquire("t")
+	if !ok {
+		t.Fatal("acquire refused")
+	}
+	g.CancelFull()
+	st := c.Snapshot()["t"]
+	if st.Active != 0 || st.RejectedFull != 1 || st.Admitted != 0 {
+		t.Fatalf("stats = %+v, want active 0 rejectedFull 1 admitted 0", st)
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	// 1 MiB/s with an 8 KiB bucket: after the initial burst, each 64 KiB
+	// reservation owes ~62.5ms of wait. Reserve never refuses — it returns
+	// the delay the sender must absorb.
+	l := NewLimiter(1<<20, 8<<10)
+	if d := l.Reserve(4 << 10); d != 0 {
+		t.Fatalf("burst reservation waited %v", d)
+	}
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		last = l.Reserve(64 << 10)
+	}
+	// Without sleeping between reservations the debt accumulates:
+	// 4*64KiB + 4KiB - 8KiB burst ≈ 252KiB at 1MiB/s ≈ 246ms owed by the
+	// last reservation.
+	if last < 200*time.Millisecond || last > 300*time.Millisecond {
+		t.Fatalf("final wait %v, want ~246ms", last)
+	}
+	st := l.Stats()
+	if st.Bytes != 4<<10+4*(64<<10) || st.Waits == 0 || st.Wait == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilLimiter(t *testing.T) {
+	var l *Limiter
+	if d := l.Reserve(1 << 30); d != 0 {
+		t.Fatalf("nil limiter imposed wait %v", d)
+	}
+	if st := l.Stats(); st != (ThrottleStats{}) {
+		t.Fatalf("nil limiter stats = %+v", st)
+	}
+	if NewLimiter(0, 0) != nil {
+		t.Fatal("NewLimiter(0) should mean no cap (nil)")
+	}
+}

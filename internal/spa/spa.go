@@ -97,6 +97,15 @@ type Config struct {
 	// Totals, when non-nil, accumulates finished streams' counters —
 	// typically one shared instance per server.
 	Totals *Totals
+	// TenantTotals, when non-nil, additionally accumulates the same
+	// counters into a second bucket — the per-tenant accounting QoS
+	// policies read, shared by every agent of one tenant.
+	TenantTotals *Totals
+	// Throttle, when non-nil, caps the aggregate outbound bandwidth of the
+	// streams this agent starts: each frame reserves its bytes before
+	// transmission and the wait shifts the pacing schedule like a pause.
+	// Shared across agents, it becomes a tenant-wide cap.
+	Throttle mtp.Throttle
 	// ReadTimeout bounds each storage read feeding a stream's pacing loop
 	// (0 = unbounded). A read that misses the bound costs the receiver one
 	// skipped frame (FlagSkip) instead of wedging the sender; a store that
@@ -200,6 +209,7 @@ func (a *Agent) Play(id int64, addr string, src mtp.FrameSource, opt PlayOptions
 		FrameRate:  opt.FrameRate,
 		Window:     window,
 		EOSRepeats: opt.EOSRepeats,
+		Throttle:   a.cfg.Throttle,
 	})
 	st := &stream{id: id, sender: sender, conn: conn, src: src}
 
@@ -255,6 +265,9 @@ func (a *Agent) run(st *stream, src mtp.FrameSource, base int64) {
 	closeConn(st.conn)
 	if a.cfg.Totals != nil {
 		a.cfg.Totals.add(stats)
+	}
+	if a.cfg.TenantTotals != nil {
+		a.cfg.TenantTotals.add(stats)
 	}
 	switch {
 	case err != nil:

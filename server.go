@@ -1,11 +1,36 @@
 package xmovie
 
 import (
+	"io"
 	"time"
 
 	"xmovie/internal/core"
+	"xmovie/internal/qos"
 	"xmovie/internal/spa"
+	"xmovie/internal/transport"
 )
+
+// Limits groups the server's admission and pacing bounds: the global
+// session ceiling, the busy retry-after hint, the per-read storage
+// timeout, and the per-tenant QoS policy.
+type Limits = core.Limits
+
+// QoSPolicy maps tenants to service classes: per-tenant session quotas,
+// stream-bandwidth caps and admission priorities. The zero value admits
+// everyone into an unlimited default class.
+type QoSPolicy = qos.Policy
+
+// QoSClass is one service class in a QoSPolicy (priority, session quota,
+// aggregate stream-bandwidth cap).
+type QoSClass = qos.Class
+
+// TenantStats is one tenant's QoS accounting in an Observation.
+type TenantStats = qos.TenantStats
+
+// Observation is the server's unified observability snapshot: session
+// admission counters, aggregate stream outcomes, chunk-cache hit rates and
+// per-tenant QoS accounting in one coherent read.
+type Observation = core.Observation
 
 // ServerConfig configures ListenAndServe.
 type ServerConfig struct {
@@ -14,12 +39,16 @@ type ServerConfig struct {
 	// through Server.ServeConn (tests, embedded deployments, the load
 	// harness).
 	Addr string
+	// MetricsAddr, when non-empty, serves the Observation as Prometheus
+	// text on http://<MetricsAddr>/metrics.
+	MetricsAddr string
 	// Stack selects the control stack (default StackGenerated).
 	Stack StackKind
 	// Env provides the movie store, stream dialer, directory and
 	// equipment. When Env.Store is nil the server builds one from
 	// Backend/DataDir, owns it (closed on shutdown) and publishes it back
-	// into Env.Store so the caller can seed the catalogue.
+	// into Env.Store so the caller can seed the catalogue. A nil Env is
+	// equivalent to a zero one.
 	Env *ServerEnv
 	// Backend selects the store built for a nil Env.Store: BackendMemory
 	// (default, sharded in-RAM) or BackendDisk (durable segment files).
@@ -30,18 +59,17 @@ type ServerConfig struct {
 	// Processors limits the generated stack to P virtual processors
 	// (0 = unlimited), modelling the paper's multiprocessor sizing.
 	Processors int
-	// MaxSessions bounds concurrently admitted control sessions
-	// (0 = core.DefaultMaxSessions). Connections beyond the bound are
-	// answered with StatusBusy plus a retry-after hint, then closed.
-	MaxSessions int
-	// BusyRetryAfter is the retry-after hint carried by over-limit
-	// StatusBusy responses (0 = 1s).
-	BusyRetryAfter time.Duration
-	// StreamReadTimeout bounds how long a stream may wait on one storage
-	// read before the frame is skipped (FlagSkip) instead of wedging the
-	// sender (0 = no bound). Live-edge waits are not reads and stay
-	// unbounded.
-	StreamReadTimeout time.Duration
+	// Limits bounds admission and pacing: session ceiling, busy
+	// retry-after hint, storage read timeout, per-tenant QoS policy.
+	Limits Limits
+	// TenantOf classifies an accepted listener connection into a tenant
+	// name for Limits.QoS (nil = every connection is the default tenant).
+	// Sessions fed through ServeConn use ServeConnFor instead.
+	TenantOf func(Conn) string
+	// QoSLog, when non-nil, receives one JSON line per QoS admission
+	// decision (admit, reject, preempt). Writes are synchronous; wrap slow
+	// sinks in a buffered writer.
+	QoSLog io.Writer
 }
 
 // SessionStats counts connection-manager activity (admissions, rejections,
@@ -63,18 +91,21 @@ type Server struct {
 
 // ListenAndServe starts an MCAM server.
 func ListenAndServe(cfg ServerConfig) (*Server, error) {
-	if cfg.StreamReadTimeout > 0 && cfg.Env != nil {
-		cfg.Env.StreamReadTimeout = cfg.StreamReadTimeout
+	var tenantOf func(transport.Conn) string
+	if cfg.TenantOf != nil {
+		tenantOf = cfg.TenantOf
 	}
 	inner, err := core.NewServer(core.ServerConfig{
-		Addr:           cfg.Addr,
-		Stack:          cfg.Stack,
-		Env:            cfg.Env,
-		Backend:        cfg.Backend,
-		DataDir:        cfg.DataDir,
-		Processors:     cfg.Processors,
-		MaxSessions:    cfg.MaxSessions,
-		BusyRetryAfter: cfg.BusyRetryAfter,
+		Addr:        cfg.Addr,
+		MetricsAddr: cfg.MetricsAddr,
+		Stack:       cfg.Stack,
+		Env:         cfg.Env,
+		Backend:     cfg.Backend,
+		DataDir:     cfg.DataDir,
+		Processors:  cfg.Processors,
+		Limits:      cfg.Limits,
+		TenantOf:    tenantOf,
+		QoSLog:      cfg.QoSLog,
 	})
 	if err != nil {
 		return nil, err
@@ -86,15 +117,38 @@ func ListenAndServe(cfg ServerConfig) (*Server, error) {
 // listener).
 func (s *Server) Addr() string { return s.inner.Addr() }
 
+// MetricsAddr returns the bound /metrics listen address ("" when
+// ServerConfig.MetricsAddr was empty).
+func (s *Server) MetricsAddr() string { return s.inner.MetricsAddr() }
+
+// Env returns the server's environment — the one passed in
+// ServerConfig.Env, or the server-built one for a nil config Env.
+func (s *Server) Env() *ServerEnv { return s.inner.Env() }
+
 // ServeConn admits an in-memory transport connection (e.g. one end of a
-// Pipe) as a control session.
+// Pipe) as a control session under the default tenant (or the
+// ServerConfig.TenantOf classification when set).
 func (s *Server) ServeConn(conn Conn) error { return s.inner.ServeConn(conn) }
 
+// ServeConnFor admits an in-memory transport connection as a control
+// session belonging to tenant ("" = default class).
+func (s *Server) ServeConnFor(conn Conn, tenant string) error {
+	return s.inner.ServeConnFor(conn, tenant)
+}
+
+// Observe snapshots every observability counter the server keeps — the
+// same data /metrics serves — in one coherent read.
+func (s *Server) Observe() Observation { return s.inner.Observe() }
+
 // Stats snapshots the connection-manager counters.
-func (s *Server) Stats() SessionStats { return s.inner.Stats() }
+//
+// Deprecated: use Observe().Sessions.
+func (s *Server) Stats() SessionStats { return s.inner.Observe().Sessions }
 
 // StreamStats snapshots the server-wide data-plane counters.
-func (s *Server) StreamStats() StreamTotals { return s.inner.StreamStats() }
+//
+// Deprecated: use Observe().Streams.
+func (s *Server) StreamStats() StreamTotals { return s.inner.Observe().Streams }
 
 // Drain stops admitting new sessions, waits up to timeout for active ones
 // to complete, then force-closes the remainder and shuts down.

@@ -165,25 +165,6 @@ func SynthMovie(name string, frames, frameRate int) *Movie {
 	})
 }
 
-// Synthesize builds the same movie as SynthMovie with every frame
-// materialized up front.
-//
-// Deprecated: use SynthMovie. Materializing is only worth the memory when
-// test code wants to index Movie.Frames directly.
-func Synthesize(name string, frames, frameRate int) *Movie {
-	return moviedb.Synthesize(moviedb.SynthConfig{
-		Name: name, Frames: frames, FrameRate: frameRate, Format: moviedb.FormatMJPEG,
-	})
-}
-
-// SynthesizeLazy builds the same deterministic movie as SynthMovie.
-//
-// Deprecated: SynthMovie is the same function under the name the facade
-// settled on once lazy synthesis became the only recommended form.
-func SynthesizeLazy(name string, frames, frameRate int) *Movie {
-	return SynthMovie(name, frames, frameRate)
-}
-
 // NewSimNet returns an in-process simulated stream network for Play
 // targets. Production deployments use UDP addresses and UDPDialer instead.
 func NewSimNet() *SimNet { return mcam.NewSimNet() }

@@ -16,7 +16,7 @@ func newFacadeServer(t *testing.T, stack xmovie.StackKind) (*xmovie.Server, *xmo
 	t.Helper()
 	store := xmovie.NewMemStore()
 	for _, name := range []string{"casablanca", "metropolis"} {
-		if err := store.Create(xmovie.Synthesize(name, 50, 25)); err != nil {
+		if err := store.Create(xmovie.SynthMovie(name, 50, 25)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -233,7 +233,7 @@ func TestFacadeLazyStreamingTotals(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		tot := srv.StreamStats()
+		tot := srv.Observe().Streams
 		if tot.Streams == 1 && tot.Frames > 0 {
 			break
 		}
