@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build test test-short verify fmt-check vet generate generate-check \
 	metrics-guard bench-smoke bench-guard bench-trajectory load-smoke \
-	load-stream load-disk load-broadcast load-chaos load-qos ci
+	load-stream load-disk load-broadcast load-chaos load-qos load-scale ci
 
 build:
 	$(GO) build ./...
@@ -59,11 +59,12 @@ bench-smoke:
 
 # Hot-path guard: allocation-regression tests (pooled runtime cycle,
 # append-path codecs, MTP stream paths — including the FrameSource send
-# path — and the disk store's cached read path) + append-vs-schema
-# byte-identity proofs and the cold/cached disk-read benchmark, then the
-# mcambench -json smoke emitting BENCH_*.json into bench-out/.
+# path and the zero-copy batched send path with its syscall-count bound —
+# and the disk store's cached read path) + append-vs-schema byte-identity
+# proofs and the cold/cached disk-read benchmark, then the mcambench
+# -json smoke emitting BENCH_*.json into bench-out/.
 bench-guard:
-	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestLiveTailSendAllocs|TestDiskCachedReadAllocs|TestAppendMatchesSchemaEncoder' \
+	$(GO) test -run='TestSendSelectFireAllocs|TestPDUEncodeAllocs|TestPPDUEncodeAllocs|TestStreamPathAllocs|TestFrameSourceSendAllocs|TestLiveTailSendAllocs|TestBatchedSendAllocs|TestBatchedSendSyscalls|TestDiskCachedReadAllocs|TestAppendMatchesSchemaEncoder' \
 		./internal/estelle ./internal/mcam ./internal/presentation ./internal/mtp ./internal/moviedb
 	$(GO) test -run='^$$' -bench='BenchmarkDiskStream' -benchtime=10x -benchmem ./internal/moviedb
 	mkdir -p bench-out
@@ -154,7 +155,21 @@ load-qos:
 	$(GO) run ./cmd/mcamload -scenarios qos -stacks generated,handcoded -maxtime 90s \
 		-json -out mcamload_qos -outdir bench-out
 
+# Scale load: the conn-multiplexing client mode — a tier ladder of logical
+# sessions (1k/5k/10k by default) multiplexed over 64 pooled control
+# connections, asserting a 250ms p99 SLO and a 4KB marginal-memory-per-
+# session ceiling at every tier; the sessions-vs-latency curve lands in
+# BENCH_mcamload_scale.json. MCAMLOAD_SCALE_FULL=1 raises the ladder to
+# 10k/50k/100k (the full tier; a few seconds per stack, so it stays out
+# of the default CI path). The zero-copy batch-send regression tests run
+# under the race detector first.
+load-scale:
+	$(GO) test -race -run 'TestBatchedSendSyscalls|TestSendVecConsumesBeforeReturn' ./internal/mtp
+	mkdir -p bench-out
+	$(GO) run ./cmd/mcamload -scenarios scale -stacks generated,handcoded -maxtime 120s \
+		-json -out mcamload_scale -outdir bench-out
+
 # Everything CI checks, locally.
 ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
 	bench-trajectory load-smoke load-stream load-disk load-broadcast load-chaos \
-	load-qos
+	load-qos load-scale

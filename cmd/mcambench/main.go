@@ -1,7 +1,9 @@
 // Command mcambench regenerates the paper's tables, figures and measured
 // results and prints them in paper-style form. Without arguments it runs
 // everything; with arguments it runs the named experiments (t1, f1, f2,
-// f3, e1..e8) and/or the hot-path micro-benchmarks (hot).
+// f3, e1..e8) and/or the hot-path micro-benchmarks (hot: the runtime
+// send→select→fire cycle, the append-path PDU codecs, and the MTP stream
+// paths including the zero-copy batched send).
 //
 // With -json, every result is additionally written as a machine-readable
 // BENCH_<name>.json file (into -outdir), so CI can archive the performance

@@ -43,7 +43,7 @@ func main() {
 		concurrent = flag.Int("concurrent", 64, "maximum sessions in flight at once")
 		stacks     = flag.String("stacks", "generated,handcoded", "comma list: generated,handcoded")
 		transports = flag.String("transports", "pipe", "comma list: pipe,tcp")
-		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed,broadcast,chaos,qos")
+		scenarios  = flag.String("scenarios", "mixed", "comma list cycled over sessions: browse,order,play,stream,disk,mixed,broadcast,chaos,qos,scale")
 		movies     = flag.Int("movies", 32, "seeded catalogue size")
 		frames     = flag.Int("frames", 250, "frames per seeded movie")
 		fps        = flag.Int("fps", 25, "seeded movies' frame rate (pacing of every play)")
@@ -127,7 +127,7 @@ func main() {
 	}
 	for _, sc := range strings.Split(*scenarios, ",") {
 		switch sc = strings.TrimSpace(sc); sc {
-		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed, scenarioBroadcast, scenarioChaos, scenarioQoS:
+		case scenarioBrowse, scenarioOrder, scenarioPlay, scenarioStream, scenarioDisk, scenarioMixed, scenarioBroadcast, scenarioChaos, scenarioQoS, scenarioScale:
 			cfg.Scenarios = append(cfg.Scenarios, sc)
 		case "":
 		default:
@@ -140,6 +140,24 @@ func main() {
 		os.Exit(2)
 	}
 	for _, sc := range cfg.Scenarios {
+		if sc == scenarioScale {
+			if len(cfg.Scenarios) != 1 {
+				fmt.Fprintln(os.Stderr, "mcamload: the scale scenario must be the sole scenario in the mix")
+				os.Exit(2)
+			}
+			// The full 100k ladder is opt-in: without MCAMLOAD_SCALE_FULL=1
+			// an unset -sessions stays at the CI-sized 10k top tier.
+			if !set["sessions"] {
+				if scaleFull() {
+					cfg.Sessions = 100000
+				} else {
+					cfg.Sessions = 10000
+				}
+			}
+			if !set["concurrent"] {
+				cfg.Concurrent = 64
+			}
+		}
 		if sc == scenarioChaos && len(cfg.Scenarios) != 1 {
 			fmt.Fprintln(os.Stderr, "mcamload: the chaos scenario must be the sole scenario in the mix")
 			os.Exit(2)

@@ -67,6 +67,9 @@ type comboResult struct {
 	chaos *chaosAgg
 	// qos is the multi-tenant QoS outcome (nil outside the qos scenario).
 	qos *qosAgg
+	// scale is the conn-multiplexing tier ladder (nil outside the scale
+	// scenario).
+	scale *scaleAgg
 
 	wall time.Duration
 	peak int64
@@ -313,6 +316,15 @@ func (r *Report) notes() []string {
 			notes = append(notes, fmt.Sprintf(
 				"%s qos-metrics families=%d scrape-ok=%v",
 				c.name(), q.metricFamilies, q.scrapeOK))
+		}
+		if sc := c.scale; sc != nil {
+			for _, t := range sc.tiers {
+				notes = append(notes, fmt.Sprintf(
+					"%s scale    sessions=%-7d conns=%-4d ops=%-7d ops/s=%-8.0f p50=%sµs p95=%sµs p99=%sµs mem/session=%dB slo=%v",
+					c.name(), t.sessions, t.conns, t.ops, t.opsPerSec(),
+					micros(t.p50), micros(t.p95), micros(t.p99),
+					t.bytesPerSess, t.sloOK))
+			}
 		}
 		if c.serverStreams.Streams > 0 {
 			notes = append(notes, fmt.Sprintf(

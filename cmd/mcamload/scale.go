@@ -1,0 +1,271 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmovie/internal/core"
+	"xmovie/internal/mcam"
+)
+
+// The scale scenario is the conn-multiplexing client mode: instead of one
+// control connection (and its goroutines) per session, a small pool of
+// pooled connections carries the traffic of tens of thousands of logical
+// sessions. Each logical session is a few dozen bytes of harness state; a
+// fixed worker pool drains the session set through the pooled conns, so
+// the harness models ~100k sessions without ~100k goroutines or sockets —
+// the only way a single process can drive the population the zero-copy
+// delivery path is sized for.
+//
+// Each tier asserts two SLOs: the p99 control-op latency must stay under
+// scaleP99SLO, and the harness-side memory per logical session (heap delta
+// across session + conn-pool setup, divided by the tier's session count)
+// must stay under scaleSessionBytes. Tiers ladder up to -sessions; the
+// default `make load-scale` run tops out at 10k and the full 100k tier is
+// enabled with MCAMLOAD_SCALE_FULL=1.
+
+const (
+	// scaleOpsPerSession is how many control calls each logical session
+	// performs (stateless queries, so pooled conns can interleave sessions
+	// without per-conn selection state).
+	scaleOpsPerSession = 2
+	// scaleP99SLO bounds the per-op p99 latency. Control ops over the
+	// in-process pipe run in microseconds; the bound is generous enough
+	// for loaded CI machines while still catching a pacing or contention
+	// collapse.
+	scaleP99SLO = 250 * time.Millisecond
+	// scaleSessionBytes bounds the harness-side marginal memory per
+	// logical session (session struct + latency samples; the fixed conn
+	// pool is excluded — it not growing with sessions is the point of
+	// multiplexing). A goroutine-per-session design blows through this by
+	// two orders of magnitude (8KB+ of stack each).
+	scaleSessionBytes = 4096
+	// scaleFullEnv enables the full tier ladder (up to -sessions even when
+	// that is 100k); without it `make load-scale` stays CI-sized.
+	scaleFullEnv = "MCAMLOAD_SCALE_FULL"
+)
+
+// scaleTierResult is one measured tier of the ladder.
+type scaleTierResult struct {
+	sessions      int
+	conns         int
+	ops           int
+	wall          time.Duration
+	p50, p95, p99 time.Duration
+	bytesPerSess  uint64
+	sloOK         bool
+}
+
+func (t scaleTierResult) opsPerSec() float64 {
+	if t.wall <= 0 {
+		return 0
+	}
+	return float64(t.ops) / t.wall.Seconds()
+}
+
+// scaleAgg collects the tier ladder for the report.
+type scaleAgg struct {
+	tiers []scaleTierResult
+}
+
+// scaleTiers is the session-count ladder: a tenth, half, and all of max,
+// deduplicated — so `-sessions 100000` measures 10k/50k/100k and the
+// sessions-vs-latency curve lands in one run's report.
+func scaleTiers(max int) []int {
+	var tiers []int
+	for _, n := range []int{max / 10, max / 2, max} {
+		if n < 1 {
+			continue
+		}
+		if len(tiers) > 0 && tiers[len(tiers)-1] == n {
+			continue
+		}
+		tiers = append(tiers, n)
+	}
+	return tiers
+}
+
+// runScaleCombo drives the tier ladder against one fresh server. Validated
+// at startup to be the sole scenario in the mix.
+func runScaleCombo(cfg loadConfig, stack core.StackKind, tr string) *comboResult {
+	res := newComboResult(stack.String(), tr)
+	cenv, err := seedEnv(cfg)
+	if err != nil {
+		res.fail(fmt.Sprintf("seed: %v", err))
+		return res
+	}
+	defer cenv.cleanup()
+	defer cenv.sim.Close()
+	addr := ""
+	if tr == "tcp" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := core.NewServer(core.ServerConfig{Addr: addr, Stack: stack, Env: cenv.env})
+	if err != nil {
+		res.fail(fmt.Sprintf("server: %v", err))
+		return res
+	}
+	defer srv.Close()
+
+	agg := &scaleAgg{}
+	res.scale = agg
+	start := time.Now()
+	for _, tier := range scaleTiers(cfg.Sessions) {
+		tres, lat, err := runScaleTier(cfg, srv, stack, res.transport, tier)
+		if err != nil {
+			res.addErr(fmt.Sprintf("scale tier %d: %v", tier, err))
+			break
+		}
+		agg.tiers = append(agg.tiers, tres)
+		if !tres.sloOK {
+			res.addErr(fmt.Sprintf("scale tier %d: SLO violated: p99=%v (bound %v), mem/session=%dB (bound %dB)",
+				tier, tres.p99, scaleP99SLO, tres.bytesPerSess, scaleSessionBytes))
+		}
+		res.mu.Lock()
+		res.completed += tier
+		res.ops["query"] = append(res.ops["query"], lat...)
+		res.mu.Unlock()
+	}
+	res.wall = time.Since(start)
+	res.peak = srv.Observe().Sessions.Peak
+	res.serverStreams = cenv.env.StreamTotals.Snapshot()
+	return res
+}
+
+// scaleSession is one logical session's entire harness footprint. Keeping
+// it to a few machine words is what the per-session memory SLO pins.
+type scaleSession struct {
+	movie uint32 // catalogue index the session queries
+	ops   uint32 // completed control calls
+}
+
+// runScaleTier runs one tier: build the session set and the conn pool,
+// measure the heap cost per session, then drain every session's ops
+// through the pool with one worker goroutine per pooled conn.
+func runScaleTier(cfg loadConfig, srv *core.Server, stack core.StackKind, transport string, tier int) (scaleTierResult, []time.Duration, error) {
+	nconns := cfg.Concurrent
+	if nconns > tier {
+		nconns = tier
+	}
+	if nconns < 1 {
+		nconns = 1
+	}
+
+	conns := make([]*core.Client, nconns)
+	for i := range conns {
+		c, err := dial(srv, stack, transport)
+		if err != nil {
+			for _, cc := range conns[:i] {
+				cc.Close()
+			}
+			return scaleTierResult{}, nil, fmt.Errorf("dial pooled conn %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Marginal heap cost per logical session: what the tier holds alive
+	// per session — the session structs and the latency sample store —
+	// measured after the conn pool exists, since the pool is a fixed cost
+	// shared by every tier (that fixed cost staying fixed IS the point of
+	// multiplexing: sessions must not each bring a conn or goroutine).
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sessions := make([]scaleSession, tier)
+	for i := range sessions {
+		sessions[i].movie = uint32(i % cfg.Movies)
+	}
+	lat := make([]time.Duration, tier*scaleOpsPerSession)
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	var perSession uint64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		perSession = (m1.HeapAlloc - m0.HeapAlloc) / uint64(tier)
+	}
+
+	// Drain: workers own one pooled conn each and claim sessions off a
+	// shared cursor; every logical session's ops run back to back on
+	// whichever conn picked it up.
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		errMu   sync.Mutex
+		runErr  error
+	)
+	fail := func(e error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = e
+		}
+		errMu.Unlock()
+		stopped.Store(true)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nconns; w++ {
+		wg.Add(1)
+		go func(client *core.Client) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tier || stopped.Load() {
+					return
+				}
+				s := &sessions[i]
+				movie := fmt.Sprintf("cat-%03d", s.movie)
+				for k := 0; k < scaleOpsPerSession; k++ {
+					t0 := time.Now()
+					resp, err := client.Call(&mcam.Request{Op: mcam.OpQueryAttributes, Movie: movie})
+					if err != nil {
+						fail(fmt.Errorf("session %d query: %w", i, err))
+						return
+					}
+					if !resp.OK() {
+						fail(fmt.Errorf("session %d query: %s (%s)", i, resp.Status, resp.Diagnostic))
+						return
+					}
+					lat[i*scaleOpsPerSession+k] = time.Since(t0)
+					s.ops++
+				}
+			}
+		}(conns[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if runErr != nil {
+		return scaleTierResult{}, nil, runErr
+	}
+	for i := range sessions {
+		if sessions[i].ops != scaleOpsPerSession {
+			return scaleTierResult{}, nil, fmt.Errorf("session %d completed %d/%d ops", i, sessions[i].ops, scaleOpsPerSession)
+		}
+	}
+
+	tr := scaleTierResult{
+		sessions:     tier,
+		conns:        nconns,
+		ops:          len(lat),
+		wall:         wall,
+		p50:          percentile(lat, 50),
+		p95:          percentile(lat, 95),
+		p99:          percentile(lat, 99),
+		bytesPerSess: perSession,
+	}
+	tr.sloOK = tr.p99 <= scaleP99SLO && tr.bytesPerSess <= scaleSessionBytes
+	return tr, lat, nil
+}
+
+// scaleFull reports whether the full tier ladder is enabled.
+func scaleFull() bool {
+	return os.Getenv(scaleFullEnv) == "1"
+}

@@ -51,6 +51,11 @@ const (
 	// kill/restart with one resumed, byte-identical stream) with asserted
 	// recovery shapes. Sole scenario in the mix; see chaos.go.
 	scenarioChaos = "chaos"
+	// scenarioScale is the conn-multiplexing client mode: a tier ladder of
+	// logical sessions (up to -sessions) multiplexed over -concurrent
+	// pooled control connections, with p99 latency and per-session memory
+	// SLOs asserted at every tier. Sole scenario in the mix; see scale.go.
+	scenarioScale = "scale"
 )
 
 // streamFrameSize is the seeded catalogue's frame payload size in bytes.
@@ -269,6 +274,12 @@ func runCombo(cfg loadConfig, stack core.StackKind, tr string, deadline time.Tim
 		// QoS replaces the loop with its admission/isolation/metrics
 		// phases (likewise validated to be the sole scenario).
 		return runQoSCombo(cfg, stack, tr)
+	}
+	if cfg.Scenarios[0] == scenarioScale {
+		// Scale replaces the goroutine-per-session loop with the
+		// conn-multiplexing tier ladder (likewise validated to be the
+		// sole scenario).
+		return runScaleCombo(cfg, stack, tr)
 	}
 	res := newComboResult(stack.String(), tr)
 	cenv, err := seedEnv(cfg)

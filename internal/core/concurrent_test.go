@@ -69,12 +69,12 @@ func TestConcurrentSessions(t *testing.T) {
 					t.Errorf("client %d: %v", i, err)
 				}
 			}
-			st := srv.Stats()
+			st := srv.Observe().Sessions
 			if st.Accepted != clients || st.Rejected != 0 {
 				t.Errorf("stats = %+v, want %d accepted / 0 rejected", st, clients)
 			}
 			// Every session's teardown completes once the clients are gone.
-			waitFor(t, 10*time.Second, func() bool { return srv.Stats().Active == 0 })
+			waitFor(t, 10*time.Second, func() bool { return srv.Observe().Sessions.Active == 0 })
 		})
 	}
 }
@@ -198,13 +198,13 @@ func TestAdmissionBound(t *testing.T) {
 	if err := srv.ServeConn(extraSrv); !errors.Is(err, ErrServerFull) {
 		t.Fatalf("5th session = %v, want ErrServerFull", err)
 	}
-	st := srv.Stats()
+	st := srv.Observe().Sessions
 	if st.Accepted != 4 || st.Rejected != 1 || st.Active != 4 || st.Peak != 4 {
 		t.Errorf("stats = %+v", st)
 	}
 	// Freeing one slot re-opens admission.
 	conns[0].Close()
-	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Active < 4 })
+	waitFor(t, 5*time.Second, func() bool { return srv.Observe().Sessions.Active < 4 })
 	cli, srvEnd := transport.Pipe(0)
 	if err := srv.ServeConn(srvEnd); err != nil {
 		t.Fatalf("after free: %v", err)
@@ -256,7 +256,7 @@ func TestDrainWaitsForSessions(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("drain did not complete after last session closed")
 	}
-	st := srv.Stats()
+	st := srv.Observe().Sessions
 	if st.Completed < 1 || st.Active != 0 {
 		t.Errorf("stats after drain = %+v", st)
 	}
@@ -292,8 +292,8 @@ func TestSequentialSessionsReclaimResources(t *testing.T) {
 			t.Fatalf("round %d: close: %v", i, err)
 		}
 	}
-	waitFor(t, 10*time.Second, func() bool { return srv.Stats().Active == 0 })
-	if st := srv.Stats(); st.Completed != rounds {
+	waitFor(t, 10*time.Second, func() bool { return srv.Observe().Sessions.Active == 0 })
+	if st := srv.Observe().Sessions; st.Completed != rounds {
 		t.Errorf("completed = %d, want %d", st.Completed, rounds)
 	}
 	// All per-connection entities are gone from the runtime.

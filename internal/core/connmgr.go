@@ -318,9 +318,11 @@ func (s *Server) Addr() string {
 // statistics.
 func (s *Server) Runtime() *estelle.Runtime { return s.rt }
 
-// Stats snapshots the connection-manager counters. Observe returns them
-// together with the stream, cache and per-tenant counters.
-func (s *Server) Stats() SessionStats {
+// sessionStats snapshots the connection-manager counters; Observe exposes
+// them (Observation.Sessions) together with the stream, cache, delivery
+// and per-tenant counters. (The exported Stats/StreamStats wrappers were
+// deprecated for one release and are gone.)
+func (s *Server) sessionStats() SessionStats {
 	s.mu.Lock()
 	active := int64(len(s.sessions))
 	peak := s.peak
@@ -333,13 +335,6 @@ func (s *Server) Stats() SessionStats {
 		Peak:      peak,
 		Busy:      s.busy.Load(),
 	}
-}
-
-// StreamStats snapshots the server's aggregated data-plane counters:
-// frames sent, dropped by adaptive delivery, late sends, bytes and
-// feedback reports across every session's Stream Provider Agent.
-func (s *Server) StreamStats() spa.Totals {
-	return s.cfg.Env.StreamTotals.Snapshot()
 }
 
 func (s *Server) acceptLoop() {

@@ -4,9 +4,11 @@ import (
 	"sort"
 
 	"xmovie/internal/moviedb"
+	"xmovie/internal/mtp"
 	"xmovie/internal/obsv"
 	"xmovie/internal/qos"
 	"xmovie/internal/spa"
+	"xmovie/internal/timewheel"
 )
 
 // Observation is the server's unified observability snapshot: everything
@@ -27,14 +29,24 @@ type Observation struct {
 	// Tenants is the per-tenant QoS accounting, keyed by tenant name.
 	// Configured tenants appear even before their first connection.
 	Tenants map[string]qos.TenantStats
+	// Delivery counts the zero-copy send path's activity (vectored sends,
+	// coalesced batches, bytes moved without a user-space copy). The
+	// counters are process-wide — MTP keeps them per process, not per
+	// server — so two servers in one process observe a shared view.
+	Delivery mtp.DeliveryStats
+	// TimerWheel counts the shared pacing wheel's activity (ticks, timers
+	// armed/fired/canceled). Process-wide like Delivery.
+	TimerWheel timewheel.Stats
 }
 
 // Observe snapshots the server's counters across every subsystem.
 func (s *Server) Observe() Observation {
 	o := Observation{
-		Sessions: s.Stats(),
-		Streams:  s.cfg.Env.StreamTotals.Snapshot(),
-		Tenants:  s.ctl.Snapshot(),
+		Sessions:   s.sessionStats(),
+		Streams:    s.cfg.Env.StreamTotals.Snapshot(),
+		Tenants:    s.ctl.Snapshot(),
+		Delivery:   mtp.Delivery(),
+		TimerWheel: timewheel.Default().Stats(),
 	}
 	if s.cache != nil {
 		o.Cache = s.cache.Stats()
@@ -89,6 +101,19 @@ var (
 		{"xmovie_cache_resident_bytes", "Chunk cache resident bytes.", obsv.Gauge},
 		{"xmovie_cache_capacity_bytes", "Chunk cache capacity bound in bytes.", obsv.Gauge},
 	}
+	deliveryMetrics = []metricDef{
+		{"xmovie_delivery_vec_sends_total", "Packets delivered through the zero-copy vectored send path.", obsv.Counter},
+		{"xmovie_delivery_copy_sends_total", "Packets that fell back to the marshal-and-copy send path.", obsv.Counter},
+		{"xmovie_delivery_batches_total", "Coalesced frame batches written by stream senders.", obsv.Counter},
+		{"xmovie_delivery_batch_frames_total", "Frames carried by coalesced batches.", obsv.Counter},
+		{"xmovie_delivery_vec_bytes_total", "Payload bytes handed to conns without a user-space copy.", obsv.Counter},
+	}
+	timewheelMetrics = []metricDef{
+		{"xmovie_timewheel_ticks_total", "Slots the shared pacing timer wheel has advanced.", obsv.Counter},
+		{"xmovie_timewheel_timers_armed_total", "Timers armed on the shared wheel.", obsv.Counter},
+		{"xmovie_timewheel_timers_fired_total", "Wheel timers that fired at their deadline.", obsv.Counter},
+		{"xmovie_timewheel_timers_canceled_total", "Wheel timers canceled before firing.", obsv.Counter},
+	}
 	tenantMetrics = []metricDef{
 		{"xmovie_tenant_sessions_active", "Tenant's currently admitted sessions.", obsv.Gauge},
 		{"xmovie_tenant_sessions_peak", "High-water mark of the tenant's active sessions.", obsv.Gauge},
@@ -108,7 +133,7 @@ var (
 // surface the drift-guard golden file pins.
 func MetricNames() []string {
 	var names []string
-	for _, group := range [][]metricDef{sessionMetrics, streamMetrics, cacheMetrics, tenantMetrics} {
+	for _, group := range [][]metricDef{sessionMetrics, streamMetrics, cacheMetrics, deliveryMetrics, timewheelMetrics, tenantMetrics} {
 		for _, d := range group {
 			names = append(names, d.name)
 		}
@@ -143,6 +168,17 @@ func (s *Server) collectMetrics(emit func(obsv.Metric)) {
 	plain(cacheMetrics[2], float64(o.Cache.Evictions))
 	plain(cacheMetrics[3], float64(o.Cache.Bytes))
 	plain(cacheMetrics[4], float64(o.Cache.CapBytes))
+
+	plain(deliveryMetrics[0], float64(o.Delivery.VecSends))
+	plain(deliveryMetrics[1], float64(o.Delivery.CopySends))
+	plain(deliveryMetrics[2], float64(o.Delivery.Batches))
+	plain(deliveryMetrics[3], float64(o.Delivery.BatchFrames))
+	plain(deliveryMetrics[4], float64(o.Delivery.VecBytes))
+
+	plain(timewheelMetrics[0], float64(o.TimerWheel.Ticks))
+	plain(timewheelMetrics[1], float64(o.TimerWheel.Armed))
+	plain(timewheelMetrics[2], float64(o.TimerWheel.Fired))
+	plain(timewheelMetrics[3], float64(o.TimerWheel.Canceled))
 
 	tenant := func(d metricDef, name string, v float64, extra ...obsv.Label) {
 		labels := append([]obsv.Label{{Key: "tenant", Value: name}}, extra...)

@@ -29,7 +29,7 @@ func TestServerAggregatesStreamTotals(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if got := srv.StreamStats(); got.Streams != 0 {
+	if got := srv.Observe().Streams; got.Streams != 0 {
 		t.Fatalf("fresh server totals %+v", got)
 	}
 
@@ -67,7 +67,7 @@ func TestServerAggregatesStreamTotals(t *testing.T) {
 	// The totals land when the stream goroutine unwinds; poll briefly.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		tot := srv.StreamStats()
+		tot := srv.Observe().Streams
 		if tot.Streams == 1 && tot.Frames == 200 && tot.Bytes == 200*128 {
 			break
 		}

@@ -16,6 +16,7 @@ import (
 
 	"xmovie/internal/estelle"
 	"xmovie/internal/mcam"
+	"xmovie/internal/moviedb"
 	"xmovie/internal/mtp"
 )
 
@@ -174,6 +175,33 @@ func benchMTPSend(b *testing.B) {
 	}
 }
 
+// hotBatchSink discards packets through every zero-copy entry point.
+type hotBatchSink struct{}
+
+func (hotBatchSink) Send([]byte) error                    { return nil }
+func (hotBatchSink) Recv() ([]byte, error)                { return nil, fmt.Errorf("sink") }
+func (hotBatchSink) SendVec(hdr, p []byte) error          { return nil }
+func (hotBatchSink) SendBatch(pkts []mtp.PacketVec) error { return nil }
+
+func benchMTPSendVec(b *testing.B) {
+	frames := make([][]byte, hotFrames)
+	for i := range frames {
+		frames[i] = make([]byte, hotFrameSize)
+	}
+	src := moviedb.SliceContent(frames).Open()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.SeekTo(0); err != nil {
+			b.Fatal(err)
+		}
+		st, err := mtp.NewStreamSender(hotBatchSink{}, mtp.StreamConfig{StreamID: 1}).Run(src)
+		if err != nil || st.Sent != hotFrames {
+			b.Fatalf("sent %d, err %v", st.Sent, err)
+		}
+	}
+}
+
 func benchMTPRecv(b *testing.B) {
 	pkts := make([][]byte, 0, hotFrames+1)
 	for i := 0; i < hotFrames; i++ {
@@ -216,6 +244,7 @@ func HotPaths() []HotPathResult {
 		hotResult("pduencode", 0, testing.Benchmark(benchPDUEncode)),
 		hotResult("pdudecode", 64, testing.Benchmark(benchPDUDecode)),
 		hotResult("mtpsend", 1, testing.Benchmark(benchMTPSend)),
+		hotResult("mtpsendvec", 8, testing.Benchmark(benchMTPSendVec)),
 		hotResult("mtprecv", 2, testing.Benchmark(benchMTPRecv)),
 	}
 }

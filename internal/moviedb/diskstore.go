@@ -885,6 +885,7 @@ type diskSource struct {
 	maxChunk   int
 	closed     bool
 	tc         tailCursor
+	batch      [][]byte // reused NextBatch result
 }
 
 var (
@@ -944,6 +945,32 @@ func (s *diskSource) Next() ([]byte, error) {
 	payload := s.chunk[start(s.ends, s.pos)+frameHeaderLen-s.chunkStart : s.ends[s.pos]-s.chunkStart]
 	s.pos++
 	return payload, nil
+}
+
+// NextBatch implements mtp.BatchSource: it serves up to max further frames
+// from the RESIDENT chunk only — the warm-stream fast path — never loading
+// a chunk, touching the cache, or waiting at the live edge (those paths
+// fall back to Next). Each returned slice aliases the immutable cache
+// chunk, so the whole batch stays valid until the next Next/NextBatch/
+// SeekTo/Close moves the cursor; the batch slice itself is reused across
+// calls.
+func (s *diskSource) NextBatch(max int) [][]byte {
+	if s.closed || s.pos < s.lo || s.pos >= s.hi || s.pos >= int64(len(s.ends)) {
+		return nil
+	}
+	hi := s.pos + int64(max)
+	if hi > s.hi {
+		hi = s.hi
+	}
+	if n := int64(len(s.ends)); hi > n {
+		hi = n
+	}
+	s.batch = s.batch[:0]
+	for ; s.pos < hi; s.pos++ {
+		s.batch = append(s.batch,
+			s.chunk[start(s.ends, s.pos)+frameHeaderLen-s.chunkStart:s.ends[s.pos]-s.chunkStart])
+	}
+	return s.batch
 }
 
 // load brings chunk ci into the source, through the cache.

@@ -399,6 +399,7 @@ type memSource struct {
 	pos     int64
 	closed  bool
 	tc      tailCursor
+	batch   [][]byte // reused NextBatch result
 }
 
 func (s *memSource) Len() int64 {
@@ -439,6 +440,47 @@ func (s *memSource) Next() ([]byte, error) {
 			return nil, io.EOF
 		}
 	}
+}
+
+// NextBatch implements mtp.BatchSource: base-content frames forward to the
+// base cursor's own batching; already-appended frames are immutable and
+// resident, so they batch directly. Returns nothing at the live edge (Next
+// handles waiting there).
+func (s *memSource) NextBatch(max int) [][]byte {
+	if s.closed || max <= 0 {
+		return nil
+	}
+	if s.pos < s.baseLen {
+		b, ok := s.base.(interface{ NextBatch(int) [][]byte })
+		if !ok {
+			return nil
+		}
+		if left := s.baseLen - s.pos; int64(max) > left {
+			max = int(left)
+		}
+		if s.base.Pos() != s.pos {
+			if err := s.base.SeekTo(s.pos); err != nil {
+				return nil
+			}
+		}
+		out := b.NextBatch(max)
+		s.pos += int64(len(out))
+		return out
+	}
+	s.mm.mu.Lock()
+	i := s.pos - s.baseLen
+	n := int64(len(s.mm.frames)) - i
+	if n > int64(max) {
+		n = int64(max)
+	}
+	if n <= 0 {
+		s.mm.mu.Unlock()
+		return nil
+	}
+	s.batch = append(s.batch[:0], s.mm.frames[i:i+n]...)
+	s.mm.mu.Unlock()
+	s.pos += n
+	return s.batch
 }
 
 func (s *memSource) SeekTo(pos int64) error {

@@ -39,7 +39,12 @@ type FrameSource interface {
 	// The returned slice is only valid until the next Next, Seek or Close
 	// call on the same source — sources recycle their chunk buffers, so a
 	// consumer that keeps frame data must copy it. (This is the same
-	// lifetime contract the MTP layer imposes end to end.)
+	// lifetime contract the MTP layer imposes end to end: a conn's SendVec
+	// must consume the payload before returning, so a frame can travel
+	// from the chunk cache to the kernel without ever being re-copied in
+	// user space. Store-backed sources return slices pointing straight
+	// into the immutable cache chunk or live-window ring frame; neither
+	// the source, the sender, nor the conn may write into them.)
 	Next() ([]byte, error)
 	// Seek repositions the source so the next Next returns frame pos.
 	// pos == Len() is valid; the next Next returns io.EOF — or, on a live
@@ -91,6 +96,7 @@ func (c SliceContent) Open() FrameSource { return &sliceSource{frames: c} }
 type sliceSource struct {
 	frames [][]byte
 	pos    int64
+	batch  [][]byte // reused NextBatch result
 }
 
 func (s *sliceSource) Len() int64 { return int64(len(s.frames)) }
@@ -103,6 +109,22 @@ func (s *sliceSource) Next() ([]byte, error) {
 	f := s.frames[s.pos]
 	s.pos++
 	return f, nil
+}
+
+// NextBatch implements mtp.BatchSource: stored frames are all resident, so
+// up to max of them are handed out at once for a single batched write. The
+// batch slice is reused across calls.
+func (s *sliceSource) NextBatch(max int) [][]byte {
+	n := int64(len(s.frames)) - s.pos
+	if int64(max) < n {
+		n = int64(max)
+	}
+	if n <= 0 {
+		return nil
+	}
+	s.batch = append(s.batch[:0], s.frames[s.pos:s.pos+n]...)
+	s.pos += n
+	return s.batch
 }
 
 func (s *sliceSource) SeekTo(pos int64) error {

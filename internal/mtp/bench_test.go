@@ -1,6 +1,11 @@
 package mtp
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"xmovie/internal/moviedb"
+)
 
 // sinkConn discards every packet: the null transmit path.
 type sinkConn struct{}
@@ -83,6 +88,46 @@ func BenchmarkMTPStream(b *testing.B) {
 			}
 		}
 	})
+}
+
+// nullVecConn discards packets through every delivery entry point: the
+// null zero-copy transmit path.
+type nullVecConn struct{}
+
+func (nullVecConn) Send([]byte) error                { return nil }
+func (nullVecConn) Recv() ([]byte, error)            { panic("nullVecConn.Recv") }
+func (nullVecConn) SendVec(hdr, p []byte) error      { return nil }
+func (nullVecConn) SendBatch(pkts []PacketVec) error { return nil }
+
+// BenchmarkFanOut measures warm-stream fan-out: one resident frame set
+// delivered to V viewers per iteration, on the legacy marshal-and-copy
+// path (a conn with only Send) versus the zero-copy coalesced path (a
+// batch-capable conn). The delta is the per-frame copy plus the per-frame
+// call overhead the batching amortizes; on a real UDP socket the batch
+// side additionally collapses V*frames syscalls into V*frames/32.
+func BenchmarkFanOut(b *testing.B) {
+	frames := benchFrameSet()
+	run := func(b *testing.B, conn PacketConn, viewers int) {
+		src := moviedb.SliceContent(frames).Open()
+		b.ReportAllocs()
+		b.SetBytes(int64(viewers) * benchFrames * benchFrameSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < viewers; v++ {
+				if err := src.SeekTo(0); err != nil {
+					b.Fatal(err)
+				}
+				st, err := NewStreamSender(conn, StreamConfig{StreamID: 1}).Run(src)
+				if err != nil || st.Sent != benchFrames {
+					b.Fatalf("sent %d, err %v", st.Sent, err)
+				}
+			}
+		}
+	}
+	for _, viewers := range []int{100, 5000} {
+		b.Run(fmt.Sprintf("copy-%d", viewers), func(b *testing.B) { run(b, sinkConn{}, viewers) })
+		b.Run(fmt.Sprintf("batch-%d", viewers), func(b *testing.B) { run(b, nullVecConn{}, viewers) })
+	}
 }
 
 // TestStreamPathAllocs is the allocation regression guard for the stream

@@ -1,0 +1,50 @@
+package mtp
+
+import "sync/atomic"
+
+// DeliveryStats counts the process-wide activity of the zero-copy delivery
+// path: how often sends used the vectored (copy-free) form, how many
+// batches were coalesced, and how many payload bytes travelled without a
+// user-space copy. The core server exports them as metric families.
+type DeliveryStats struct {
+	// VecSends counts packets delivered through SendVec/SendBatch (the
+	// zero-copy path); CopySends counts packets that fell back to
+	// Marshal+Send (conn without vectored support, or a frame source whose
+	// payload lifetime forbids aliasing).
+	VecSends  int64
+	CopySends int64
+	// Batches counts SendBatch calls that coalesced 2+ frames; BatchFrames
+	// counts the frames they carried.
+	Batches     int64
+	BatchFrames int64
+	// VecBytes counts payload bytes handed to conns without a copy.
+	VecBytes int64
+}
+
+var (
+	vecSends    atomic.Int64
+	copySends   atomic.Int64
+	batchSends  atomic.Int64
+	batchFrames atomic.Int64
+	vecBytes    atomic.Int64
+)
+
+// Delivery snapshots the process-wide delivery counters.
+func Delivery() DeliveryStats {
+	return DeliveryStats{
+		VecSends:    vecSends.Load(),
+		CopySends:   copySends.Load(),
+		Batches:     batchSends.Load(),
+		BatchFrames: batchFrames.Load(),
+		VecBytes:    vecBytes.Load(),
+	}
+}
+
+// sendVecFallback delivers hdr+payload on a conn without vectored support
+// by concatenating into buf (reused across calls) and calling Send. It
+// returns the possibly-grown buffer.
+func sendVecFallback(conn PacketConn, buf, hdr, payload []byte) ([]byte, error) {
+	buf = append(buf[:0], hdr...)
+	buf = append(buf, payload...)
+	return buf, conn.Send(buf)
+}

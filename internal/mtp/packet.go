@@ -64,11 +64,29 @@ type Packet struct {
 // ErrBadPacket reports an undecodable datagram.
 var ErrBadPacket = errors.New("mtp: malformed packet")
 
-// Marshal appends the wire encoding to dst.
+// Marshal appends the wire encoding to dst, copying the payload. The
+// zero-copy alternative is MarshalHeader + a VecConn send, which hands the
+// payload slice to the conn without this copy.
 func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
 		return nil, fmt.Errorf("mtp: payload of %d octets exceeds maximum", len(p.Payload))
 	}
+	dst = p.appendHeader(dst)
+	return append(dst, p.Payload...), nil
+}
+
+// MarshalHeader appends only the 20-octet wire header to dst — the
+// zero-copy send form: the header goes into a small caller buffer while the
+// payload slice (typically aliasing a ChunkCache chunk or a live-window
+// ring frame) is passed to SendVec untouched.
+func (p *Packet) MarshalHeader(dst []byte) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("mtp: payload of %d octets exceeds maximum", len(p.Payload))
+	}
+	return p.appendHeader(dst), nil
+}
+
+func (p *Packet) appendHeader(dst []byte) []byte {
 	var h [HeaderSize]byte
 	binary.BigEndian.PutUint16(h[0:], Magic)
 	h[2] = Version
@@ -76,8 +94,7 @@ func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(h[4:], p.StreamID)
 	binary.BigEndian.PutUint32(h[8:], p.Seq)
 	binary.BigEndian.PutUint64(h[12:], p.TSMicro)
-	dst = append(dst, h[:]...)
-	return append(dst, p.Payload...), nil
+	return append(dst, h[:]...)
 }
 
 // Unmarshal decodes a datagram into p, overwriting it. The payload aliases
@@ -128,4 +145,39 @@ type PacketConn interface {
 // (valid until the next Recv/TryRecv on the conn).
 type TryRecver interface {
 	TryRecv() ([]byte, bool)
+}
+
+// VecConn is an optional PacketConn extension: a vectored send delivering
+// hdr followed by payload as ONE datagram without requiring the caller to
+// concatenate them first. It is the zero-copy send path — the payload slice
+// handed in typically aliases a moviedb chunk-cache chunk or live-window
+// ring frame that was never copied since it left storage.
+//
+// Aliasing contract (the send-side mirror of the Recv lifetime rule): both
+// slices are valid only for the duration of the call. SendVec must fully
+// consume them — copy to the kernel (writev/sendmsg with two iovecs on the
+// UDP path) or into a buffer the conn owns — before returning, must never
+// write into either slice, and must not retain a reference afterwards. The
+// caller may reuse hdr and the storage layer may recycle the payload's
+// chunk the moment SendVec returns.
+type VecConn interface {
+	SendVec(hdr, payload []byte) error
+}
+
+// PacketVec is one packet of a batched vectored send: the marshalled MTP
+// header and the frame payload as separate slices, each one datagram on the
+// wire.
+type PacketVec struct {
+	Hdr     []byte
+	Payload []byte
+}
+
+// BatchConn is an optional PacketConn extension: transmit several packets
+// with one call — sendmmsg on the Linux UDP path, a plain SendVec loop
+// elsewhere — so steady-state fan-out costs ~1 syscall per coalesced batch
+// instead of one per frame. Packets are delivered in order; every slice
+// obeys the VecConn aliasing contract (consumed before SendBatch returns,
+// never written, never retained).
+type BatchConn interface {
+	SendBatch(pkts []PacketVec) error
 }

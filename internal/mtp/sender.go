@@ -42,6 +42,23 @@ var sendBufPool = sync.Pool{
 	},
 }
 
+// maxPooledSendBuf caps the capacity a buffer may have grown to and still
+// be recycled. One jumbo frame would otherwise pin its marshal buffer in
+// the pool forever — every later stream that draws it holds the
+// largest-ever allocation for the life of the stream.
+const maxPooledSendBuf = 256 * 1024
+
+// putSendBuf returns a marshal buffer to the pool, dropping buffers whose
+// capacity outgrew maxPooledSendBuf so the pool converges back to
+// typical-frame sizes instead of ratcheting up.
+func putSendBuf(bufp *[]byte, buf []byte) {
+	if cap(buf) > maxPooledSendBuf {
+		return
+	}
+	*bufp = buf[:0]
+	sendBufPool.Put(bufp)
+}
+
 // SendStream transmits frames over conn, paced to cfg.FrameRate, and
 // terminates the stream with EOS markers. It blocks until done.
 func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, error) {
@@ -63,10 +80,7 @@ func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, 
 	start := time.Now()
 	bufp := sendBufPool.Get().(*[]byte)
 	buf := *bufp
-	defer func() {
-		*bufp = buf[:0]
-		sendBufPool.Put(bufp)
-	}()
+	defer func() { putSendBuf(bufp, buf) }()
 	seq := cfg.StartSeq
 	for i, frame := range frames {
 		if period > 0 {

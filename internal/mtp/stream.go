@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"xmovie/internal/timewheel"
 )
 
 // ErrFrameUnavailable is returned (possibly wrapped) by a FrameSource whose
@@ -23,9 +25,9 @@ var ErrFrameUnavailable = errors.New("mtp: frame unavailable")
 // in directly without mtp depending on the database layer.
 //
 // Next's result is only valid until the next Next/Seek call (sources
-// recycle chunk buffers); the sender marshals each frame into its own wire
-// buffer before pulling the next, so the contract composes with
-// PacketConn's.
+// recycle chunk buffers); the sender finishes delivering each frame to the
+// conn — which must consume the bytes before Send/SendVec returns — before
+// pulling the next, so the contract composes with PacketConn's.
 type FrameSource interface {
 	// Len returns the total number of frames.
 	Len() int64
@@ -35,6 +37,23 @@ type FrameSource interface {
 	Next() ([]byte, error)
 	// Seek repositions the source to frame pos.
 	SeekTo(pos int64) error
+}
+
+// BatchSource is an optional FrameSource extension for write batching:
+// NextBatch returns up to max consecutive frames that are available RIGHT
+// NOW from resident memory — the remainder of a loaded chunk, or stored
+// in-memory frames — advancing the position past them. It never blocks,
+// never performs I/O, and never waits at a live edge; when nothing is
+// immediately available it returns an empty batch and the caller falls
+// back to Next for the following frame.
+//
+// Unlike Next, whose result dies at the following call, every returned
+// frame remains valid until the NEXT Next/NextBatch/SeekTo/Close call on
+// the source (they alias one resident chunk, which stays loaded until the
+// cursor moves on). That extended lifetime is what lets the sender hand
+// the whole batch to a BatchConn as one vectored write.
+type BatchSource interface {
+	NextBatch(max int) [][]byte
 }
 
 // EdgeWaiter is implemented by frame sources whose Next can block waiting
@@ -80,6 +99,13 @@ const feedbackSize = 16
 // marker does. The receiver uses the same constant to recognize reordered
 // members of one burst and not resync twice.
 const syncRepeats = 3
+
+// maxCoalesce bounds how many due frames one Run iteration may coalesce
+// into a single batched write. It caps batch memory (headers live in one
+// fixed arena), bounds control latency (stop/pause/seek and feedback are
+// only observed between batches), and stays under typical sendmmsg sweet
+// spots.
+const maxCoalesce = 32
 
 // appendFeedbackPayload writes the 16-octet feedback encoding.
 func (fb *Feedback) appendPayload(dst []byte) []byte {
@@ -261,20 +287,19 @@ func (s *StreamSender) Stats() StreamStats {
 	return s.stats
 }
 
-// wait sleeps for d or until Stop; it reports false when stopped.
+// wait sleeps for d or until Stop; it reports false when stopped. The wait
+// runs on the process-wide timer wheel, so ten thousand paced streams cost
+// one runtime timer between them instead of one each; wheel granularity
+// (~1ms) is absorbed by the measured-wait pacing credit — callers clock
+// the actual sleep, so coarseness shifts the schedule instead of
+// accumulating as drift. Throttle-imposed waits come through here too,
+// which is how the spa bandwidth caps share the wheel.
 func (s *StreamSender) wait(d time.Duration) bool {
 	if s.cfg.Sleep != nil {
 		s.cfg.Sleep(d)
 		return true
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return true
-	case <-s.stopCh:
-		return false
-	}
+	return timewheel.Default().Wait(d, s.stopCh)
 }
 
 // stopped reports whether Stop was called.
@@ -326,13 +351,17 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 	}
 	tr, _ := s.conn.(TryRecver)
 	ew, _ := src.(EdgeWaiter)
+	vc, _ := s.conn.(VecConn)
+	bc, _ := s.conn.(BatchConn)
+	bs, _ := src.(BatchSource)
 
 	bufp := sendBufPool.Get().(*[]byte)
 	buf := *bufp
-	defer func() {
-		*bufp = buf[:0]
-		sendBufPool.Put(bufp)
-	}()
+	defer func() { putSendBuf(bufp, buf) }()
+	// hdrArena holds the batch's marshalled headers; its capacity is fixed
+	// so PacketVec.Hdr slices into it stay valid as the batch grows.
+	hdrArena := make([]byte, 0, maxCoalesce*HeaderSize)
+	pkts := make([]PacketVec, 0, maxCoalesce)
 
 	start := time.Now()
 	var pausedTotal time.Duration
@@ -489,6 +518,7 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 		// (the next transmitted frame carries FlagSkip so the receiver
 		// jumps the gap and accounts it as lost) but no credit is, so
 		// congestion throttles transmission without wedging it.
+		creditLeft := -1 // -1: no window configured (unlimited)
 		if s.cfg.Window > 0 {
 			s.mu.Lock()
 			fbNext, fbWindow := s.fbNext, s.fbWindow
@@ -515,12 +545,49 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 				s.mu.Unlock()
 				continue
 			}
+			creditLeft = window - len(inflight) - 1
 		}
-		// Bandwidth cap: reserve the frame's bytes and absorb the imposed
+
+		// Coalesce: when the conn takes vectors and the source can serve
+		// further already-due frames straight from resident memory, send
+		// them as one batch — unpaced streams batch maximally; paced
+		// streams only coalesce slots whose departure time has passed, so
+		// an on-schedule stream still sends frame by frame. Credit caps the
+		// batch; control (stop/pause/seek/feedback) is re-checked each loop
+		// iteration, so a batch bounds control latency by maxCoalesce
+		// frames.
+		extraWant := 0
+		if bs != nil && (vc != nil || bc != nil) {
+			switch {
+			case period == 0:
+				extraWant = maxCoalesce - 1
+			case overdue > 0:
+				extraWant = int(overdue / period)
+				if extraWant > maxCoalesce-1 {
+					extraWant = maxCoalesce - 1
+				}
+			}
+			if creditLeft >= 0 && extraWant > creditLeft {
+				extraWant = creditLeft
+			}
+		}
+		var extras [][]byte
+		if extraWant > 0 {
+			extras = bs.NextBatch(extraWant)
+		}
+		nb := 1 + len(extras)
+		total := int64(len(frame))
+		for _, f := range extras {
+			total += int64(len(f))
+		}
+
+		// Bandwidth cap: reserve the batch's bytes and absorb the imposed
 		// wait into the pacing epoch (like a pause), so a capped stream
-		// shifts its schedule instead of accumulating lateness.
-		if s.cfg.Throttle != nil && len(frame) > 0 {
-			if d := s.cfg.Throttle.Reserve(len(frame)); d > 0 {
+		// shifts its schedule instead of accumulating lateness. The batch
+		// payloads stay valid across the wait — nothing touches the source
+		// until the next iteration.
+		if s.cfg.Throttle != nil && total > 0 {
+			if d := s.cfg.Throttle.Reserve(int(total)); d > 0 {
 				// Credit the measured wait, not the requested one: timer
 				// overshoot would otherwise accumulate as phantom lateness.
 				capStart := time.Now()
@@ -530,44 +597,107 @@ func (s *StreamSender) Run(src FrameSource) (StreamStats, error) {
 				pausedTotal += time.Since(capStart)
 			}
 		}
-		if period > 0 && overdue > period {
-			s.mu.Lock()
-			s.stats.Late++
-			s.mu.Unlock()
+		if period > 0 {
+			// Each batch member is late if it departs more than one period
+			// past its own slot; member j's slot is j periods after frame
+			// 0's.
+			lateN := 0
+			for j := 0; j < nb; j++ {
+				if overdue-time.Duration(j)*period > period {
+					lateN++
+				}
+			}
+			if lateN > 0 {
+				s.mu.Lock()
+				s.stats.Late += lateN
+				s.mu.Unlock()
+			}
 		}
 
-		var tsMicro uint64
-		if s.cfg.FrameRate > 0 {
-			tsMicro = uint64(pos) * uint64(time.Second/time.Microsecond) / uint64(s.cfg.FrameRate)
+		// Build the batch: one header per frame in the arena, payloads
+		// untouched (they alias the source's resident chunk until the next
+		// source call — the conn must consume them before returning).
+		hdrArena = hdrArena[:0]
+		pkts = pkts[:0]
+		for j := 0; j < nb; j++ {
+			f := frame
+			if j > 0 {
+				f = extras[j-1]
+			}
+			fpos := pos + int64(j)
+			var tsMicro uint64
+			if s.cfg.FrameRate > 0 {
+				tsMicro = uint64(fpos) * uint64(time.Second/time.Microsecond) / uint64(s.cfg.FrameRate)
+			}
+			p := Packet{
+				StreamID: s.cfg.StreamID,
+				Seq:      uint32(fpos),
+				TSMicro:  tsMicro,
+				Payload:  f,
+			}
+			if syncLeft > 0 {
+				p.Flags |= FlagSync
+				syncLeft--
+			}
+			if j == 0 && skipPending {
+				p.Flags |= FlagSkip
+				skipPending = false
+			}
+			at := len(hdrArena)
+			hdrArena, err = p.MarshalHeader(hdrArena)
+			if err != nil {
+				return finish(err)
+			}
+			pkts = append(pkts, PacketVec{Hdr: hdrArena[at:], Payload: f})
 		}
-		p := Packet{
-			StreamID: s.cfg.StreamID,
-			Seq:      uint32(pos),
-			TSMicro:  tsMicro,
-			Payload:  frame,
-		}
-		if syncLeft > 0 {
-			p.Flags |= FlagSync
-			syncLeft--
-		}
-		if skipPending {
-			p.Flags |= FlagSkip
-			skipPending = false
-		}
-		buf, err = p.Marshal(buf[:0])
-		if err != nil {
-			return finish(err)
-		}
-		if err := s.conn.Send(buf); err != nil {
-			return finish(fmt.Errorf("mtp: send seq %d: %w", pos, err))
+
+		// Deliver: one sendmmsg-style call for a coalesced batch, a
+		// vectored send per packet otherwise, and the marshal-copy fallback
+		// for conns without vector support.
+		switch {
+		case bc != nil && len(pkts) > 1:
+			if err := bc.SendBatch(pkts); err != nil {
+				return finish(fmt.Errorf("mtp: send seq %d..%d: %w", pos, pos+int64(nb)-1, err))
+			}
+			batchSends.Add(1)
+			batchFrames.Add(int64(nb))
+			vecSends.Add(int64(nb))
+			vecBytes.Add(total)
+		case vc != nil:
+			for j, pk := range pkts {
+				if err := vc.SendVec(pk.Hdr, pk.Payload); err != nil {
+					return finish(fmt.Errorf("mtp: send seq %d: %w", pos+int64(j), err))
+				}
+			}
+			if nb > 1 {
+				// Still one coalesced group — the source-side batching
+				// happened — delivered as nb vectored calls because the
+				// conn lacks a true batch entry point.
+				batchSends.Add(1)
+				batchFrames.Add(int64(nb))
+			}
+			vecSends.Add(int64(nb))
+			vecBytes.Add(total)
+		default:
+			for j, pk := range pkts {
+				var serr error
+				buf, serr = sendVecFallback(s.conn, buf, pk.Hdr, pk.Payload)
+				if serr != nil {
+					return finish(fmt.Errorf("mtp: send seq %d: %w", pos+int64(j), serr))
+				}
+			}
+			copySends.Add(int64(nb))
 		}
 		if s.cfg.Window > 0 {
-			inflight = append(inflight, uint32(pos))
+			for j := 0; j < nb; j++ {
+				inflight = append(inflight, uint32(pos+int64(j)))
+			}
 		}
+		slot += int64(nb - 1) // frame 0's slot was consumed above
 		s.mu.Lock()
-		s.stats.Sent++
-		s.stats.Bytes += int64(len(frame))
-		s.stats.Pos = pos + 1
+		s.stats.Sent += nb
+		s.stats.Bytes += total
+		s.stats.Pos = pos + int64(nb)
 		s.mu.Unlock()
 	}
 }

@@ -7,13 +7,21 @@ import (
 
 // UDPConn adapts a connected UDP socket to PacketConn, the configuration
 // the paper uses for MTP ("we run the XMovie transmission protocol MTP
-// directly on top of UDP, IP and FDDI", §3).
+// directly on top of UDP, IP and FDDI", §3). It also implements VecConn
+// and BatchConn: on Linux a vectored send is writev with two iovecs (one
+// datagram) and a batch is one sendmmsg(2) call; elsewhere both degrade to
+// the copying fallback.
 type UDPConn struct {
-	c   *net.UDPConn
-	buf []byte
+	c    *net.UDPConn
+	buf  []byte
+	sbuf []byte // scratch for the non-vectored SendVec fallback
 }
 
-var _ PacketConn = (*UDPConn)(nil)
+var (
+	_ PacketConn = (*UDPConn)(nil)
+	_ VecConn    = (*UDPConn)(nil)
+	_ BatchConn  = (*UDPConn)(nil)
+)
 
 // NewUDPConn wraps an already connected UDP socket.
 func NewUDPConn(c *net.UDPConn) *UDPConn {
@@ -53,6 +61,32 @@ func (u *UDPConn) Send(p []byte) error {
 	return err
 }
 
+// SendVec implements VecConn: hdr+payload leave as one datagram, gathered
+// by the kernel (two iovecs) on Linux so neither slice is copied in user
+// space. Both slices are fully consumed before the call returns.
+func (u *UDPConn) SendVec(hdr, payload []byte) error {
+	if ok, err := sendVecUDP(u.c, hdr, payload); ok {
+		return err
+	}
+	var err error
+	u.sbuf, err = sendVecFallback(u, u.sbuf, hdr, payload)
+	return err
+}
+
+// SendBatch implements BatchConn: one sendmmsg(2) call transmits the whole
+// batch on Linux; elsewhere each packet is sent individually.
+func (u *UDPConn) SendBatch(pkts []PacketVec) error {
+	if ok, err := sendBatchUDP(u.c, pkts); ok {
+		return err
+	}
+	for _, p := range pkts {
+		if err := u.SendVec(p.Hdr, p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Recv implements PacketConn. The result aliases the conn's receive buffer
 // and is valid until the next Recv.
 func (u *UDPConn) Recv() ([]byte, error) {
@@ -84,10 +118,14 @@ func (u *UDPConn) Close() error { return u.c.Close() }
 type UDPListener struct {
 	c    *net.UDPConn
 	buf  []byte
+	sbuf []byte
 	peer *net.UDPAddr
 }
 
-var _ PacketConn = (*UDPListener)(nil)
+var (
+	_ PacketConn = (*UDPListener)(nil)
+	_ VecConn    = (*UDPListener)(nil)
+)
 
 // Addr returns the bound address.
 func (u *UDPListener) Addr() string { return u.c.LocalAddr().String() }
@@ -109,6 +147,20 @@ func (u *UDPListener) Send(p []byte) error {
 		return fmt.Errorf("mtp: no peer learned yet")
 	}
 	_, err := u.c.WriteToUDP(p, u.peer)
+	return err
+}
+
+// SendVec implements VecConn toward the learned peer. An unconnected
+// socket needs the destination per message, so the slices are gathered
+// into a conn-owned scratch buffer (consumed before return, per the
+// contract) rather than handed to the kernel as iovecs; the listener is
+// the low-rate feedback direction, not the media fan-out path.
+func (u *UDPListener) SendVec(hdr, payload []byte) error {
+	if u.peer == nil {
+		return fmt.Errorf("mtp: no peer learned yet")
+	}
+	var err error
+	u.sbuf, err = sendVecFallback(u, u.sbuf, hdr, payload)
 	return err
 }
 

@@ -1,0 +1,130 @@
+//go:build linux && (amd64 || arm64)
+
+package mtp
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// sendVecUDP delivers hdr+payload as one datagram on a connected UDP
+// socket without concatenating them in user space: writev with two iovecs
+// on a connected SOCK_DGRAM socket emits exactly one datagram (the kernel
+// gathers the vector into a single message). Reports false when the
+// vectored path is unusable and the caller must fall back to a copy.
+func sendVecUDP(c *net.UDPConn, hdr, payload []byte) (bool, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return false, nil
+	}
+	var serr syscall.Errno
+	werr := rc.Write(func(fd uintptr) bool {
+		iov := [2]syscall.Iovec{vecOf(hdr), vecOf(payload)}
+		n := 2
+		if len(payload) == 0 {
+			n = 1
+		}
+		for {
+			_, _, errno := syscall.Syscall(syscall.SYS_WRITEV, fd, uintptr(unsafe.Pointer(&iov[0])), uintptr(n))
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				// Socket buffer full: let the runtime poller wait for
+				// writability, then retry the closure.
+				return false
+			}
+			serr = errno
+			return true
+		}
+	})
+	if werr != nil {
+		return false, werr
+	}
+	if serr != 0 {
+		return true, serr
+	}
+	return true, nil
+}
+
+// mmsghdr mirrors struct mmsghdr for sendmmsg(2).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// maxMmsg bounds one sendmmsg call; the stream sender's coalescing window
+// is smaller, so this only guards foreign callers.
+const maxMmsg = 64
+
+// sendBatchUDP transmits each PacketVec as one datagram using a single
+// sendmmsg(2) call (retrying for packets the kernel did not take in one
+// go). Reports false when the batched path is unusable.
+func sendBatchUDP(c *net.UDPConn, pkts []PacketVec) (bool, error) {
+	if len(pkts) > maxMmsg {
+		for len(pkts) > 0 {
+			n := len(pkts)
+			if n > maxMmsg {
+				n = maxMmsg
+			}
+			if ok, err := sendBatchUDP(c, pkts[:n]); !ok || err != nil {
+				return ok, err
+			}
+			pkts = pkts[n:]
+		}
+		return true, nil
+	}
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return false, nil
+	}
+	var iovs [2 * maxMmsg]syscall.Iovec
+	var msgs [maxMmsg]mmsghdr
+	for i, p := range pkts {
+		iovs[2*i] = vecOf(p.Hdr)
+		iovs[2*i+1] = vecOf(p.Payload)
+		n := uint64(2)
+		if len(p.Payload) == 0 {
+			n = 1
+		}
+		msgs[i].hdr.Iov = &iovs[2*i]
+		msgs[i].hdr.Iovlen = n
+	}
+	sent := 0
+	var serr syscall.Errno
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < len(pkts) {
+			r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&msgs[sent])), uintptr(len(pkts)-sent), 0, 0, 0)
+			switch {
+			case errno == syscall.EINTR:
+				continue
+			case errno == syscall.EAGAIN:
+				return false // wait for writability, retry the remainder
+			case errno != 0:
+				serr = errno
+				return true
+			}
+			sent += int(r)
+		}
+		return true
+	})
+	if werr != nil {
+		return false, werr
+	}
+	if serr != 0 {
+		return true, serr
+	}
+	return true, nil
+}
+
+func vecOf(b []byte) syscall.Iovec {
+	var v syscall.Iovec
+	if len(b) > 0 {
+		v.Base = &b[0]
+		v.SetLen(len(b))
+	}
+	return v
+}

@@ -1,0 +1,17 @@
+//go:build !linux || !(amd64 || arm64)
+
+package mtp
+
+import "net"
+
+// sendVecUDP reports the vectored UDP path unavailable off Linux; callers
+// fall back to the concatenate-and-Send copy.
+func sendVecUDP(c *net.UDPConn, hdr, payload []byte) (bool, error) {
+	return false, nil
+}
+
+// sendBatchUDP reports the sendmmsg path unavailable off Linux; callers
+// fall back to a per-packet loop.
+func sendBatchUDP(c *net.UDPConn, pkts []PacketVec) (bool, error) {
+	return false, nil
+}

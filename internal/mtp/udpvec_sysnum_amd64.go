@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package mtp
+
+// sysSENDMMSG is the sendmmsg(2) syscall number (not exported by the
+// syscall package) on linux/amd64.
+const sysSENDMMSG = 307

@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package mtp
+
+// sysSENDMMSG is the sendmmsg(2) syscall number (not exported by the
+// syscall package) on linux/arm64.
+const sysSENDMMSG = 269

@@ -270,6 +270,26 @@ func (d *direction) deliver(p []byte) {
 
 // Send transmits p toward the peer endpoint. The packet is copied.
 func (e *Endpoint) Send(p []byte) error {
+	return e.send(p, nil)
+}
+
+// SendVec transmits hdr followed by payload as one simulated datagram
+// (mtp.VecConn). Both slices are consumed — copied into a single delivery
+// buffer — before the call returns, so the caller may immediately reuse
+// the header buffer and the payload's chunk; the simulated path then
+// applies the same loss/latency/bandwidth model as Send. One copy is
+// inherent here: the simulator must own the bytes it delivers later.
+func (e *Endpoint) SendVec(hdr, payload []byte) error {
+	return e.send(hdr, payload)
+}
+
+// send is the shared Send/SendVec body: a and b (b may be nil) form one
+// datagram. (The endpoint deliberately implements only the per-datagram
+// mtp.VecConn extension, not BatchConn: the simulation models the wire per
+// packet — loss, queueing and serialization delay apply individually — and
+// netsim cannot import mtp's PacketVec without an import cycle through
+// mtp's tests.)
+func (e *Endpoint) send(a, b []byte) error {
 	l := e.link
 	dir := e.out
 	l.mu.Lock()
@@ -280,8 +300,9 @@ func (e *Endpoint) Send(p []byte) error {
 	l.mu.Unlock()
 
 	dir.mu.Lock()
+	size := len(a) + len(b)
 	dir.stats.Sent++
-	dir.stats.Bytes += int64(len(p))
+	dir.stats.Bytes += int64(size)
 	now := time.Now()
 	if dir.partitioned(now) {
 		dir.stats.Dropped++
@@ -300,7 +321,7 @@ func (e *Endpoint) Send(p []byte) error {
 	}
 	depart := now
 	if dir.cfg.BitsPerSec > 0 {
-		txTime := time.Duration(int64(len(p)) * 8 * int64(time.Second) / dir.cfg.BitsPerSec)
+		txTime := time.Duration(int64(size) * 8 * int64(time.Second) / dir.cfg.BitsPerSec)
 		if dir.busyUntil.After(now) {
 			depart = dir.busyUntil
 		}
@@ -317,8 +338,8 @@ func (e *Endpoint) Send(p []byte) error {
 	dir.inFlight++
 	dir.mu.Unlock()
 
-	buf := make([]byte, len(p))
-	copy(buf, p)
+	buf := make([]byte, size)
+	copy(buf[copy(buf, a):], b)
 
 	l.mu.Lock()
 	if l.closed {

@@ -421,6 +421,23 @@ func (l *limitedSource) Next() ([]byte, error) {
 	return l.FrameSource.Next()
 }
 
+// NextBatch forwards the wrapped source's batching (mtp.BatchSource) with
+// max capped at the playback bound, so a capped stream still coalesces
+// writes without overshooting its final frame.
+func (l *limitedSource) NextBatch(max int) [][]byte {
+	b, ok := l.FrameSource.(mtp.BatchSource)
+	if !ok {
+		return nil
+	}
+	if left := l.end - l.FrameSource.Pos(); int64(max) > left {
+		max = int(left)
+	}
+	if max <= 0 {
+		return nil
+	}
+	return b.NextBatch(max)
+}
+
 // Close forwards to the wrapped source so the agent's cleanup reaches it.
 func (l *limitedSource) Close() error {
 	if c, ok := l.FrameSource.(io.Closer); ok {

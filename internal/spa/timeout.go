@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xmovie/internal/mtp"
+	"xmovie/internal/timewheel"
 )
 
 // wedgedAfter is how many consecutive timed-out reads a stream tolerates
@@ -33,6 +34,11 @@ type readResult struct {
 // current length is the live edge — the frame does not exist yet, and
 // waiting for the producer is paced separately (EdgeWaiter) and canceled
 // separately (CancelWait), so it stays unbounded here.
+//
+// The wrapper deliberately does not forward mtp.BatchSource: every read
+// must pass through the deadline machinery one frame at a time, so
+// bounded-read streams trade write batching for the wedge protection
+// (ReadTimeout defaults to 0, where batching stays on).
 //
 // The wrapper is not safe for concurrent use — like the FrameSource it
 // wraps, it belongs to one sender goroutine.
@@ -104,7 +110,11 @@ func (t *timedSource) Next() ([]byte, error) {
 	if t.closed {
 		return nil, errors.New("spa: source is closed")
 	}
-	deadline := time.NewTimer(t.timeout)
+	// The read deadline runs on the shared process-wide timer wheel: a
+	// per-Next time.NewTimer would put one runtime timer per frame per
+	// bounded stream back on the hot path the wheel exists to clear.
+	// Wheel-tick (~1ms) coarseness on a storage-read deadline is noise.
+	deadline := timewheel.Default().NewTimer(t.timeout)
 	defer deadline.Stop()
 	for {
 		if t.pending >= 0 {
@@ -119,7 +129,7 @@ func (t *timedSource) Next() ([]byte, error) {
 					t.pos++
 				}
 				return r.frame, r.err
-			case <-deadline.C:
+			case <-deadline.C():
 				return t.unavailable()
 			}
 		}

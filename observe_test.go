@@ -63,11 +63,11 @@ func TestFacadeObserve(t *testing.T) {
 	if !ok || g.Admitted != 1 || g.Active != 1 || g.Class.Name != "paying" {
 		t.Fatalf("gold tenant = %+v (present %v)", g, ok)
 	}
-	if st := srv.Stats(); st != o.Sessions {
-		t.Errorf("deprecated Stats() = %+v, Observe().Sessions = %+v", st, o.Sessions)
-	}
-	if tot := srv.StreamStats(); tot != o.Streams {
-		t.Errorf("deprecated StreamStats() = %+v, Observe().Streams = %+v", tot, o.Streams)
+	// The zero-copy delivery and timer-wheel counters are process-wide;
+	// other tests may already have moved them, so only monotonicity is
+	// assertable here.
+	if o.Delivery.VecSends < 0 || o.TimerWheel.Armed < o.TimerWheel.Fired+o.TimerWheel.Canceled {
+		t.Errorf("implausible delivery/timewheel counters: %+v / %+v", o.Delivery, o.TimerWheel)
 	}
 
 	if srv.MetricsAddr() == "" {

@@ -137,18 +137,10 @@ func (s *Server) ServeConnFor(conn Conn, tenant string) error {
 }
 
 // Observe snapshots every observability counter the server keeps — the
-// same data /metrics serves — in one coherent read.
+// same data /metrics serves — in one coherent read. (The deprecated
+// Stats/StreamStats wrappers were removed after their one-release grace
+// period; read Observe().Sessions and Observe().Streams.)
 func (s *Server) Observe() Observation { return s.inner.Observe() }
-
-// Stats snapshots the connection-manager counters.
-//
-// Deprecated: use Observe().Sessions.
-func (s *Server) Stats() SessionStats { return s.inner.Observe().Sessions }
-
-// StreamStats snapshots the server-wide data-plane counters.
-//
-// Deprecated: use Observe().Streams.
-func (s *Server) StreamStats() StreamTotals { return s.inner.Observe().Streams }
 
 // Drain stops admitting new sessions, waits up to timeout for active ones
 // to complete, then force-closes the remainder and shuts down.
