@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short verify fmt-check vet generate generate-check \
+.PHONY: build test test-short verify fmt-check vet lint generate generate-check \
 	metrics-guard bench-smoke bench-guard bench-trajectory load-smoke \
 	load-stream load-disk load-broadcast load-chaos load-qos load-scale ci
 
@@ -19,7 +19,7 @@ test-short:
 	$(GO) test -short -race ./...
 
 # Tier-1 verify: exactly what reviewers and the CI gate run.
-verify: build test metrics-guard
+verify: build test metrics-guard lint
 
 # Metrics-name drift guard: the /metrics families the server exports are
 # pinned by internal/core/testdata/metric_names.golden — renaming or
@@ -34,6 +34,13 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Contract lint: xmovievet machine-checks the //xmovie:* annotations —
+# no-retain delivery buffers, the timewheel pacing discipline, sync.Pool
+# ownership, lock-holding conventions, and zero-alloc hot paths (see
+# DESIGN.md "Static contracts"). Runs alongside go vet, not instead of it.
+lint:
+	$(GO) run ./cmd/xmovievet ./...
 
 # Regenerate internal/gen from specs/ in place (the paper's step 2:
 # formal description -> code).
@@ -170,6 +177,6 @@ load-scale:
 		-json -out mcamload_scale -outdir bench-out
 
 # Everything CI checks, locally.
-ci: fmt-check vet build generate-check test-short test bench-smoke bench-guard \
+ci: fmt-check vet lint build generate-check test-short test bench-smoke bench-guard \
 	bench-trajectory load-smoke load-stream load-disk load-broadcast load-chaos \
 	load-qos load-scale

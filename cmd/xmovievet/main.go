@@ -1,0 +1,73 @@
+// Command xmovievet machine-checks this repository's hand-maintained
+// contracts: no-retain delivery buffers, the timewheel pacing discipline,
+// sync.Pool ownership, lock-holding conventions, and zero-alloc hot
+// paths. It is stdlib-only and runs as part of `make lint`.
+//
+// Usage:
+//
+//	xmovievet [-only name,name] [-list] [packages...]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status is 1 when any diagnostic is reported, 2 on operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmovie/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "change to this directory before loading packages")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "xmovievet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmovievet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmovievet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xmovievet: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureFor names the seeded-violation package each analyzer must flag.
+var fixtureFor = map[string]*Analyzer{
+	"directives":      Directives,
+	"noretain":        NoRetain,
+	"timerdiscipline": TimerDiscipline,
+	"pooldiscipline":  PoolDiscipline,
+	"hotalloc":        HotAlloc,
+	"lockdiscipline":  LockDiscipline,
+}
+
+// want is one expected diagnostic, parsed from a fixture comment of the
+// form `// want "substring" ...` (same line) or `// want(+1) "..."` (line
+// offset, for diagnostics that land on a directive's own line).
+type want struct {
+	file    string
+	line    int
+	sub     string
+	matched bool
+}
+
+var (
+	wantRe = regexp.MustCompile(`^// want(?:\(([+-]?\d+)\))?\s+(.+)$`)
+	subRe  = regexp.MustCompile(`"([^"]*)"`)
+)
+
+func collectWants(t *testing.T, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					offset := 0
+					if m[1] != "" {
+						fmt.Sscanf(m[1], "%d", &offset)
+					}
+					subs := subRe.FindAllStringSubmatch(m[2], -1)
+					if len(subs) == 0 {
+						t.Fatalf("%s: want comment with no quoted substrings: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, s := range subs {
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line + offset, sub: s[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer alone over its seeded fixture package and
+// requires the diagnostics to match the want comments exactly: every want
+// matched by a diagnostic, every diagnostic claimed by a want.
+func TestFixtures(t *testing.T) {
+	for name, a := range fixtureFor {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := Load(".", "./testdata/src/"+name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags, err := Run(pkgs, []*Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s: %v", name, err)
+			}
+			if len(diags) == 0 {
+				t.Fatalf("%s produced no diagnostics on its seeded fixture", name)
+			}
+			wants := collectWants(t, pkgs)
+			for _, d := range diags {
+				claimed := false
+				for _, w := range wants {
+					if w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+						w.matched = true
+						claimed = true
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.sub)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoTreeIsClean is the meta-test the issue asks for: the full suite
+// must run clean over the real tree, so any future violation (or any
+// annotation whose justification was deleted) fails `go test` as well as
+// `make lint`.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

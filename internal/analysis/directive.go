@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //xmovie:* annotation. The vocabulary:
+//
+//	//xmovie:noretain p1 p2...   (func doc)  the named slice/pointer
+//	    parameters must not escape the call: no stores to fields, globals,
+//	    channels; no capture by call-outliving closures; no return.
+//	//xmovie:hotpath             (func doc)  the function must not contain
+//	    obviously-allocating constructs (see the hotalloc analyzer).
+//	//xmovie:pool-put            (func doc)  the function is a sync.Pool
+//	    release helper: passing a pooled value to it counts as a Put.
+//	//xmovie:requires-lock R     (func doc)  callers must hold a lock;
+//	    call sites are checked like calls to *Locked methods. R says which.
+//	//xmovie:pacing-package      (package doc)  the package paces media and
+//	    must use internal/timewheel instead of runtime timers.
+//	//xmovie:allow-timer R       (line)  a runtime timer on this line (or
+//	    the line below) is deliberate; R is the mandatory justification.
+//	//xmovie:allow-alloc R       (line)  an allocating construct in a
+//	    hotpath function is deliberate (a cold branch); R is mandatory.
+//	//xmovie:pool-escape R       (line)  this Pool.Get's result deliberately
+//	    leaves the function (ownership transfer); R is mandatory.
+//	//xmovie:allow-unlocked R    (line)  this call to a lock-requiring
+//	    function is safe without a visible Lock; R is mandatory.
+//
+// An empty R on any reason-bearing verb is itself a lint error (the
+// directives analyzer).
+type Directive struct {
+	// Verb is the word after "xmovie:".
+	Verb string
+	// Args are the whitespace-separated words after the verb (parameter
+	// names for noretain).
+	Args []string
+	// Rest is the raw remainder after the verb — the reason string for the
+	// allow-*/pool-escape/requires-lock verbs.
+	Rest string
+	Pos  token.Pos
+}
+
+// DirectivePrefix introduces an annotation comment.
+const DirectivePrefix = "//xmovie:"
+
+// Verb classification used by the directives validator.
+var (
+	funcVerbs    = map[string]bool{"noretain": true, "hotpath": true, "pool-put": true, "requires-lock": true}
+	lineVerbs    = map[string]bool{"allow-timer": true, "allow-alloc": true, "pool-escape": true, "allow-unlocked": true}
+	packageVerbs = map[string]bool{"pacing-package": true}
+	reasonVerbs  = map[string]bool{"allow-timer": true, "allow-alloc": true, "pool-escape": true, "allow-unlocked": true, "requires-lock": true}
+)
+
+// DirectiveIndex locates a package's annotations by source line.
+type DirectiveIndex struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> directives written on that line.
+	byLine map[string]map[int][]Directive
+	all    []Directive
+}
+
+// parseDirective parses one comment; ok is false for ordinary comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, found := strings.CutPrefix(c.Text, DirectivePrefix)
+	if !found {
+		return Directive{}, false
+	}
+	verb, rest, _ := strings.Cut(text, " ")
+	rest = strings.TrimSpace(rest)
+	return Directive{
+		Verb: strings.TrimSpace(verb),
+		Args: strings.Fields(rest),
+		Rest: rest,
+		Pos:  c.Pos(),
+	}, true
+}
+
+// IndexDirectives scans every comment of the files.
+func IndexDirectives(fset *token.FileSet, files []*ast.File) *DirectiveIndex {
+	idx := &DirectiveIndex{fset: fset, byLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				idx.all = append(idx.all, d)
+				pos := fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// All returns every directive in the package.
+func (idx *DirectiveIndex) All() []Directive { return idx.all }
+
+// At returns a directive of the given verb governing pos: written on the
+// same source line, or on the line directly above (annotation-above-
+// statement style).
+func (idx *DirectiveIndex) At(pos token.Pos, verb string) (Directive, bool) {
+	p := idx.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range idx.byLine[p.Filename][line] {
+			if d.Verb == verb {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// ForFunc returns a directive of the given verb from fd's doc comment.
+func (idx *DirectiveIndex) ForFunc(fd *ast.FuncDecl, verb string) (Directive, bool) {
+	if fd.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// PackageHas reports whether any file's package doc carries the verb.
+func PackageHas(files []*ast.File, verb string) bool {
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			if d, ok := parseDirective(c); ok && d.Verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Directives validates the annotation vocabulary itself: every //xmovie:*
+// comment must use a known verb, carry its mandatory reason (an empty
+// reason is a lint error, so nobody can silence a checker without writing
+// down why), name real parameters, and be attached where its verb applies
+// (function doc, package doc, or a code line). A malformed annotation
+// silently checks nothing — which is exactly the hand-maintained-contract
+// failure mode this suite exists to remove — so it is an error here.
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "validate //xmovie:* annotations: known verbs, mandatory reasons, real parameter names",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *Pass) error {
+	// Positions of directives legitimately placed in function or package
+	// doc comments.
+	inFuncDoc := make(map[token.Pos]*ast.FuncDecl)
+	inPkgDoc := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if _, ok := parseDirective(c); ok {
+					inPkgDoc[c.Pos()] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if _, ok := parseDirective(c); ok {
+						inFuncDoc[c.Pos()] = fd
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range pass.Dirs.All() {
+		switch {
+		case funcVerbs[d.Verb]:
+			fd, attached := inFuncDoc[d.Pos]
+			if !attached {
+				pass.Report(d.Pos, "xmovie:%s must appear in a function's doc comment", d.Verb)
+				continue
+			}
+			switch d.Verb {
+			case "noretain":
+				if len(d.Args) == 0 {
+					pass.Report(d.Pos, "xmovie:noretain names no parameters")
+					continue
+				}
+				for _, arg := range d.Args {
+					if !hasParam(fd, arg) {
+						pass.Report(d.Pos, "xmovie:noretain names %q, not a parameter of %s", arg, fd.Name.Name)
+					}
+				}
+			case "requires-lock":
+				if d.Rest == "" {
+					pass.Report(d.Pos, "xmovie:requires-lock needs a reason naming the lock callers must hold")
+				}
+			}
+		case lineVerbs[d.Verb]:
+			if inPkgDoc[d.Pos] {
+				pass.Report(d.Pos, "xmovie:%s is a line annotation, not a package one", d.Verb)
+			}
+			if reasonVerbs[d.Verb] && d.Rest == "" {
+				pass.Report(d.Pos, "xmovie:%s without a reason — the justification string is mandatory", d.Verb)
+			}
+		case packageVerbs[d.Verb]:
+			if !inPkgDoc[d.Pos] {
+				pass.Report(d.Pos, "xmovie:%s must appear in the package doc comment", d.Verb)
+			}
+		default:
+			pass.Report(d.Pos, "unknown directive xmovie:%s", d.Verb)
+		}
+	}
+	return nil
+}
+
+func hasParam(fd *ast.FuncDecl, name string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the static complement of the AllocsPerRun guards in
+// bench-guard: a function marked //xmovie:hotpath sits on a measured
+// zero-allocation path (append-path codecs, packet marshal/unmarshal,
+// pooled buffer recycling, timer-wheel waits), and this analyzer rejects
+// the constructs that would put an allocation back:
+//
+//   - fmt package calls (every fmt call allocates)
+//   - string concatenation and string<->[]byte conversions
+//   - make, new, slice/map composite literals, &T{} literals
+//   - closures (func literals) and go statements
+//   - interface boxing: passing a concrete non-pointer value where an
+//     interface parameter is expected
+//
+// Plain (non-pointer) struct literals, stack arrays, append into an
+// existing slice, and pointer arguments to interface parameters stay
+// legal — they do not allocate on the paths the runtime guards measure.
+// A deliberate allocation in a cold branch (an error path) carries
+// //xmovie:allow-alloc <reason> on its line or the line above.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //xmovie:hotpath must not contain obviously-allocating constructs",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := pass.Dirs.ForFunc(fd, "hotpath"); !hot {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if _, allowed := pass.Dirs.At(pos, "allow-alloc"); allowed {
+			return
+		}
+		args = append(args, fd.Name.Name)
+		pass.Report(pos, format+" in hotpath function %s (annotate //xmovie:allow-alloc <reason> for a deliberate cold branch)", args...)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			report(x.Pos(), "closure may allocate")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(pass, x.X) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(pass, x.Lhs[0]) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, lit := ast.Unparen(x.X).(*ast.CompositeLit); lit {
+					report(x.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.Types[x].Type.Underlying().(type) {
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(x.Pos(), "map literal allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, x, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy their contents.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		var src types.Type
+		if at, ok := pass.Info.Types[call.Args[0]]; ok && at.Type != nil {
+			src = at.Type.Underlying()
+		}
+		if src != nil &&
+			((isStringish(dst) && isByteOrRuneSlice(src)) ||
+				(isByteOrRuneSlice(dst) && isStringish(src))) {
+			report(call.Pos(), "string/slice conversion allocates")
+		}
+		return
+	}
+	// fmt calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s allocates", fn.Name())
+			return
+		}
+	}
+	// Interface boxing: concrete non-pointer-shaped arguments passed to
+	// interface parameters are heap-boxed.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != 0 {
+				continue // pass-through of an existing slice
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		if pass.Info.Types[arg].IsNil() {
+			continue
+		}
+		report(arg.Pos(), "interface boxing of a %s value allocates", at.String())
+	}
+}
+
+// boxingFree reports whether storing a value of type t in an interface
+// needs no allocation: interfaces themselves, and pointer-shaped types
+// (pointers, channels, maps, funcs, unsafe pointers).
+func boxingFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	return isStringish(t.Underlying())
+}
+
+func isStringish(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// callSignature resolves the static signature of a non-builtin call.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline checks the caller-holds-the-lock conventions: the
+// *Locked naming convention (resumeLocked, wakeupLocked, compactLocked,
+// victimLocked — the body assumes the receiver's mutex is held) and the
+// //xmovie:requires-lock annotation (moviedb's publish-under-storage-lock
+// ordering, where the lock that matters belongs to the caller's layer).
+//
+// Two rules:
+//
+//  1. A *Locked-named method must not acquire its own receiver's mutex —
+//     that is a self-deadlock with sync.Mutex and a double-acquire bug
+//     with RWMutex.
+//  2. Every call to a *Locked method or requires-lock function must occur
+//     inside a function that visibly holds a lock (its body acquires one
+//     via .Lock()/.RLock()) or that is itself *Locked/requires-lock (the
+//     obligation propagates to its callers). A call site that is safe for
+//     a subtler reason carries //xmovie:allow-unlocked <reason>.
+//
+// The check is deliberately lexical about WHICH lock is held — Go offers
+// no static lock sets — but it catches the review-memory failure this
+// repo actually risks: a refactor calling a Locked helper from a fresh,
+// lock-free code path.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "*Locked methods and //xmovie:requires-lock functions must be called with a lock held",
+	Run:  runLockDiscipline,
+}
+
+// lockRequired reports whether calls to fn carry a lock obligation.
+func lockRequired(pass *Pass, fn *types.Func, decls map[types.Object]*ast.FuncDecl) bool {
+	if strings.HasSuffix(fn.Name(), "Locked") {
+		return true
+	}
+	if fd, ok := decls[fn]; ok {
+		if _, req := pass.Dirs.ForFunc(fd, "requires-lock"); req {
+			return true
+		}
+	}
+	return false
+}
+
+func runLockDiscipline(pass *Pass) error {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			selfLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+			var required bool
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				required = lockRequired(pass, obj, decls)
+			}
+
+			// Rule 1: a Locked method must not acquire its receiver's own
+			// mutex.
+			if selfLocked && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvObj := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+				if recvObj != nil {
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if !isLockAcquire(pass, call) {
+							return true
+						}
+						if root := selectorRoot(pass, call.Fun); root == recvObj {
+							pass.Report(call.Pos(),
+								"%s acquires its own receiver's lock, but the Locked suffix promises the caller already holds it",
+								fd.Name.Name)
+						}
+						return true
+					})
+				}
+			}
+
+			// Rule 2: calls with a lock obligation need a visible lock in
+			// the caller (or the caller propagates the obligation).
+			if required {
+				continue
+			}
+			holdsLock := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isLockAcquire(pass, call) {
+					holdsLock = true
+				}
+				return !holdsLock
+			})
+			if holdsLock {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				var calleeFn *types.Func
+				if ok {
+					calleeFn, _ = pass.Info.Uses[sel.Sel].(*types.Func)
+				} else if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+					calleeFn, _ = pass.Info.Uses[id].(*types.Func)
+				}
+				if calleeFn == nil || !lockRequired(pass, calleeFn, decls) {
+					return true
+				}
+				if _, allowed := pass.Dirs.At(call.Pos(), "allow-unlocked"); allowed {
+					return true
+				}
+				pass.Report(call.Pos(),
+					"%s calls %s, which requires the caller to hold a lock, but acquires none (suffix the caller *Locked, take the lock, or annotate //xmovie:allow-unlocked <reason>)",
+					fd.Name.Name, calleeFn.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isLockAcquire matches m.Lock() / m.RLock() on sync.Mutex or
+// sync.RWMutex (including promoted embeds).
+func isLockAcquire(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return fn.Name() == "Lock" || fn.Name() == "RLock"
+}
+
+// selectorRoot returns the object of the leftmost identifier of a
+// selector chain (u in u.mu.Lock).
+func selectorRoot(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

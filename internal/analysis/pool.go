@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolDiscipline enforces the pooled-buffer return discipline (PR 2/9):
+// a value drawn with sync.Pool.Get must be handed back — via Pool.Put or
+// a release helper annotated //xmovie:pool-put — somewhere in the same
+// function, or the Get must carry //xmovie:pool-escape <reason> declaring
+// a deliberate ownership transfer (the reorder buffer owning cloned
+// packets, the timer wheel owning armed waiters). A Get whose value simply
+// falls out of scope re-allocates on every cycle — the exact steady-state
+// garbage the pools exist to eliminate — and one stored into a long-lived
+// struct pins pool memory for the struct's lifetime.
+//
+// The analyzer also reports pooled values stored into struct fields,
+// elements, or package-level variables, and pooled values returned to the
+// caller, unless the Get is annotated pool-escape.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "every sync.Pool.Get must reach a Put, a //xmovie:pool-put helper, or declare //xmovie:pool-escape",
+	Run:  runPoolDiscipline,
+}
+
+func runPoolDiscipline(pass *Pass) error {
+	// Map function objects to declarations so pool-put release helpers in
+	// the same package can be recognized at call sites.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd, decls)
+		}
+	}
+	return nil
+}
+
+// poolMethod returns the sync.Pool method name ("Get"/"Put") a call
+// invokes, if any.
+func poolMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	full := fn.FullName()
+	if full == "(*sync.Pool).Get" || full == "(*sync.Pool).Put" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) {
+	// Collect the Get sites and their bound variables.
+	type getSite struct {
+		call *ast.CallExpr
+		obj  types.Object // bound local; nil when unbound
+	}
+	var gets []getSite
+	bound := make(map[*ast.CallExpr]types.Object)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 || len(as.Rhs) == 0 {
+			return true
+		}
+		// x := pool.Get()  /  x := pool.Get().(*T)  /  x, ok := ...(*T)
+		rhs := as.Rhs[0]
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ta.X
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := poolMethod(pass, call); !ok || m != "Get" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				bound[call] = obj
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				bound[call] = obj
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := poolMethod(pass, call); ok && m == "Get" {
+			gets = append(gets, getSite{call: call, obj: bound[call]})
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	for _, g := range gets {
+		if _, escaped := pass.Dirs.At(g.call.Pos(), "pool-escape"); escaped {
+			continue // directives analyzer enforces the reason
+		}
+		if g.obj == nil {
+			pass.Report(g.call.Pos(),
+				"%s does not bind the result of Pool.Get to a variable, so it can never be Put back",
+				fd.Name.Name)
+			continue
+		}
+		// The pooled set: the bound variable plus strict local aliases
+		// (deref, re-slice) such as `buf := *bufp`.
+		pooled := map[types.Object]bool{g.obj: true}
+		for {
+			changed := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj == nil || pooled[obj] {
+						continue
+					}
+					if root := aliasRoot(pass, as.Rhs[i]); root != nil && pooled[root] {
+						pooled[obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+			if !changed {
+				break
+			}
+		}
+
+		released := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := poolMethod(pass, call); ok && m == "Put" {
+				for _, a := range call.Args {
+					if root := aliasRoot(pass, a); root != nil && pooled[root] {
+						released = true
+					}
+				}
+				return true
+			}
+			// A same-package release helper annotated //xmovie:pool-put.
+			if callee := calleeObject(pass, call); callee != nil {
+				if cfd, ok := decls[callee]; ok {
+					if _, isPut := pass.Dirs.ForFunc(cfd, "pool-put"); isPut {
+						for _, a := range call.Args {
+							if root := aliasRoot(pass, a); root != nil && pooled[root] {
+								released = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !released {
+			pass.Report(g.call.Pos(),
+				"%s draws from a sync.Pool but no path returns the value (Pool.Put or a //xmovie:pool-put helper); annotate //xmovie:pool-escape <reason> if ownership transfers",
+				fd.Name.Name)
+		}
+
+		// Long-lived stores and returns of the pooled value.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					root := aliasRoot(pass, x.Rhs[i])
+					if root == nil || !pooled[root] {
+						continue
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if id.Name == "_" || (obj != nil && obj.Parent() != pass.Pkg.Scope()) {
+							continue // local rebinding
+						}
+					}
+					pass.Report(x.Pos(),
+						"%s stores a pooled value into a long-lived location, pinning pool memory; annotate the Get //xmovie:pool-escape <reason> if deliberate",
+						fd.Name.Name)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					if root := aliasRoot(pass, res); root != nil && pooled[root] {
+						pass.Report(x.Pos(),
+							"%s returns a pooled value without //xmovie:pool-escape on the Get — the caller now owns a pool object nothing will Put back",
+							fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// aliasRoot resolves e to the object it strictly aliases: an identifier,
+// possibly wrapped in parens, derefs, address-taking, re-slices or type
+// assertions. Field selections and calls are not strict aliases.
+func aliasRoot(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeObject resolves a call's static callee, if it is a plain function
+// or method of this package.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package directives seeds one of every malformed //xmovie:* annotation
+// for the validator's golden test. A "want(+1)" comment expects the
+// diagnostic on the line below it (the directive's own line).
+package directives
+
+// want(+2) "unknown directive xmovie:frobnicate"
+//
+//xmovie:frobnicate
+func unknownVerb() {}
+
+// want(+2) "xmovie:noretain names no parameters"
+//
+//xmovie:noretain
+func missingArgs(p []byte) { _ = p }
+
+// want(+2) "not a parameter of wrongParam"
+//
+//xmovie:noretain q
+func wrongParam(p []byte) { _ = p }
+
+// want(+2) "xmovie:requires-lock needs a reason"
+//
+//xmovie:requires-lock
+func reasonlessLock() {}
+
+func misplacedFuncVerb() {
+	// want(+1) "must appear in a function's doc comment"
+	//xmovie:hotpath
+	_ = 0
+}
+
+func emptyReason() {
+	// want(+1) "xmovie:allow-timer without a reason"
+	//xmovie:allow-timer
+	_ = 0
+}
+
+func misplacedPackageVerb() {
+	// want(+1) "must appear in the package doc comment"
+	//xmovie:pacing-package
+	_ = 0
+}
+
+// ok is correctly annotated and must produce no diagnostics.
+//
+//xmovie:noretain p
+func ok(p []byte) { _ = p }

@@ -1,0 +1,4 @@
+// want(+2) "xmovie:allow-alloc is a line annotation, not a package one"
+//
+//xmovie:allow-alloc misplaced into a package doc
+package directives

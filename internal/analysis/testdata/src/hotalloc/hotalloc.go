@@ -1,0 +1,53 @@
+// Package hotalloc seeds allocating constructs in //xmovie:hotpath
+// functions for the analyzer's golden test.
+package hotalloc
+
+import "fmt"
+
+//xmovie:hotpath
+func bad(name string, n int) []byte {
+	msg := name + "!"   // want "string concatenation allocates"
+	fmt.Println(msg)    // want "fmt.Println allocates"
+	m := map[int]bool{} // want "map literal allocates"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+	b := []byte(name) // want "conversion allocates"
+	_ = b
+	p := &holder{} // want "composite literal allocates"
+	_ = p
+	go tick()              // want "go statement allocates"
+	return make([]byte, n) // want "make allocates"
+}
+
+//xmovie:hotpath
+func boxes(v int) {
+	sink(v) // want "interface boxing"
+}
+
+//xmovie:hotpath
+func good(dst, src []byte, h *holder) int {
+	dst = append(dst, src...)
+	sink(h) // pointer-shaped: boxing-free
+	var arr [16]byte
+	copy(arr[:], dst)
+	st := holder{n: len(dst)} // plain struct literal: stack-allocated
+	return st.n
+}
+
+//xmovie:hotpath
+func allowed(n int) []byte {
+	//xmovie:allow-alloc fixture: deliberate cold branch
+	return make([]byte, n)
+}
+
+// unmarked may allocate freely.
+func unmarked(name string) string {
+	return fmt.Sprintf("<%s>", name)
+}
+
+type holder struct{ n int }
+
+func sink(any) {}
+
+func tick() {}

@@ -1,0 +1,57 @@
+// Package lockdiscipline seeds caller-holds-the-lock violations for the
+// analyzer's golden test.
+package lockdiscipline
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked assumes t.mu is held (the *Locked naming convention).
+func (t *table) bumpLocked() { t.n++ }
+
+// badLocked promises the caller holds the lock, then takes it again.
+func (t *table) badLocked() {
+	t.mu.Lock() // want "acquires its own receiver's lock"
+	t.n++
+	t.mu.Unlock()
+}
+
+func unlockedCall(t *table) {
+	t.bumpLocked() // want "requires the caller to hold a lock"
+}
+
+// Bump holds the lock across the Locked call: clean.
+func (t *table) Bump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+// chainLocked propagates the obligation to its own callers: clean.
+func (t *table) chainLocked() {
+	t.bumpLocked()
+}
+
+// flush must run under the table lock even though its name says nothing.
+//
+//xmovie:requires-lock the table lock orders flushes against bumps
+func (t *table) flush() { t.n = 0 }
+
+func unlockedFlush(t *table) {
+	t.flush() // want "requires the caller to hold a lock"
+}
+
+func sanctioned(t *table) {
+	//xmovie:allow-unlocked fixture: single-threaded construction path
+	t.flush()
+}
+
+// lockedFlush visibly holds the lock: clean.
+func lockedFlush(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flush()
+}

@@ -1,0 +1,65 @@
+// Package noretain seeds violations of the //xmovie:noretain contract for
+// the analyzer's golden test. Each "want" comment names a diagnostic the
+// analyzer must produce on that line.
+package noretain
+
+var global []byte
+
+var frameLog [][]byte
+
+type sink struct{ buf []byte }
+
+// Send keeps the frame alive past the call — both stores must be flagged.
+//
+//xmovie:noretain p
+func (s *sink) Send(p []byte) error {
+	s.buf = p      // want "stores no-retain parameter"
+	global = p[1:] // want "stores no-retain parameter"
+	alias := p[:2] // taint propagates through local aliases
+	global = alias // want "stores no-retain parameter"
+	return nil
+}
+
+//xmovie:noretain p
+func leakChan(p []byte, ch chan []byte) {
+	q := p[:2]
+	ch <- q // want "sends no-retain parameter"
+}
+
+//xmovie:noretain p
+func leakReturn(p []byte) []byte {
+	return p // want "returns no-retain parameter"
+}
+
+//xmovie:noretain p
+func leakGo(p []byte) {
+	go func() { global = p }() // want "hands no-retain parameter" "stores no-retain parameter"
+}
+
+//xmovie:noretain p
+func leakAppend(p []byte) {
+	frameLog = append(frameLog, p) // want "appends the slice header" "stores no-retain parameter"
+}
+
+// consume copies before return: the canonical compliant implementation.
+//
+//xmovie:noretain p
+func consume(p []byte) []byte {
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	return buf
+}
+
+// consumeAppend spreads the bytes into dst — copying, not aliasing.
+//
+//xmovie:noretain p
+func consumeAppend(dst, p []byte) []byte {
+	return append(dst[:0], p...)
+}
+
+// forward hands p to another call: the callee's own contract covers it.
+//
+//xmovie:noretain p
+func forward(s *sink, p []byte) error {
+	return s.Send(p)
+}

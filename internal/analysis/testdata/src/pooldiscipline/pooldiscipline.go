@@ -1,0 +1,61 @@
+// Package pooldiscipline seeds sync.Pool ownership violations for the
+// analyzer's golden test.
+package pooldiscipline
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+type holder struct{ buf *[]byte }
+
+var held holder
+
+func unbound() {
+	bufPool.Get() // want "does not bind the result"
+}
+
+func neverPut() int {
+	bufp := bufPool.Get().(*[]byte) // want "no path returns the value"
+	return cap(*bufp)
+}
+
+func storeLongLived() {
+	bufp := bufPool.Get().(*[]byte) // want "no path returns the value"
+	held.buf = bufp                 // want "long-lived location"
+}
+
+func returnsPooled() *[]byte {
+	bufp := bufPool.Get().(*[]byte) // want "no path returns the value"
+	return bufp                     // want "returns a pooled value"
+}
+
+// balanced releases through the annotated helper — the putSendBuf pattern —
+// and must stay clean, including the deref alias buf.
+func balanced() int {
+	bufp := bufPool.Get().(*[]byte)
+	buf := *bufp
+	defer func() { release(bufp, buf) }()
+	return len(buf)
+}
+
+func direct() {
+	bufp := bufPool.Get().(*[]byte)
+	bufPool.Put(bufp)
+}
+
+func escapes() *[]byte {
+	//xmovie:pool-escape fixture: ownership transfers to the caller
+	bufp := bufPool.Get().(*[]byte)
+	return bufp
+}
+
+// release returns a buffer to the pool.
+//
+//xmovie:pool-put
+func release(bufp *[]byte, buf []byte) {
+	*bufp = buf[:0]
+	bufPool.Put(bufp)
+}

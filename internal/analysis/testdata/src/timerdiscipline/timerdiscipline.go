@@ -1,0 +1,36 @@
+// Package timerdiscipline seeds runtime-timer violations for the
+// analyzer's golden test. The package opts into the pacing discipline the
+// same way mtp/spa/timewheel do.
+//
+//xmovie:pacing-package
+package timerdiscipline
+
+import "time"
+
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep in a pacing package"
+}
+
+func badTimer(d time.Duration) {
+	t := time.NewTimer(d) // want "time.NewTimer in a pacing package"
+	<-t.C
+	tick := time.NewTicker(d) // want "time.NewTicker in a pacing package"
+	tick.Stop()
+}
+
+func badAfter(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "time.After in a pacing package"
+}
+
+// Assigning the function smuggles the timer as effectively as calling it.
+var sleepFn = time.Sleep // want "time.Sleep in a pacing package"
+
+func allowed(d time.Duration) {
+	//xmovie:allow-timer fixture: the one sanctioned runtime wait
+	time.Sleep(d)
+}
+
+// Pure clock reads stay legal: pacing is built on measured waits.
+func clockRead(since time.Time) time.Duration {
+	return time.Since(since)
+}

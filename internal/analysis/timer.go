@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimerDiscipline enforces the shared-timer-wheel contract of the pacing
+// packages (PR 9): a paced stream must wait on internal/timewheel (or an
+// injected sleeper), never on runtime timers — per-wait time.NewTimer is
+// exactly the one-runtime-timer-per-frame-per-stream cost the wheel was
+// built to eliminate, and a stray time.Sleep cannot be canceled by Stop.
+//
+// A package opts in by declaring //xmovie:pacing-package in its package
+// doc; the packages that pace media (mtp, spa, and the wheel itself) are
+// additionally required to carry the declaration, so deleting the
+// annotation cannot silently drop the package out of the check. Inside a
+// pacing package every use (not just call — assigning time.Sleep to a
+// function variable smuggles the timer just as well) of the banned
+// time-package functions is an error unless the line carries
+// //xmovie:allow-timer with a reason.
+var TimerDiscipline = &Analyzer{
+	Name: "timerdiscipline",
+	Doc:  "pacing packages must pace on internal/timewheel, not runtime timers",
+	Run:  runTimerDiscipline,
+}
+
+// requiredPacingPackages must declare //xmovie:pacing-package; the check
+// itself then applies to any package carrying the declaration.
+var requiredPacingPackages = map[string]bool{
+	"xmovie/internal/mtp":       true,
+	"xmovie/internal/spa":       true,
+	"xmovie/internal/timewheel": true,
+}
+
+// bannedTimeFuncs are the runtime-timer entry points of package time. Pure
+// clock reads (Now, Since, Until) stay legal: the pacing loops are built on
+// measured waits.
+var bannedTimeFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runTimerDiscipline(pass *Pass) error {
+	declared := PackageHas(pass.Files, "pacing-package")
+	if requiredPacingPackages[pass.Pkg.Path()] && !declared {
+		pass.Report(pass.Files[0].Package,
+			"package %s paces media streams and must declare //xmovie:pacing-package in its package doc",
+			pass.Pkg.Name())
+	}
+	if !declared {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			if _, allowed := pass.Dirs.At(sel.Pos(), "allow-timer"); allowed {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"time.%s in a pacing package: pace on internal/timewheel (or an injected sleeper), or annotate //xmovie:allow-timer <reason>",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -77,6 +77,7 @@ var interactionPool = sync.Pool{New: func() any { return new(Interaction) }}
 // values are copied into the pooled Args backing array; the values
 // themselves (strings, byte slices, pointers) are shared, never recycled.
 func newInteraction(name string, args []any) *Interaction {
+	//xmovie:pool-escape ownership transfers to the channel queue; the consuming transition (or sink) calls Release
 	in := interactionPool.Get().(*Interaction)
 	in.Name = name
 	in.Args = append(in.Args[:0], args...)
@@ -86,6 +87,8 @@ func newInteraction(name string, args []any) *Interaction {
 // Release returns the interaction to the runtime's pool. The caller must
 // not touch the interaction afterwards. Releasing is optional — interactions
 // that are simply dropped are garbage collected as usual.
+//
+//xmovie:pool-put
 func (in *Interaction) Release() {
 	clear(in.Args)
 	in.Args = in.Args[:0]

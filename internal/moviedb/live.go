@@ -111,6 +111,8 @@ func (w *LiveWindow) endSession() {
 // backing storage, so ring indices always equal storage indices and a
 // woken waiter finds its frame. The ring retains the slices as given —
 // callers pass the copies they stored, so publication costs no extra copy.
+//
+//xmovie:requires-lock the storage lock that made the frames visible (ring indices must equal storage indices)
 func (w *LiveWindow) publish(frames [][]byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()

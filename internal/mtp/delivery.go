@@ -43,6 +43,9 @@ func Delivery() DeliveryStats {
 // sendVecFallback delivers hdr+payload on a conn without vectored support
 // by concatenating into buf (reused across calls) and calling Send. It
 // returns the possibly-grown buffer.
+//
+//xmovie:noretain hdr payload
+//xmovie:hotpath
 func sendVecFallback(conn PacketConn, buf, hdr, payload []byte) ([]byte, error) {
 	buf = append(buf[:0], hdr...)
 	buf = append(buf, payload...)

@@ -8,6 +8,11 @@
 // timestamps, sender-side pacing, and receiver-side reordering, loss
 // accounting and jitter measurement — but no retransmission: late video is
 // worse than lost video (paper Table 1: "lightweight or none").
+//
+// mtp paces frames and must wait on internal/timewheel (or an injected
+// sleeper), never on runtime timers — see the timerdiscipline analyzer.
+//
+//xmovie:pacing-package
 package mtp
 
 import (
@@ -67,8 +72,11 @@ var ErrBadPacket = errors.New("mtp: malformed packet")
 // Marshal appends the wire encoding to dst, copying the payload. The
 // zero-copy alternative is MarshalHeader + a VecConn send, which hands the
 // payload slice to the conn without this copy.
+//
+//xmovie:hotpath
 func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
+		//xmovie:allow-alloc oversize payload is a caller bug, not the steady state
 		return nil, fmt.Errorf("mtp: payload of %d octets exceeds maximum", len(p.Payload))
 	}
 	dst = p.appendHeader(dst)
@@ -79,13 +87,17 @@ func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 // zero-copy send form: the header goes into a small caller buffer while the
 // payload slice (typically aliasing a ChunkCache chunk or a live-window
 // ring frame) is passed to SendVec untouched.
+//
+//xmovie:hotpath
 func (p *Packet) MarshalHeader(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
+		//xmovie:allow-alloc oversize payload is a caller bug, not the steady state
 		return nil, fmt.Errorf("mtp: payload of %d octets exceeds maximum", len(p.Payload))
 	}
 	return p.appendHeader(dst), nil
 }
 
+//xmovie:hotpath
 func (p *Packet) appendHeader(dst []byte) []byte {
 	var h [HeaderSize]byte
 	binary.BigEndian.PutUint16(h[0:], Magic)
@@ -99,14 +111,19 @@ func (p *Packet) appendHeader(dst []byte) []byte {
 
 // Unmarshal decodes a datagram into p, overwriting it. The payload aliases
 // data. The allocation-free form of the package-level Unmarshal.
+//
+//xmovie:hotpath
 func (p *Packet) Unmarshal(data []byte) error {
 	if len(data) < HeaderSize {
+		//xmovie:allow-alloc malformed datagrams are off the steady-state path
 		return fmt.Errorf("%w: %d octets", ErrBadPacket, len(data))
 	}
 	if binary.BigEndian.Uint16(data[0:]) != Magic {
+		//xmovie:allow-alloc malformed datagrams are off the steady-state path
 		return fmt.Errorf("%w: bad magic", ErrBadPacket)
 	}
 	if data[2] != Version {
+		//xmovie:allow-alloc malformed datagrams are off the steady-state path
 		return fmt.Errorf("%w: version %d", ErrBadPacket, data[2])
 	}
 	p.Flags = data[3]

@@ -68,6 +68,7 @@ var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 // clonePacket copies p into a pooled packet; the pooled payload backing
 // array is reused across streams.
 func clonePacket(p *Packet) *Packet {
+	//xmovie:pool-escape ownership transfers to the reorder buffer; releasePacket pools it after delivery
 	cp := packetPool.Get().(*Packet)
 	cp.Flags = p.Flags
 	cp.StreamID = p.StreamID
@@ -77,6 +78,10 @@ func clonePacket(p *Packet) *Packet {
 	return cp
 }
 
+// releasePacket returns a reorder-buffer packet to the pool once its frame
+// has been delivered.
+//
+//xmovie:pool-put
 func releasePacket(p *Packet) {
 	packetPool.Put(p)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"xmovie/internal/timewheel"
 )
 
 // SenderConfig controls one stream transmission.
@@ -18,7 +20,8 @@ type SenderConfig struct {
 	EOSRepeats int
 	// StartSeq lets a resumed playback continue the sequence space.
 	StartSeq uint32
-	// Sleep substitutes the pacing wait (tests); nil uses time.Sleep.
+	// Sleep substitutes the pacing wait (tests); nil paces on the shared
+	// timewheel, so even ad-hoc SendStream callers cost no runtime timers.
 	Sleep func(time.Duration)
 }
 
@@ -51,6 +54,8 @@ const maxPooledSendBuf = 256 * 1024
 // putSendBuf returns a marshal buffer to the pool, dropping buffers whose
 // capacity outgrew maxPooledSendBuf so the pool converges back to
 // typical-frame sizes instead of ratcheting up.
+//
+//xmovie:pool-put
 func putSendBuf(bufp *[]byte, buf []byte) {
 	if cap(buf) > maxPooledSendBuf {
 		return
@@ -71,7 +76,7 @@ func SendStream(conn PacketConn, frames [][]byte, cfg SenderConfig) (SendStats, 
 	}
 	sleep := cfg.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = timewheel.Default().Sleep
 	}
 	var period time.Duration
 	if cfg.FrameRate > 0 {

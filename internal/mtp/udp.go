@@ -56,6 +56,8 @@ func ListenUDP(addr string) (*UDPListener, error) {
 }
 
 // Send implements PacketConn.
+//
+//xmovie:noretain p
 func (u *UDPConn) Send(p []byte) error {
 	_, err := u.c.Write(p)
 	return err
@@ -64,6 +66,8 @@ func (u *UDPConn) Send(p []byte) error {
 // SendVec implements VecConn: hdr+payload leave as one datagram, gathered
 // by the kernel (two iovecs) on Linux so neither slice is copied in user
 // space. Both slices are fully consumed before the call returns.
+//
+//xmovie:noretain hdr payload
 func (u *UDPConn) SendVec(hdr, payload []byte) error {
 	if ok, err := sendVecUDP(u.c, hdr, payload); ok {
 		return err
@@ -75,6 +79,8 @@ func (u *UDPConn) SendVec(hdr, payload []byte) error {
 
 // SendBatch implements BatchConn: one sendmmsg(2) call transmits the whole
 // batch on Linux; elsewhere each packet is sent individually.
+//
+//xmovie:noretain pkts
 func (u *UDPConn) SendBatch(pkts []PacketVec) error {
 	if ok, err := sendBatchUDP(u.c, pkts); ok {
 		return err
@@ -142,6 +148,8 @@ func (u *UDPListener) Recv() ([]byte, error) {
 }
 
 // Send implements PacketConn toward the learned peer.
+//
+//xmovie:noretain p
 func (u *UDPListener) Send(p []byte) error {
 	if u.peer == nil {
 		return fmt.Errorf("mtp: no peer learned yet")
@@ -155,6 +163,8 @@ func (u *UDPListener) Send(p []byte) error {
 // into a conn-owned scratch buffer (consumed before return, per the
 // contract) rather than handed to the kernel as iovecs; the listener is
 // the low-rate feedback direction, not the media fan-out path.
+//
+//xmovie:noretain hdr payload
 func (u *UDPListener) SendVec(hdr, payload []byte) error {
 	if u.peer == nil {
 		return fmt.Errorf("mtp: no peer learned yet")

@@ -269,6 +269,8 @@ func (d *direction) deliver(p []byte) {
 }
 
 // Send transmits p toward the peer endpoint. The packet is copied.
+//
+//xmovie:noretain p
 func (e *Endpoint) Send(p []byte) error {
 	return e.send(p, nil)
 }
@@ -279,6 +281,8 @@ func (e *Endpoint) Send(p []byte) error {
 // the header buffer and the payload's chunk; the simulated path then
 // applies the same loss/latency/bandwidth model as Send. One copy is
 // inherent here: the simulator must own the bytes it delivers later.
+//
+//xmovie:noretain hdr payload
 func (e *Endpoint) SendVec(hdr, payload []byte) error {
 	return e.send(hdr, payload)
 }
@@ -289,6 +293,8 @@ func (e *Endpoint) SendVec(hdr, payload []byte) error {
 // packet — loss, queueing and serialization delay apply individually — and
 // netsim cannot import mtp's PacketVec without an import cycle through
 // mtp's tests.)
+//
+//xmovie:noretain a b
 func (e *Endpoint) send(a, b []byte) error {
 	l := e.link
 	dir := e.out

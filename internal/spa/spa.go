@@ -9,6 +9,12 @@
 // mtp.StreamSender, which paces transmission and adapts to receiver
 // feedback by dropping frames under congestion — XMovie's rate-adaptive
 // delivery.
+//
+// spa paces live-edge and throttle waits and must wait on
+// internal/timewheel (or an injected sleeper), never on runtime timers —
+// see the timerdiscipline analyzer.
+//
+//xmovie:pacing-package
 package spa
 
 import (

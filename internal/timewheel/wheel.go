@@ -15,6 +15,8 @@
 // from the stream layer: pacing, throttle and live-edge waits all credit
 // the time actually slept, so wheel granularity shifts a schedule by at
 // most a tick instead of accumulating as drift or phantom lateness.
+//
+//xmovie:pacing-package
 package timewheel
 
 import (
@@ -126,7 +128,10 @@ func (w *Wheel) now() int64 {
 
 // arm inserts a waiter firing after d and returns it. Rounded up to a whole
 // tick so a wait never fires early.
+//
+//xmovie:hotpath
 func (w *Wheel) arm(d time.Duration) *waiter {
+	//xmovie:pool-escape ownership transfers to the slot ring; fireSlot/cancel/Wait pool the waiter after its CAS settles
 	t := waiterPool.Get().(*waiter)
 	t.state.Store(waiterArmed)
 	ticks := int64((d + w.tick - 1) / w.tick)
@@ -149,6 +154,7 @@ func (w *Wheel) arm(d time.Duration) *waiter {
 	if !w.running {
 		w.running = true
 		w.cur = w.now()
+		//xmovie:allow-alloc first arm after an idle period restarts the tick goroutine; steady state never takes this branch
 		go w.run()
 	}
 	w.mu.Unlock()
@@ -163,6 +169,7 @@ func (w *Wheel) arm(d time.Duration) *waiter {
 // run advances the wheel while waiters are armed, then parks. One runtime
 // timer total, re-armed per tick.
 func (w *Wheel) run() {
+	//xmovie:allow-timer the wheel's own tick driver: the ONE runtime timer every paced stream shares
 	timer := time.NewTimer(w.tick)
 	defer timer.Stop()
 	for {
@@ -198,6 +205,8 @@ func (w *Wheel) run() {
 
 // fireSlot releases every waiter in slot whose deadline has arrived.
 // Caller holds w.mu.
+//
+//xmovie:hotpath
 func (w *Wheel) fireSlot(tick int64) {
 	slot := tick & w.mask
 	var keep *waiter
@@ -251,6 +260,8 @@ func (w *Wheel) cancel(t *waiter) {
 // to); it reports false when canceled first. A nil cancel waits
 // unconditionally. This is the pacing primitive: one pooled waiter, no
 // allocation in the steady state.
+//
+//xmovie:hotpath
 func (w *Wheel) Wait(d time.Duration, cancel <-chan struct{}) bool {
 	if d <= 0 {
 		return true

@@ -69,6 +69,9 @@ func Pipe(capacity int) (Conn, Conn) {
 	return a, b
 }
 
+// Send implements Conn; p is copied before it crosses the channel.
+//
+//xmovie:noretain p
 func (c *pipeConn) Send(p []byte) error {
 	c.mu.Lock()
 	closed := c.closed
@@ -129,6 +132,9 @@ const (
 // NewTPKT wraps a stream connection in TPKT framing.
 func NewTPKT(nc net.Conn) Conn { return &tpktConn{nc: nc} }
 
+// Send implements Conn; p is fully written to the socket before return.
+//
+//xmovie:noretain p
 func (c *tpktConn) Send(p []byte) error {
 	if len(p) > tpktMaxLength {
 		return fmt.Errorf("transport: message of %d octets exceeds TPKT limit", len(p))
